@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it computes
+the same series the figure plots (real numerics at reduced scale, modelled
+times at paper scale), prints the rows, and archives them under
+``benchmarks/results/`` so the output survives pytest's capture.
+
+Run the full harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to watch the tables stream by; they are always written to the
+results directory regardless.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The five precision modes, in the paper's plotting order.
+MODES = ("FP64", "FP32", "FP16", "Mixed", "FP16C")
+
+#: Reduced-scale defaults for *executed* (not modelled) experiments.  The
+#: paper's n=2^16 costs O(n^2 d) scalar ops — infeasible in pure Python —
+#: and the accuracy trends are functions of stream length and machine eps,
+#: so they reproduce at these sizes.
+EXEC_N = 1536
+EXEC_D = 8
+EXEC_M = 32
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and archive it to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text, file=sys.stderr)
+    print(text)
+
+
+def series_label(exp: str, paper: str, ours: str) -> str:
+    """Standard paper-vs-measured annotation line."""
+    return f"[{exp}] paper: {paper}\n[{exp}] ours:  {ours}"

@@ -1,0 +1,92 @@
+"""Ablation — the Section V-B error analysis against measured errors.
+
+Validates the two levers the paper identifies:
+
+* machine epsilon: measured FP16/FP32 profile errors must straddle in the
+  order the eps-driven bound predicts, and the bound must upper-bound the
+  measured QT error;
+* tile size: the measured FP16 error must not grow once tiling caps the
+  recurrence length, and `tile_edge_for_target_error` must give a tile
+  edge whose measured error meets the target it was derived for.
+"""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.datasets import make_stress_dataset
+from repro.precision import streaming_qt_error_bound, tile_edge_for_target_error
+from repro.reporting import format_table
+
+from _harness import emit
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_error_model(benchmark):
+    m = 32
+    ds = make_stress_dataset(n=1600, d=4, m=m, amplitude=4.0, seed=23)
+    ref = matrix_profile(ds.reference, ds.query, m=m, mode="FP64")
+    n_rows = ref.n_q_seg
+
+    rows = []
+    measured = {}
+    for mode in ("FP32", "FP16", "Mixed", "FP16C"):
+        r = matrix_profile(ds.reference, ds.query, m=m, mode=mode)
+        err = float(
+            np.mean(np.abs(r.profile - ref.profile) / np.maximum(ref.profile, 1e-6))
+        )
+        bound = streaming_qt_error_bound(n_rows, m, mode)
+        measured[mode] = err
+        rows.append([mode, f"{err:.2e}", f"{bound:.2e}",
+                     "yes" if err <= bound else "no"])
+    blocks = [
+        format_table(
+            ["mode", "measured rel. error", "bound (e ~ n*eps)", "within bound"],
+            rows,
+            f"Error model vs measurement (untiled, {n_rows} streaming rows)",
+        )
+    ]
+
+    # Tile-size lever: bound and measurement vs tile count.
+    tile_rows = []
+    for n_tiles in (1, 16, 64):
+        edge = int(np.ceil(n_rows / np.sqrt(n_tiles)))
+        bound = streaming_qt_error_bound(edge, m, "FP16")
+        r = matrix_profile(ds.reference, ds.query, m=m, mode="FP16", n_tiles=n_tiles)
+        err = float(
+            np.mean(np.abs(r.profile - ref.profile) / np.maximum(ref.profile, 1e-6))
+        )
+        tile_rows.append([n_tiles, edge, f"{bound:.2e}", f"{err:.2e}"])
+    blocks.append(
+        format_table(
+            ["tiles", "tile edge", "FP16 bound", "FP16 measured"],
+            tile_rows,
+            "Tile size bounds the propagation (FP16)",
+        )
+    )
+
+    # The planner: pick tiles for a 5% target and verify it is met.
+    target = 0.05
+    edge = tile_edge_for_target_error(target, m, "FP16")
+    needed_tiles = max(1, int(np.ceil(n_rows / edge)) ** 2)
+    r = matrix_profile(
+        ds.reference, ds.query, m=m, mode="FP16", n_tiles=min(needed_tiles, 256)
+    )
+    planned_err = float(
+        np.mean(np.abs(r.profile - ref.profile) / np.maximum(ref.profile, 1e-6))
+    )
+    blocks.append(
+        f"Planner: target {target:.0%} => tile edge {edge} => {needed_tiles} tiles; "
+        f"measured error {planned_err:.2%}"
+    )
+    emit("ablation_error_model", "\n\n".join(blocks))
+
+    benchmark.pedantic(
+        lambda: streaming_qt_error_bound(n_rows, m, "FP16"), rounds=10, iterations=10
+    )
+
+    # Claims: bounds hold; eps ordering respected; planner target met.
+    assert measured["FP32"] < measured["FP16"]
+    for mode in ("FP32", "FP16", "Mixed", "FP16C"):
+        assert measured[mode] <= streaming_qt_error_bound(n_rows, m, mode)
+    assert planned_err <= target

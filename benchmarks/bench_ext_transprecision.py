@@ -1,0 +1,86 @@
+"""Extension bench — TF32 and BFLOAT16 modes (Section VII future work).
+
+Regenerates a Fig. 2-style accuracy comparison with the transprecision
+formats inserted between FP32 and FP16, plus modelled A100 times (TF32
+moves FP32-sized data; BF16 moves FP16-sized data).
+"""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.baselines.mstamp import mstamp
+from repro.datasets import make_stress_dataset
+from repro.extensions.transprecision import (
+    BF16,
+    TF32,
+    transprecision_itemsize,
+    transprecision_matrix_profile,
+)
+from repro.gpu.perfmodel import single_tile_timing
+from repro.metrics import recall_rate, relative_accuracy
+from repro.reporting import format_table
+
+from _harness import emit
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_transprecision(benchmark):
+    ds = make_stress_dataset(n=700, d=4, m=32, amplitude=4.0, seed=12)
+    p64, i64 = mstamp(ds.reference, ds.query, ds.m)
+
+    rows = []
+    accs = {}
+    # Native modes through the main pipeline.
+    for mode in ("FP64", "FP32", "FP16"):
+        r = matrix_profile(ds.reference, ds.query, m=ds.m, mode=mode)
+        accs[mode] = relative_accuracy(r.profile, p64)
+        rows.append(
+            [mode, f"{accs[mode]:.2f}%", f"{recall_rate(r.index, i64):.1f}%"]
+        )
+    # Transprecision formats through the soft-rounded evaluator.
+    for fmt in (TF32, BF16):
+        p, i = transprecision_matrix_profile(ds.reference, ds.query, ds.m, fmt)
+        accs[fmt.name] = relative_accuracy(p, p64)
+        rows.append(
+            [fmt.name, f"{accs[fmt.name]:.2f}%", f"{recall_rate(i, i64):.1f}%"]
+        )
+
+    time_rows = []
+    for label, itemsize in (
+        ("FP64", 8),
+        ("FP32", 4),
+        ("TF32", transprecision_itemsize(TF32)),
+        ("BF16", transprecision_itemsize(BF16)),
+        ("FP16", 2),
+    ):
+        t = single_tile_timing(2**16, 2**16, 2**6, 2**6, "A100", itemsize)
+        time_rows.append([label, f"{t.compute_total:.2f}"])
+
+    blocks = [
+        format_table(
+            ["format", "rel. accuracy A", "recall R"],
+            rows,
+            "Extension: transprecision accuracy (executed, reduced scale)",
+        ),
+        format_table(
+            ["format", "modelled A100 time (s)"],
+            time_rows,
+            "Extension: modelled paper-scale time by storage width",
+        ),
+    ]
+    emit("ext_transprecision", "\n\n".join(blocks))
+
+    benchmark.pedantic(
+        lambda: transprecision_matrix_profile(
+            ds.reference[:300], ds.query[:300], ds.m, TF32
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Expected ordering: FP64 >= FP32 >= TF32 >= BF16, and TF32 >= FP16
+    # (same significand, wider exponent).
+    assert accs["FP32"] >= accs["TF32"] - 0.5
+    assert accs["TF32"] >= accs["BF16"] - 0.5
+    assert accs["TF32"] >= accs["FP16"] - 0.5

@@ -1,0 +1,80 @@
+"""Fig. 10 — GIAB genome mining: matrix-profile index recall and execution
+time versus the number of tiles (paper: n=2^18, d=2^4, m=2^7).
+
+Paper series: FP16 recall climbs from ~75% (1 tile) to >95% (1024 tiles);
+Mixed/FP16C sit >95% for any tile count; execution time follows the same
+dip-then-climb as Fig. 7 despite the larger problem.
+
+Recall is executed for real on synthetic chromosomes at reduced scale;
+times are modelled at the paper's n=2^18 scale.
+"""
+
+import pytest
+
+from repro import RunConfig, matrix_profile, model_multi_tile
+from repro.datasets import make_genome_dataset
+from repro.metrics import recall_rate
+from repro.reporting import format_table
+
+from _harness import emit
+
+PAPER_N, PAPER_D, PAPER_M = 2**18, 2**4, 2**7
+TILES = (1, 4, 16, 64, 256, 1024)
+RP_MODES = ("FP16", "Mixed", "FP16C")
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_giab(benchmark):
+    ds = make_genome_dataset(n=3072, d=8, m=64, genes_per_chromosome=2, seed=8)
+    ref = matrix_profile(ds.reference, ds.query, m=ds.m, mode="FP64")
+
+    recalls = {}
+    rows = []
+    for n_tiles in (1, 4, 16, 64, 256):
+        row = [n_tiles]
+        for mode in RP_MODES:
+            r = matrix_profile(
+                ds.reference, ds.query, m=ds.m, mode=mode, n_tiles=n_tiles
+            )
+            rec = recall_rate(r.index, ref.index)
+            recalls[(mode, n_tiles)] = rec
+            row.append(f"{rec:.1f}%")
+        rows.append(row)
+
+    time_rows = []
+    times = {}
+    for n_tiles in TILES:
+        cfg = RunConfig(device="A100", n_tiles=n_tiles)
+        t = model_multi_tile(PAPER_N, PAPER_D, PAPER_M, cfg).modeled_time
+        times[n_tiles] = t
+        time_rows.append([n_tiles, f"{t:.1f}"])
+
+    blocks = [
+        format_table(
+            ["tiles"] + [f"R {m}" for m in RP_MODES],
+            rows,
+            "Fig. 10 (left): executed index recall vs tiles "
+            "(synthetic genomes, reduced scale)",
+        ),
+        format_table(
+            ["tiles", "modelled time (s)"],
+            time_rows,
+            f"Fig. 10 (right): modelled A100 time at paper scale "
+            f"(n=2^18, d=2^4, m=2^7)",
+        ),
+    ]
+    emit("fig10_giab", "\n\n".join(blocks))
+
+    benchmark.pedantic(
+        lambda: matrix_profile(ds.reference, ds.query, m=ds.m, mode="FP16", n_tiles=4),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Paper claims: Mixed/FP16C high for any tiling; FP16 never degrades
+    # with more tiles; the time curve turns upward by 1024 tiles.
+    for n_tiles in (1, 64, 256):
+        assert recalls[("Mixed", n_tiles)] > 90.0
+        assert recalls[("FP16C", n_tiles)] > 90.0
+    assert recalls[("FP16", 256)] >= recalls[("FP16", 1)] - 1.0
+    assert times[1024] > times[256]

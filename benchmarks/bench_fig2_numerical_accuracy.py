@@ -1,0 +1,92 @@
+"""Fig. 2 — numerical accuracy (A and R) of the single-tile implementation
+versus the CPU reference, swept over n, d and m for all precision modes.
+
+Paper series (n=2^13..2^16, d/m sweeps at n=2^16): FP64 identical, FP32
+~100%, FP16 low and decreasing with n, Mixed/FP16C roughly double the
+FP16 accuracy.  We execute the same sweep at reduced scale (the error is a
+function of stream length x machine epsilon, so the ordering and trends
+reproduce).
+"""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.datasets import make_stress_dataset
+from repro.metrics import recall_rate, relative_accuracy
+from repro.reporting import format_table
+
+from _harness import MODES, emit
+
+
+def _accuracy_row(param, ds, ref_result, metric):
+    row = [param]
+    for mode in MODES:
+        r = matrix_profile(ds.reference, ds.query, m=ds.m, mode=mode)
+        if metric == "A":
+            row.append(relative_accuracy(r.profile, ref_result.profile))
+        else:
+            row.append(recall_rate(r.index, ref_result.index))
+    return row
+
+
+def _sweep(values, build):
+    rows_a, rows_r = [], []
+    for v in values:
+        ds = build(v)
+        ref = matrix_profile(ds.reference, ds.query, m=ds.m, mode="FP64")
+        rows_a.append(_accuracy_row(v, ds, ref, "A"))
+        rows_r.append(_accuracy_row(v, ds, ref, "R"))
+    return rows_a, rows_r
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_numerical_accuracy(benchmark):
+    headers_a = ["param"] + [f"A {m} (%)" for m in MODES]
+    headers_r = ["param"] + [f"R {m} (%)" for m in MODES]
+    blocks = []
+
+    # Sweep 1: number of subsequences n (d=8, m=32).
+    rows_a, rows_r = _sweep(
+        [512, 1024, 2048],
+        lambda n: make_stress_dataset(n=n, d=8, m=32, amplitude=4.0, seed=2),
+    )
+    blocks.append(format_table(headers_a, rows_a, "Fig. 2a: A vs n (d=8, m=32)"))
+    blocks.append(format_table(headers_r, rows_r, "Fig. 2b: R vs n (d=8, m=32)"))
+
+    # Sweep 2: dimensionality d (n=1024, m=32).
+    rows_a, rows_r = _sweep(
+        [4, 8, 16, 32],
+        lambda d: make_stress_dataset(n=1024, d=d, m=32, amplitude=4.0, seed=3),
+    )
+    blocks.append(format_table(headers_a, rows_a, "Fig. 2c: A vs d (n=1024, m=32)"))
+    blocks.append(format_table(headers_r, rows_r, "Fig. 2d: R vs d (n=1024, m=32)"))
+
+    # Sweep 3: segment length m (n=1024, d=8).
+    rows_a, rows_r = _sweep(
+        [16, 32, 64],
+        lambda m: make_stress_dataset(n=1024, d=8, m=m, amplitude=4.0, seed=4),
+    )
+    blocks.append(format_table(headers_a, rows_a, "Fig. 2e: A vs m (n=1024, d=8)"))
+    blocks.append(format_table(headers_r, rows_r, "Fig. 2f: R vs m (n=1024, d=8)"))
+
+    emit("fig2_numerical_accuracy", "\n\n".join(blocks))
+
+    # Benchmark the representative computation: one Mixed-mode run.
+    ds = make_stress_dataset(n=512, d=8, m=32, amplitude=4.0, seed=2)
+    benchmark.pedantic(
+        lambda: matrix_profile(ds.reference, ds.query, m=32, mode="Mixed"),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape assertions mirroring the paper's claims.
+    ref = matrix_profile(ds.reference, ds.query, m=32, mode="FP64")
+    a32 = relative_accuracy(
+        matrix_profile(ds.reference, ds.query, m=32, mode="FP32").profile, ref.profile
+    )
+    a16 = relative_accuracy(
+        matrix_profile(ds.reference, ds.query, m=32, mode="FP16").profile, ref.profile
+    )
+    assert a32 > 99.0
+    assert a32 >= a16

@@ -1,0 +1,81 @@
+"""Fig. 5 — execution time and parallel efficiency of the multi-tile
+implementation with 16 tiles on the DGX-1 (8x V100), for all precision
+modes, plus the per-kernel breakdown of the single-GPU run.
+
+Paper series: near-linear scaling; >90% efficiency for FP64 at 1/2/4/8
+GPUs; ~80% for the reduced-precision modes; efficiency dips at odd GPU
+counts because 16 tiles don't divide evenly.
+"""
+
+import pytest
+
+from repro import RunConfig, model_multi_tile
+from repro.precision import policy_for
+from repro.reporting import format_table
+
+from _harness import MODES, emit
+
+N, D, M = 2**16, 2**8, 2**6
+
+
+def _series(mode):
+    rows = []
+    base = None
+    for n_gpus in range(1, 9):
+        cfg = RunConfig(mode=mode, device="V100", n_tiles=16, n_gpus=n_gpus)
+        r = model_multi_tile(N, D, M, cfg)
+        if base is None:
+            base = r.modeled_time
+        rows.append((n_gpus, r.modeled_time, base / (n_gpus * r.modeled_time)))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_scaling_dgx1(benchmark):
+    series = {mode: _series(mode) for mode in MODES}
+
+    time_rows = []
+    eff_rows = []
+    for n_gpus in range(1, 9):
+        time_rows.append(
+            [n_gpus] + [f"{series[m][n_gpus - 1][1]:.2f}" for m in MODES]
+        )
+        eff_rows.append(
+            [n_gpus] + [f"{series[m][n_gpus - 1][2]:.2%}" for m in MODES]
+        )
+
+    blocks = [
+        format_table(
+            ["GPUs"] + [f"{m} (s)" for m in MODES],
+            time_rows,
+            f"Fig. 5: modelled execution time, 16 tiles, DGX-1 (n=2^16, d=2^8)",
+        ),
+        format_table(
+            ["GPUs"] + [f"Ep {m}" for m in MODES],
+            eff_rows,
+            "Fig. 5 (inset): parallel efficiency",
+        ),
+    ]
+
+    # Per-kernel breakdown of the 1-GPU FP64 run (the horizontal bar).
+    r1 = model_multi_tile(N, D, M, RunConfig(device="V100", n_tiles=16))
+    blocks.append(
+        format_table(
+            ["kernel", "seconds"],
+            [[k, f"{v:.2f}"] for k, v in sorted(r1.kernel_breakdown().items())],
+            "Fig. 5 (top): kernel breakdown on one GPU (FP64)",
+        )
+    )
+    emit("fig5_scaling_dgx1", "\n\n".join(blocks))
+
+    benchmark.pedantic(lambda: _series("FP64"), rounds=1, iterations=1)
+
+    # Paper claims.
+    fp64 = series["FP64"]
+    for n_gpus in (2, 4, 8):
+        assert fp64[n_gpus - 1][2] > 0.85, f"FP64 efficiency at {n_gpus} GPUs"
+    # Odd counts are less efficient than their even neighbours.
+    assert fp64[2][2] < fp64[1][2]
+    assert fp64[2][2] < fp64[3][2]
+    # Reduced precision is faster.
+    assert series["FP16"][0][1] < fp64[0][1]

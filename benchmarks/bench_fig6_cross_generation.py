@@ -1,0 +1,84 @@
+"""Fig. 6 — FP64 performance across hardware generations: the 16-core
+Skylake (MP)^N baseline vs V100 vs A100, swept over n, d and m.
+
+Paper series: 41.6x (V100) and 54.0x (A100) speedups at n=2^16, d=2^6,
+m=2^6; time quadratic in n, linear in d, independent of m, for both CPU
+and GPU.  A reduced-scale *measured* CPU-vs-CPU sanity point (mSTAMP wall
+clock) accompanies the modelled paper-scale series.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.mstamp import mstamp
+from repro.gpu.perfmodel import cpu_baseline_time, single_tile_timing
+from repro.reporting import format_table
+
+from _harness import emit
+
+
+def _gpu_time(n, d, m, device):
+    return single_tile_timing(n, n, d, m, device, 8).compute_total
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_cross_generation(benchmark):
+    headers = ["param", "CPU (s)", "V100 (s)", "A100 (s)", "V100 x", "A100 x"]
+
+    def rows_for(sweep, fixed):
+        rows = []
+        for label, n, d, m in sweep:
+            t_cpu = cpu_baseline_time(n, n, d)
+            t_v = _gpu_time(n, d, m, "V100")
+            t_a = _gpu_time(n, d, m, "A100")
+            rows.append(
+                [label, f"{t_cpu:.1f}", f"{t_v:.2f}", f"{t_a:.2f}",
+                 f"{t_cpu / t_v:.1f}", f"{t_cpu / t_a:.1f}"]
+            )
+        return format_table(headers, rows, fixed)
+
+    blocks = [
+        rows_for(
+            [(f"n=2^{e}", 2**e, 2**6, 2**6) for e in (12, 13, 14, 15, 16)],
+            "Fig. 6 (left): time vs n (d=2^6, m=2^6)",
+        ),
+        rows_for(
+            [(f"d=2^{e}", 2**16, 2**e, 2**6) for e in (3, 4, 5, 6)],
+            "Fig. 6 (middle): time vs d (n=2^16, m=2^6)",
+        ),
+        rows_for(
+            [(f"m=2^{e}", 2**16, 2**6, 2**e) for e in (3, 4, 5, 6)],
+            "Fig. 6 (right): time vs m (n=2^16, d=2^6)",
+        ),
+    ]
+
+    # Reduced-scale measured sanity point: wall-clock of the real CPU
+    # reference here, for the record (absolute values are machine-bound).
+    rng = np.random.default_rng(1)
+    ref = rng.normal(size=(1024, 8))
+    qry = rng.normal(size=(1024, 8))
+
+    def run_cpu():
+        return mstamp(ref, qry, 64)
+
+    t0 = time.perf_counter()
+    run_cpu()
+    wall = time.perf_counter() - t0
+    blocks.append(
+        f"Measured mSTAMP wall clock at n=961 segments, d=8, m=64: {wall:.3f} s "
+        f"(this machine, numpy)"
+    )
+    emit("fig6_cross_generation", "\n\n".join(blocks))
+
+    benchmark.pedantic(run_cpu, rounds=1, iterations=1)
+
+    # Headline anchors.
+    t_cpu = cpu_baseline_time(2**16, 2**16, 2**6)
+    assert t_cpu / _gpu_time(2**16, 2**6, 2**6, "V100") == pytest.approx(41.6, rel=0.15)
+    assert t_cpu / _gpu_time(2**16, 2**6, 2**6, "A100") == pytest.approx(54.0, rel=0.15)
+    # m-independence.
+    assert _gpu_time(2**16, 2**6, 2**3, "A100") == pytest.approx(
+        _gpu_time(2**16, 2**6, 2**6, "A100"), rel=0.05
+    )

@@ -1,0 +1,80 @@
+"""Fig. 7 — accuracy/performance trade-off as the tile count grows from 1
+to 1024 on one A100 (n=2^16, d=2^6, m=2^6 in the paper).
+
+Paper series: more tiles raise the FP16-family accuracy (the tiling
+restarts the error-accumulating recurrence); execution time first *drops*
+slightly (stream concurrency + L2 residency) and then climbs (CPU-side
+merge overhead); 256 tiles beat 1 tile on both axes for the FP16 modes.
+
+Accuracy is executed for real at reduced scale; times are modelled at the
+paper scale.
+"""
+
+import pytest
+
+from repro import RunConfig, matrix_profile, model_multi_tile
+from repro.datasets import make_stress_dataset
+from repro.metrics import embedded_motif_recall, recall_rate
+from repro.reporting import format_table
+
+from _harness import MODES, emit
+
+TILES = (1, 4, 16, 64, 256, 1024)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_tiles_tradeoff(benchmark):
+    # --- modelled execution time at paper scale, per mode and tile count.
+    time_rows = []
+    model_times = {}
+    for n_tiles in TILES:
+        row = [n_tiles]
+        for mode in MODES:
+            cfg = RunConfig(mode=mode, device="A100", n_tiles=n_tiles)
+            t = model_multi_tile(2**16, 2**6, 2**6, cfg).modeled_time
+            model_times[(mode, n_tiles)] = t
+            row.append(f"{t:.2f}")
+        time_rows.append(row)
+
+    # --- executed accuracy at reduced scale.
+    ds = make_stress_dataset(n=2048, d=8, m=32, amplitude=4.0, seed=6)
+    ref = matrix_profile(ds.reference, ds.query, m=ds.m, mode="FP64")
+    acc_rows = []
+    recall_fp16 = {}
+    for n_tiles in (1, 4, 16, 64, 256):
+        row = [n_tiles]
+        for mode in MODES:
+            r = matrix_profile(ds.reference, ds.query, m=ds.m, mode=mode, n_tiles=n_tiles)
+            rec = embedded_motif_recall(r.index, ds.motifs, k=1)
+            idx_recall = recall_rate(r.index, ref.index)
+            if mode == "FP16":
+                recall_fp16[n_tiles] = idx_recall
+            row.append(f"{rec:.0f}/{idx_recall:.0f}")
+        acc_rows.append(row)
+
+    blocks = [
+        format_table(
+            ["tiles"] + [f"{m} (s)" for m in MODES],
+            time_rows,
+            "Fig. 7 (x-axis): modelled A100 time vs tiles (n=2^16, d=2^6, m=2^6)",
+        ),
+        format_table(
+            ["tiles"] + [f"{m} Remb/R (%)" for m in MODES],
+            acc_rows,
+            "Fig. 7 (y-axis): executed embedded-motif recall / index recall vs tiles "
+            "(reduced scale n=2048, d=8, m=32)",
+        ),
+    ]
+    emit("fig7_tiles_tradeoff", "\n\n".join(blocks))
+
+    benchmark.pedantic(
+        lambda: matrix_profile(ds.reference, ds.query, m=ds.m, mode="FP16", n_tiles=16),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Paper claims on the modelled times.
+    assert model_times[("FP64", 256)] < model_times[("FP64", 1)] * 1.02
+    assert model_times[("FP64", 1024)] > model_times[("FP64", 256)]
+    # Tiling must not degrade FP16 index recall.
+    assert recall_fp16[256] >= recall_fp16[1] - 1.0

@@ -1,0 +1,66 @@
+"""Figs. 8 & 9 — HPC-ODA application classification case study.
+
+Paper series (Fig. 9): F-score stays >0.95 for Mixed/FP16C and ~0.9 even
+for FP16 while FP64/FP32 sit near 0.97; the runtime shrinks slightly with
+reduced precision.  Fig. 8 is the colour-coded prediction timeline, which
+we render as a per-class agreement summary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import classify_hpcoda
+from repro.datasets import APPLICATION_CLASSES, make_hpcoda_dataset
+from repro.reporting import format_table
+
+from _harness import MODES, emit
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_hpcoda_classifier(benchmark):
+    dataset = make_hpcoda_dataset(
+        n_per_half=2048, d=16, phase_length=(96, 256), seed=3
+    )
+    m = 32
+
+    outcomes = {}
+    rows = []
+    for mode in MODES:
+        out = classify_hpcoda(dataset, m=m, mode=mode)
+        outcomes[mode] = out
+        rows.append([mode, f"{out.f_score:.3f}", f"{out.accuracy:.3f}",
+                     f"{out.runtime:.4f}"])
+    blocks = [
+        format_table(
+            ["mode", "F-score", "accuracy", "modelled runtime (s)"],
+            rows,
+            "Fig. 9: nearest-neighbour classifier, F-score and runtime per mode",
+        )
+    ]
+
+    # Fig. 8 proxy: per-class recall of the FP64 timeline.
+    out = outcomes["FP64"]
+    per_class = []
+    for idx, name in enumerate(APPLICATION_CLASSES):
+        mask = out.truth == idx
+        if mask.any():
+            per_class.append([name, int(mask.sum()),
+                              f"{np.mean(out.predictions[mask] == idx):.1%}"])
+    blocks.append(
+        format_table(
+            ["class", "segments", "timeline agreement"],
+            per_class,
+            "Fig. 8: per-class timeline agreement (FP64)",
+        )
+    )
+    emit("fig9_hpcoda", "\n\n".join(blocks))
+
+    benchmark.pedantic(
+        lambda: classify_hpcoda(dataset, m=m, mode="Mixed"), rounds=1, iterations=1
+    )
+
+    # Paper claims: FP64 strong; Mixed/FP16C >= 0.9; reduced not slower.
+    assert outcomes["FP64"].f_score > 0.85
+    assert outcomes["Mixed"].f_score > 0.9
+    assert outcomes["FP16C"].f_score > 0.9
+    assert outcomes["FP16"].runtime <= outcomes["FP64"].runtime

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Case study VI-B: mining DNA sequences with the matrix profile.
+
+Reproduces the Genome-in-a-Bottle experiment on synthetic chromosomes:
+sequences are encoded A->1, C->2, T->3, G->4 (the paper's transformation
+relation), conserved genes are planted in both genomes, and the matrix
+profile locates them.  The reduced-precision angle: the tiny {1..4}
+alphabet keeps every value exactly representable in FP16, and the tiling
+scheme recovers the recall that long FP16 streaming recurrences lose
+(Fig. 10).
+
+Run:  python examples/genome_mining.py
+"""
+
+import numpy as np
+
+from repro import matrix_profile
+from repro.datasets import make_genome_dataset
+from repro.metrics import detection_hits, recall_rate
+from repro.reporting import banner, format_seconds, print_table
+
+
+def main() -> None:
+    n, d, m = 3072, 8, 128
+    banner("Generating synthetic genomes")
+    ds = make_genome_dataset(n=n, d=d, m=m, genes_per_chromosome=2,
+                             mutation_rate=0.01, seed=5)
+    print(f"chromosomes: {d}, bases per chromosome: {n}, gene length: {m}")
+    print(f"planted genes: {len(ds.genes)} "
+          f"(avg {np.mean([g.mutations for g in ds.genes]):.1f} mutations each)")
+
+    banner("Reference run (FP64)")
+    ref = matrix_profile(ds.reference, ds.query, m=m, mode="FP64")
+    hits = detection_hits(
+        ref.index,
+        [g.query_pos for g in ds.genes],
+        [g.ref_pos for g in ds.genes],
+        m,
+        k=1,
+    )
+    print(f"genes recovered by the 1-d profile index: {sum(hits)}/{len(hits)}")
+
+    banner("Fig. 10: recall and modelled time vs number of tiles")
+    rows = []
+    for n_tiles in (1, 4, 16, 64, 256):
+        rows_for_modes = [n_tiles]
+        for mode in ("FP16", "Mixed", "FP16C"):
+            r = matrix_profile(ds.reference, ds.query, m=m, mode=mode,
+                               n_tiles=n_tiles)
+            rows_for_modes.append(f"{recall_rate(r.index, ref.index):.1f}%")
+        r64 = matrix_profile(ds.reference, ds.query, m=m, mode="FP64",
+                             n_tiles=n_tiles)
+        rows_for_modes.append(format_seconds(r64.modeled_time))
+        rows.append(rows_for_modes)
+    print_table(
+        ["tiles", "R FP16", "R Mixed", "R FP16C", "modelled time (FP64)"],
+        rows,
+    )
+    print("Expected trend (paper): FP16 recall climbs with the tile count; "
+          "Mixed/FP16C stay high for any tiling.")
+
+
+if __name__ == "__main__":
+    main()

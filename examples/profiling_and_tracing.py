@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Performance introspection: profiler report, chrome trace, energy.
+
+Runs one tiled multi-GPU computation and shows the three introspection
+surfaces a performance engineer would reach for:
+
+1. the Nsight-style per-kernel profile (time share, traffic, binding
+   resource),
+2. a chrome://tracing / Perfetto timeline export of the simulated
+   streams and copy engines,
+3. the energy estimate per precision mode.
+
+Run:  python examples/profiling_and_tracing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import matrix_profile
+from repro.gpu.energy import estimate_energy
+from repro.gpu.profiler import render_report
+from repro.gpu.tracing import export_chrome_trace
+from repro.reporting import banner, print_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    series = rng.normal(size=(1536, 8))
+
+    banner("Profiling a tiled 2-GPU run (Mixed precision)")
+    result = matrix_profile(series, m=64, mode="Mixed", n_tiles=8, n_gpus=2)
+    print(render_report(result, "A100"))
+
+    banner("Exporting the timeline for chrome://tracing / Perfetto")
+    out = Path(tempfile.gettempdir()) / "repro_trace.json"
+    path = export_chrome_trace(result, out)
+    print(f"wrote {path} — open chrome://tracing and load it to see the")
+    print("two GPUs' compute/DMA engines, stream interleaving and the")
+    print("host-side tile merge.")
+
+    banner("Energy per precision mode (same problem)")
+    rows = []
+    for mode in ("FP64", "FP32", "FP16", "Mixed", "FP16C"):
+        r = matrix_profile(series, m=64, mode=mode, n_tiles=8, n_gpus=2)
+        e = estimate_energy(r, "A100")
+        rows.append(
+            [mode, f"{r.modeled_time * 1e3:.1f} ms", f"{e.total_energy:.2f} J",
+             f"{e.average_power:.0f} W"]
+        )
+    print_table(["mode", "modelled time", "energy", "avg power/GPU"], rows)
+    print("Reduced precision saves energy roughly in proportion to time —")
+    print("the kernels are memory-bound, so power stays near-constant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Mining the paper's motivating scientific domains.
+
+The introduction cites matrix profile successes in earthquake foreshock
+analysis and power-grid synchrophasor event labelling.  This example runs
+both workflows end-to-end on synthetic stand-ins:
+
+1. **Seismic**: a 3-component trace containing two repeating earthquake
+   families; the self-join matrix profile pairs events of the same family
+   (repeating-earthquake detection, the foreshock-study primitive).
+2. **Synchrophasor**: an 8-channel PMU record with recurring grid events
+   (sags, frequency excursions, oscillations); the matrix profile links
+   each event to its recurrence, and reduced precision keeps up.
+
+Run:  python examples/seismic_and_grid_mining.py
+"""
+
+import numpy as np
+
+from repro import matrix_profile
+from repro.apps import top_motifs
+from repro.datasets import make_pmu_dataset, make_seismic_dataset
+from repro.reporting import banner, format_seconds, print_table
+
+
+def seismic_study() -> None:
+    banner("1. Repeating-earthquake detection (3-component trace)")
+    ds = make_seismic_dataset(
+        n=12_000, d=3, event_length=256, n_families=2, events_per_family=3,
+        snr=8.0, seed=7,
+    )
+    print(f"trace: {ds.n} samples @ {ds.sampling_rate:.0f} Hz, "
+          f"{len(ds.events)} events in 2 families")
+
+    result = matrix_profile(ds.trace, m=256, mode="FP32")
+    rows = []
+    for e in sorted(ds.events, key=lambda e: e.position):
+        match = int(result.index[e.position, 2])
+        partner = min(
+            (o for o in ds.events if o.position != e.position),
+            key=lambda o: abs(o.position - match),
+        )
+        correct = partner.family == e.family and abs(partner.position - match) < 128
+        rows.append(
+            [e.position, e.family, match, partner.family,
+             "same family ✓" if correct else "✗"]
+        )
+    print_table(
+        ["event pos", "family", "best match", "matched family", "verdict"], rows
+    )
+    print(f"modelled A100 analysis time: {format_seconds(result.modeled_time)}")
+
+
+def grid_study() -> None:
+    banner("2. Synchrophasor event recurrence (4 PMUs, |V| + f channels)")
+    ds = make_pmu_dataset(n=9000, n_pmus=4, event_duration=150,
+                          events_per_type=2, seed=11)
+    print(f"record: {ds.n} frames @ {ds.reporting_rate:.0f} fps, "
+          f"{len(ds.events)} injected events")
+
+    rows = []
+    for mode in ("FP64", "Mixed"):
+        result = matrix_profile(ds.measurements, m=150, mode=mode)
+        by_kind = {}
+        for e in ds.events:
+            by_kind.setdefault(e.kind, []).append(e)
+        matched = 0
+        for kind, events in by_kind.items():
+            probe, other = events[0], events[1]
+            match = int(result.index[probe.position, 1])
+            if abs(match - other.position) < 75:
+                matched += 1
+        rows.append(
+            [mode, f"{matched}/{len(by_kind)}",
+             format_seconds(result.modeled_time)]
+        )
+    print_table(["mode", "event types re-identified", "modelled time"], rows)
+
+    banner("Top motifs of the grid record (2-dim consensus)")
+    result = matrix_profile(ds.measurements, m=150, mode="FP64")
+    rows = [
+        [mo.query_pos, mo.ref_pos, f"{mo.distance:.3f}"]
+        for mo in top_motifs(result, k=2, count=3)
+    ]
+    print_table(["segment", "matches segment", "distance"], rows)
+
+
+def main() -> None:
+    seismic_study()
+    grid_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Exploiting Reduced Precision for GPU-based Time
+Series Mining" (Ju, Raoofy, Yang, Laure, Schulz; IPDPS 2022).
+
+A multi-GPU, reduced-precision multi-dimensional matrix profile library.
+The GPU is *simulated*: kernels execute real numpy arithmetic in the
+requested precision (FP64/FP32/FP16/Mixed/FP16C) while a calibrated
+roofline model over simulated devices, streams and tiles produces the
+modelled execution times the paper's figures report.
+
+Quickstart::
+
+    import numpy as np
+    from repro import matrix_profile
+
+    ts = np.random.default_rng(0).normal(size=(2048, 8))
+    result = matrix_profile(ts, m=64, mode="Mixed", n_tiles=4, n_gpus=2)
+    print(result.profile.shape, result.modeled_time)
+"""
+
+from .core import (
+    MatrixProfileResult,
+    RunConfig,
+    anytime_matrix_profile,
+    compute_multi_tile,
+    compute_single_tile,
+    matrix_profile,
+    model_multi_tile,
+    pan_matrix_profile,
+    plan_tiles,
+)
+from .gpu import A100, SKYLAKE16, V100, GPUSimulator, get_device
+from .precision import PrecisionMode, policy_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "matrix_profile",
+    "anytime_matrix_profile",
+    "pan_matrix_profile",
+    "plan_tiles",
+    "MatrixProfileResult",
+    "RunConfig",
+    "compute_single_tile",
+    "compute_multi_tile",
+    "model_multi_tile",
+    "PrecisionMode",
+    "policy_for",
+    "GPUSimulator",
+    "get_device",
+    "A100",
+    "V100",
+    "SKYLAKE16",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Annotation vectors: guiding the matrix profile with domain knowledge.
+
+The "guided motif search" idea (Dau & Keogh, "Matrix Profile V"): a
+user-supplied annotation vector ``av[j] in [0, 1]`` expresses how
+*interesting* each window is; the corrected matrix profile
+
+    CMP[j] = P[j] + (1 - av[j]) * max(P)
+
+pushes uninteresting windows towards the worst distance so motif/discord
+extraction skips them — without recomputing anything.  Includes the two
+stock annotation generators most often needed in practice: suppressing
+flat (idle) regions and suppressing user-specified intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import MatrixProfileResult
+from ..kernels.layout import validate_series
+
+__all__ = [
+    "apply_annotation",
+    "corrected_profile",
+    "flat_region_annotation",
+    "interval_annotation",
+]
+
+
+def corrected_profile(
+    profile: np.ndarray, annotation: np.ndarray
+) -> np.ndarray:
+    """The corrected profile ``P + (1 - av) * max(P)`` (1-d arrays)."""
+    profile = np.asarray(profile, dtype=np.float64)
+    annotation = np.asarray(annotation, dtype=np.float64)
+    if profile.shape != annotation.shape:
+        raise ValueError(
+            f"annotation shape {annotation.shape} != profile shape {profile.shape}"
+        )
+    if np.any((annotation < 0) | (annotation > 1)):
+        raise ValueError("annotation values must lie in [0, 1]")
+    finite = profile[np.isfinite(profile)]
+    peak = float(finite.max()) if finite.size else 1.0
+    return profile + (1.0 - annotation) * peak
+
+
+def apply_annotation(
+    result: MatrixProfileResult, annotation: np.ndarray, k: int = 1
+) -> np.ndarray:
+    """Corrected k-dimensional profile of a result (for motif extraction
+    with :func:`repro.apps.motif.top_motifs`, pass a result whose profile
+    column you replaced, or rank on the returned array directly)."""
+    return corrected_profile(result.profile_for(k), annotation)
+
+
+def flat_region_annotation(
+    series: np.ndarray, m: int, rel_tol: float = 0.05
+) -> np.ndarray:
+    """Annotation suppressing windows with near-zero variance.
+
+    Idle machinery produces flat telemetry whose z-normalisation
+    amplifies noise into spurious "perfect" matches; this is the standard
+    fix.  Values: 1 for active windows, scaling to 0 as the window's
+    standard deviation falls below ``rel_tol`` times the series'.
+    """
+    arr = validate_series(series)
+    flat = arr.reshape(arr.shape[0], -1)
+    windows = np.lib.stride_tricks.sliding_window_view(flat, m, axis=0)
+    stds = windows.std(axis=-1).mean(axis=1)  # mean over dimensions
+    global_std = float(flat.std()) or 1.0
+    return np.clip(stds / (rel_tol * global_std), 0.0, 1.0)
+
+
+def interval_annotation(
+    n_seg: int, suppressed: "list[tuple[int, int]]"
+) -> np.ndarray:
+    """Annotation of ones with zeros over the given [start, stop) windows
+    (known artefacts, calibration phases, maintenance intervals...)."""
+    av = np.ones(n_seg)
+    for start, stop in suppressed:
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid interval [{start}, {stop})")
+        av[start:min(stop, n_seg)] = 0.0
+    return av

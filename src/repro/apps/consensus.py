@@ -1,0 +1,119 @@
+"""Consensus motifs across a collection of series (Ostinato).
+
+A consensus motif (Kamgar et al., "Matrix Profile XV") is the pattern
+*every* series in a collection contains: the window whose worst-case
+nearest-neighbour distance across all other series (its *radius*) is
+smallest.  The turbine fleet of the paper's case study is the natural
+setting — one startup signature shared by every unit.
+
+The algorithm evaluates, for each candidate window of each series, its
+best match in every other series (via the same z-normalised distance
+machinery as the baselines) and minimises the maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels.layout import validate_series
+
+__all__ = ["ConsensusMotif", "distance_profile", "consensus_motif"]
+
+
+def distance_profile(
+    query_window: np.ndarray, series: np.ndarray, m: int
+) -> np.ndarray:
+    """Z-normalised distances of one (m, d) window against all windows of
+    ``series``; the per-position values average over dimensions."""
+    series = validate_series(series, "series")
+    d = series.shape[1]
+    if query_window.shape != (m, d):
+        raise ValueError(
+            f"query window must have shape ({m}, {d}), got {query_window.shape}"
+        )
+    n_seg = series.shape[0] - m + 1
+    if n_seg < 1:
+        raise ValueError(f"series too short for m={m}")
+    out = np.zeros(n_seg)
+    for k in range(d):
+        q = query_window[:, k].astype(np.float64)
+        q = q - q.mean()
+        q_norm = np.linalg.norm(q)
+        q_unit = q / q_norm if q_norm > 0 else q
+        windows = np.lib.stride_tricks.sliding_window_view(
+            series[:, k].astype(np.float64), m
+        )
+        mu = windows.mean(axis=1, keepdims=True)
+        centered = windows - mu
+        norms = np.linalg.norm(centered, axis=1)
+        safe = np.where(norms == 0, 1.0, norms)
+        corr = (centered @ q_unit) / safe
+        corr = np.where(norms == 0, 0.0, corr)
+        out += np.sqrt(np.maximum(2.0 * m * (1.0 - corr), 0.0))
+    return out / d
+
+
+@dataclass(frozen=True)
+class ConsensusMotif:
+    """The collection-wide consensus pattern."""
+
+    series_id: int  # which series hosts the canonical occurrence
+    position: int
+    m: int
+    radius: float  # worst-case match distance across the collection
+    matches: tuple[tuple[int, int], ...]  # (series_id, position) per series
+
+
+def consensus_motif(
+    collection: "list[np.ndarray]",
+    m: int,
+    candidate_stride: int = 1,
+) -> ConsensusMotif:
+    """Ostinato-style search for the consensus motif of ``collection``.
+
+    ``candidate_stride`` subsamples candidate windows for speed (the
+    radius landscape is smooth; stride ~m/4 loses little).  Exact when 1.
+    """
+    if len(collection) < 2:
+        raise ValueError("need at least two series for a consensus motif")
+    arrays = [validate_series(s, f"series {i}") for i, s in enumerate(collection)]
+    d = arrays[0].shape[1]
+    for i, arr in enumerate(arrays):
+        if arr.shape[1] != d:
+            raise ValueError(f"series {i} has d={arr.shape[1]}, expected {d}")
+        if arr.shape[0] < m:
+            raise ValueError(f"series {i} shorter than m={m}")
+    if candidate_stride < 1:
+        raise ValueError("candidate_stride must be >= 1")
+
+    best: ConsensusMotif | None = None
+    for sid, host in enumerate(arrays):
+        n_seg = host.shape[0] - m + 1
+        for pos in range(0, n_seg, candidate_stride):
+            window = host[pos : pos + m]
+            radius = 0.0
+            matches = [(sid, pos)]
+            alive = True
+            for oid, other in enumerate(arrays):
+                if oid == sid:
+                    continue
+                profile = distance_profile(window, other, m)
+                j = int(np.argmin(profile))
+                dist = float(profile[j])
+                matches.append((oid, j))
+                radius = max(radius, dist)
+                if best is not None and radius >= best.radius:
+                    alive = False  # early abandon: cannot beat the best
+                    break
+            if alive and (best is None or radius < best.radius):
+                best = ConsensusMotif(
+                    series_id=sid,
+                    position=pos,
+                    m=m,
+                    radius=radius,
+                    matches=tuple(sorted(matches)),
+                )
+    assert best is not None
+    return best

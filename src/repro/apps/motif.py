@@ -1,0 +1,96 @@
+"""Motif and discord extraction from matrix profile results.
+
+Utilities for the pattern-mining use cases: top-k motifs (the best-matching
+segment pairs at a chosen dimensionality) and discords (the segments whose
+nearest neighbour is farthest — anomaly candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import MatrixProfileResult
+
+__all__ = ["Motif", "top_motifs", "top_discords"]
+
+
+@dataclass(frozen=True)
+class Motif:
+    """One motif hit: matched (query, reference) segment positions."""
+
+    query_pos: int
+    ref_pos: int
+    distance: float
+    k: int  # dimensionality of the match
+
+
+def top_motifs(
+    result: MatrixProfileResult,
+    k: int = 1,
+    count: int = 3,
+    min_separation: int | None = None,
+) -> list[Motif]:
+    """The ``count`` best k-dimensional motifs, greedily de-duplicated.
+
+    Consecutive query segments match almost identically; hits closer than
+    ``min_separation`` (default m) to an already-selected motif are
+    skipped so the list covers distinct events.
+    """
+    profile = result.profile_for(k).copy()
+    index = result.index_for(k)
+    sep = result.m if min_separation is None else min_separation
+    motifs: list[Motif] = []
+    taken: list[int] = []
+    order = np.argsort(profile, kind="stable")
+    for j in order:
+        if not np.isfinite(profile[j]) or index[j] < 0:
+            continue
+        if any(abs(int(j) - t) < sep for t in taken):
+            continue
+        motifs.append(
+            Motif(
+                query_pos=int(j),
+                ref_pos=int(index[j]),
+                distance=float(profile[j]),
+                k=k,
+            )
+        )
+        taken.append(int(j))
+        if len(motifs) >= count:
+            break
+    return motifs
+
+
+def top_discords(
+    result: MatrixProfileResult,
+    k: int = 1,
+    count: int = 3,
+    min_separation: int | None = None,
+) -> list[Motif]:
+    """The ``count`` strongest k-dimensional discords (largest profile
+    values = worst nearest-neighbour matches), de-duplicated like motifs."""
+    profile = result.profile_for(k)
+    index = result.index_for(k)
+    sep = result.m if min_separation is None else min_separation
+    discords: list[Motif] = []
+    taken: list[int] = []
+    order = np.argsort(profile, kind="stable")[::-1]
+    for j in order:
+        if not np.isfinite(profile[j]) or index[j] < 0:
+            continue
+        if any(abs(int(j) - t) < sep for t in taken):
+            continue
+        discords.append(
+            Motif(
+                query_pos=int(j),
+                ref_pos=int(index[j]),
+                distance=float(profile[j]),
+                k=k,
+            )
+        )
+        taken.append(int(j))
+        if len(discords) >= count:
+            break
+    return discords

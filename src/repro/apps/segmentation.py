@@ -1,0 +1,129 @@
+"""Semantic segmentation from matrix profile indices (FLUSS).
+
+The matrix profile index is more than nearest-neighbour lookup: the *arc*
+from every segment to its match crosses regime boundaries rarely (windows
+match within their own regime), so the number of arcs over each position
+— normalised by the count an ideal single-regime series would produce —
+dips sharply at regime changes.  This is the FLUSS algorithm (Gharghabi
+et al.), the standard matrix-profile companion for detecting when a
+system's behaviour *changes*; it complements the paper's classification
+case study (which labels regimes a reference already knows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.result import MatrixProfileResult
+
+__all__ = [
+    "arc_curve",
+    "corrected_arc_curve",
+    "find_regime_changes",
+    "RegimeSegmentation",
+    "segment_regimes",
+]
+
+
+def arc_curve(index: np.ndarray) -> np.ndarray:
+    """Number of nearest-neighbour arcs crossing each position.
+
+    ``index`` is a 1-d array of match positions (one column of the matrix
+    profile index); entry ``index[j] = i`` contributes an arc over every
+    position strictly between i and j.  Computed in O(n) with a
+    difference array.
+    """
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise ValueError(f"index must be 1-d, got shape {index.shape}")
+    n = index.shape[0]
+    diff = np.zeros(n + 1, dtype=np.int64)
+    for j in range(n):
+        i = int(index[j])
+        if i < 0:
+            continue
+        lo, hi = (i, j) if i < j else (j, i)
+        diff[lo + 1] += 1  # arcs cover the open interval (lo, hi)
+        diff[hi] -= 1
+    return np.cumsum(diff[:-1])
+
+
+def _ideal_arc_counts(n: int) -> np.ndarray:
+    """Expected arc counts for random (uniform) matches: the parabola
+    ``2 * p * (n - p) / n`` over positions p."""
+    p = np.arange(n, dtype=np.float64)
+    return 2.0 * p * (n - p) / n
+
+
+def corrected_arc_curve(index: np.ndarray, excl: int | None = None) -> np.ndarray:
+    """The FLUSS Corrected Arc Curve (CAC), values in [0, 1].
+
+    Low values = few arcs relative to chance = likely regime boundary.
+    The first/last ``excl`` positions (default 5% of n) are pinned to 1 —
+    edge windows have one-sided arcs and would otherwise always dip.
+    """
+    index = np.asarray(index)
+    n = index.shape[0]
+    if n < 4:
+        raise ValueError("need at least 4 segments for a meaningful CAC")
+    excl = max(2, n // 20) if excl is None else excl
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cac = arc_curve(index) / _ideal_arc_counts(n)
+    cac = np.nan_to_num(cac, nan=1.0, posinf=1.0)
+    cac = np.minimum(cac, 1.0)
+    cac[:excl] = 1.0
+    cac[n - excl :] = 1.0
+    return cac
+
+
+def find_regime_changes(
+    cac: np.ndarray, n_regimes: int, exclusion: int
+) -> list[int]:
+    """The ``n_regimes - 1`` deepest CAC minima, greedily non-overlapping.
+
+    ``exclusion`` suppresses further picks within that many positions of
+    an accepted boundary (conventionally the window length m).
+    """
+    if n_regimes < 2:
+        return []
+    cac = np.asarray(cac, dtype=np.float64).copy()
+    boundaries: list[int] = []
+    for _ in range(n_regimes - 1):
+        pos = int(np.argmin(cac))
+        if not np.isfinite(cac[pos]) or cac[pos] >= 1.0:
+            break
+        boundaries.append(pos)
+        lo = max(0, pos - exclusion)
+        hi = min(len(cac), pos + exclusion + 1)
+        cac[lo:hi] = np.inf
+    return sorted(boundaries)
+
+
+@dataclass
+class RegimeSegmentation:
+    """Outcome of a FLUSS run."""
+
+    cac: np.ndarray
+    boundaries: list[int] = field(default_factory=list)
+
+    def regime_of(self, position: int) -> int:
+        """Regime id (0-based, left to right) of a segment position."""
+        return int(np.searchsorted(self.boundaries, position, side="right"))
+
+
+def segment_regimes(
+    result: MatrixProfileResult, n_regimes: int, k: int = 1
+) -> RegimeSegmentation:
+    """FLUSS on a self-join matrix profile result.
+
+    Uses the k-dimensional index column; exclusion between boundaries is
+    the window length m.
+    """
+    index = result.index_for(k)
+    cac = corrected_arc_curve(index)
+    return RegimeSegmentation(
+        cac=cac,
+        boundaries=find_regime_changes(cac, n_regimes, exclusion=result.m),
+    )

@@ -1,0 +1,151 @@
+"""Incremental (streaming) matrix profile against a fixed reference.
+
+Monitoring scenarios (the paper's HPC-ODA and turbine studies) consume
+*live* query data: new samples arrive continuously and each completed
+segment should be matched against the historical reference immediately.
+:class:`StreamingMatrixProfile` supports that pattern — append samples,
+get the per-segment profile/index as soon as each window completes —
+computing each new query segment's distance profile with the same
+precision policy (and rounded arithmetic) as the batch kernels.
+
+Per-append cost is O(n_ref * d * m) via vectorised naive dot products;
+the streaming axis here is the *query*, so there is no recurrence to
+restart and reduced precision only sees the length-m accumulation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import RunConfig
+from ..kernels.layout import to_device_layout, validate_series
+from ..kernels.precalc import PrecalcResult, PrecalcKernel
+from ..kernels.sort_scan import bitonic_sort, fanin_inclusive_scan
+from ..kernels.update import INDEX_DTYPE
+from ..precision.modes import DTYPE_MAX
+
+__all__ = ["StreamingMatrixProfile"]
+
+
+class StreamingMatrixProfile:
+    """Match an unbounded query stream against a fixed reference series.
+
+    Parameters
+    ----------
+    reference:
+        Historical reference series, (n, d) time-major.
+    m:
+        Segment length.
+    config:
+        Precision/device configuration (only the precision policy affects
+        the numerics here).
+    """
+
+    def __init__(self, reference: np.ndarray, m: int, config: RunConfig | None = None):
+        self.config = config or RunConfig()
+        self.policy = self.config.policy
+        reference = validate_series(reference, "reference")
+        if m < 2 or m > reference.shape[0]:
+            raise ValueError(f"invalid m={m} for reference of {reference.shape[0]}")
+        self.m = m
+        self.d = reference.shape[1]
+        self._ref_dev = to_device_layout(reference, self.policy.storage)
+        self.n_ref_seg = self._ref_dev.shape[1] - m + 1
+
+        # Reference-side statistics via the precalculation kernel (self
+        # pairing only to reuse the kernel; query stats are not used).
+        kernel = PrecalcKernel(config=self.config.launch, policy=self.policy)
+        pre: PrecalcResult = kernel.run(self._ref_dev, self._ref_dev, m)
+        dtype = self.policy.compute
+        self._mu_r = pre.mu_r.astype(dtype, copy=False)
+        self._inv_r = pre.inv_r.astype(dtype, copy=False)
+        # Centred reference windows, precomputed once: (d, n_ref_seg, m).
+        windows = np.lib.stride_tricks.sliding_window_view(
+            self._ref_dev.astype(dtype, copy=False), m, axis=1
+        )
+        self._centered_ref = (windows - self._mu_r[:, :, None]).astype(dtype)
+
+        self._buffer: list[np.ndarray] = []  # pending samples, each (d,)
+        self._window: np.ndarray = np.empty((self.d, 0), dtype=dtype)
+        self.profiles: list[np.ndarray] = []  # per completed segment, (d,)
+        self.indices: list[np.ndarray] = []
+
+    @property
+    def n_segments(self) -> int:
+        """Completed query segments so far."""
+        return len(self.profiles)
+
+    def append(self, sample: np.ndarray) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Feed one time sample (shape (d,) or scalar for d=1).
+
+        Returns ``(profile_row, index_row)`` for the newly completed
+        segment once at least m samples have arrived, else ``None``.
+        """
+        sample = np.atleast_1d(np.asarray(sample, dtype=np.float64))
+        if sample.shape != (self.d,):
+            raise ValueError(f"sample must have shape ({self.d},), got {sample.shape}")
+        dtype = self.policy.compute
+        col = sample.astype(dtype)[:, None]
+        self._window = (
+            col if self._window.shape[1] == 0 else np.concatenate(
+                [self._window, col], axis=1
+            )
+        )
+        if self._window.shape[1] > self.m:
+            self._window = self._window[:, -self.m :]
+        if self._window.shape[1] < self.m:
+            return None
+        return self._evaluate_segment()
+
+    def extend(self, samples: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Feed many samples; returns stacked (profiles, indices) for the
+        segments completed during this call (possibly empty arrays)."""
+        samples = validate_series(samples, "samples")
+        outs = [self.append(row) for row in samples]
+        done = [o for o in outs if o is not None]
+        if not done:
+            return (np.empty((0, self.d)), np.empty((0, self.d), dtype=INDEX_DTYPE))
+        return (np.stack([p for p, _ in done]), np.stack([i for _, i in done]))
+
+    def _evaluate_segment(self) -> tuple[np.ndarray, np.ndarray]:
+        dtype = self.policy.compute
+        seg = self._window  # (d, m)
+        with np.errstate(over="ignore", invalid="ignore"):
+            mu = (seg.sum(axis=1, dtype=dtype) / dtype.type(self.m)).astype(dtype)
+            centered = (seg - mu[:, None]).astype(dtype)
+            energy = (centered * centered).astype(dtype).sum(axis=1, dtype=dtype)
+            tiny = np.finfo(dtype).tiny
+            inv_q = (dtype.type(1.0) / np.sqrt(np.maximum(energy, tiny))).astype(dtype)
+
+            # QT against every reference window: rounded per-step FMA chain.
+            qt = np.zeros((self.d, self.n_ref_seg), dtype=dtype)
+            for t in range(self.m):
+                term = (self._centered_ref[:, :, t] * centered[:, t : t + 1]).astype(
+                    dtype
+                )
+                qt = (qt + term).astype(dtype)
+            corr = ((qt * self._inv_r).astype(dtype) * inv_q[:, None]).astype(dtype)
+            gap = np.maximum((dtype.type(1.0) - corr).astype(dtype), dtype.type(0))
+            dist = np.sqrt((dtype.type(2 * self.m) * gap).astype(dtype)).astype(dtype)
+        limit = dtype.type(DTYPE_MAX[np.dtype(dtype)])
+        dist = np.where(np.isfinite(dist), dist, limit).astype(dtype)
+
+        # mSTAMP dimension connection for this single query segment: the
+        # plane is (d, n_ref_seg); sort along dims, fan-in average, then
+        # min/argmin across reference positions.
+        sorted_plane = bitonic_sort(dist)
+        scanned = fanin_inclusive_scan(sorted_plane, dtype)
+        divisors = np.arange(1, self.d + 1, dtype=np.float64)[:, None].astype(dtype)
+        with np.errstate(over="ignore", invalid="ignore"):
+            averaged = (scanned / divisors).astype(dtype)
+        profile_row = averaged.min(axis=1).astype(np.float64)
+        index_row = averaged.argmin(axis=1).astype(INDEX_DTYPE)
+        self.profiles.append(profile_row)
+        self.indices.append(index_row)
+        return profile_row, index_row
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """All completed segments as (n_seg, d) arrays (batch layout)."""
+        if not self.profiles:
+            return (np.empty((0, self.d)), np.empty((0, self.d), dtype=INDEX_DTYPE))
+        return np.stack(self.profiles), np.stack(self.indices)

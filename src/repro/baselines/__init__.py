@@ -1,0 +1,11 @@
+"""CPU reference implementations: brute-force oracle and mSTAMP/(MP)^N."""
+
+from .brute_force import brute_force_mdmp, znormalized_distance_matrix
+from .mstamp import mstamp, precompute_statistics
+
+__all__ = [
+    "brute_force_mdmp",
+    "znormalized_distance_matrix",
+    "mstamp",
+    "precompute_statistics",
+]

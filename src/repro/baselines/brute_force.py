@@ -1,0 +1,93 @@
+"""Brute-force multi-dimensional matrix profile (validation oracle).
+
+Evaluates every pairwise z-normalised Euclidean distance directly from its
+definition — O(n^2 * m * d) work, no streaming recurrence, no correlation
+shortcut — then applies the mSTAMP dimension connection (sort, inclusive
+average, column-wise min).  Far too slow for real sizes but numerically
+transparent: the integration tests validate every other implementation
+against it on small inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.layout import validate_series
+
+__all__ = ["brute_force_mdmp", "znormalized_distance_matrix"]
+
+
+def _znormalize_segments(series_1d: np.ndarray, m: int) -> np.ndarray:
+    """All z-normalised length-m segments of a 1-d series, shape (n_seg, m).
+
+    Flat segments (zero std) normalise to all-zeros, the standard
+    convention (their distance to anything is then sqrt(m) -ish via the
+    other operand).
+    """
+    windows = np.lib.stride_tricks.sliding_window_view(series_1d, m)
+    mu = windows.mean(axis=1, keepdims=True)
+    sigma = windows.std(axis=1, keepdims=True)
+    safe = np.where(sigma == 0, 1.0, sigma)
+    out = (windows - mu) / safe
+    return np.where(sigma == 0, 0.0, out)
+
+
+def znormalized_distance_matrix(
+    reference: np.ndarray, query: np.ndarray, m: int
+) -> np.ndarray:
+    """The full 3-d distance matrix D[i, j, k] (reference i, query j, dim k)."""
+    reference = validate_series(reference, "reference")
+    query = validate_series(query, "query")
+    if reference.shape[1] != query.shape[1]:
+        raise ValueError("dimensionality mismatch")
+    d = reference.shape[1]
+    n_r = reference.shape[0] - m + 1
+    n_q = query.shape[0] - m + 1
+    if n_r < 1 or n_q < 1:
+        raise ValueError(f"m={m} too long for inputs")
+    dist = np.empty((n_r, n_q, d), dtype=np.float64)
+    for k in range(d):
+        ref_segs = _znormalize_segments(reference[:, k].astype(np.float64), m)
+        qry_segs = _znormalize_segments(query[:, k].astype(np.float64), m)
+        # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b ; z-normalised segments all
+        # have squared norm m (or 0 for flat segments).
+        dots = ref_segs @ qry_segs.T
+        sq_r = np.sum(ref_segs**2, axis=1)[:, None]
+        sq_q = np.sum(qry_segs**2, axis=1)[None, :]
+        dist[:, :, k] = np.sqrt(np.maximum(sq_r + sq_q - 2.0 * dots, 0.0))
+    return dist
+
+
+def brute_force_mdmp(
+    reference: np.ndarray,
+    query: np.ndarray | None,
+    m: int,
+    exclusion_zone: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multi-dimensional matrix profile by direct evaluation.
+
+    Returns ``(P, I)`` with shapes ``(n_q_seg, d)``; self-join when
+    ``query`` is None (callers supply the exclusion zone in that case,
+    conventionally ceil(m/4)).
+    """
+    reference = validate_series(reference, "reference")
+    self_join = query is None
+    query_arr = reference if self_join else validate_series(query, "query")
+    dist = znormalized_distance_matrix(reference, query_arr, m)
+    n_r, n_q, d = dist.shape
+
+    if self_join and exclusion_zone is None:
+        exclusion_zone = int(np.ceil(m / 4))
+    if exclusion_zone is not None:
+        rows = np.arange(n_r)[:, None]
+        cols = np.arange(n_q)[None, :]
+        excluded = np.abs(rows - cols) <= exclusion_zone
+        dist = np.where(excluded[:, :, None], np.inf, dist)
+
+    # mSTAMP dimension connection: sort over dims, inclusive average.
+    dist_sorted = np.sort(dist, axis=2)
+    inclusive = np.cumsum(dist_sorted, axis=2) / np.arange(1, d + 1)
+    profile = inclusive.min(axis=0).astype(np.float64)  # (n_q, d)
+    index = inclusive.argmin(axis=0).astype(np.int64)
+    index[~np.isfinite(profile)] = -1
+    return profile, index

@@ -1,0 +1,124 @@
+"""CPU reference: mSTAMP / (MP)^N-style multi-dimensional matrix profile.
+
+This is the "state-of-the-art CPU-based implementation" role of the paper's
+evaluation: FP64 throughout, numpy-vectorised, using the mean-centred
+streaming dot product of STOMP (Eq. 1), ``np.sort`` for the dimension sort
+and a sequential ``np.cumsum`` for the inclusive averaging.  It is both the
+accuracy ground truth for all reduced-precision comparisons and the
+comparator whose modelled runtime anchors Fig. 6.
+
+The code path is deliberately *independent* of the GPU kernels (library
+sort instead of the bitonic network, sequential instead of fan-in scan,
+plain ufuncs instead of the rounded-FMA helpers) so agreement between the
+two is a meaningful cross-validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.layout import validate_series
+
+__all__ = ["mstamp", "precompute_statistics"]
+
+
+def precompute_statistics(series: np.ndarray, m: int):
+    """Windowed means, inverse centred norms and df/dg vectors (FP64).
+
+    ``series`` is (n, d) host layout.  Returns arrays of shape (n_seg, d).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    n, d = series.shape
+    n_seg = n - m + 1
+    if n_seg < 1:
+        raise ValueError(f"m={m} too long for series of length {n}")
+
+    zeros = np.zeros((1, d))
+    cs = np.concatenate([zeros, np.cumsum(series, axis=0)], axis=0)
+    cs2 = np.concatenate([zeros, np.cumsum(series * series, axis=0)], axis=0)
+    win_sum = cs[m : m + n_seg] - cs[:n_seg]
+    win_sq = cs2[m : m + n_seg] - cs2[:n_seg]
+    mu = win_sum / m
+    cent_sq = np.maximum(win_sq - m * mu * mu, np.finfo(np.float64).tiny)
+    inv = 1.0 / np.sqrt(cent_sq)
+
+    df = np.zeros((n_seg, d))
+    dg = np.zeros((n_seg, d))
+    if n_seg > 1:
+        head = series[m : m + n_seg - 1]
+        tail = series[: n_seg - 1]
+        df[1:] = (head - tail) / 2.0
+        dg[1:] = (head - mu[1:]) + (tail - mu[:-1])
+    return mu, inv, df, dg
+
+
+def _centered_first_row(
+    fixed: np.ndarray, fixed_mu: np.ndarray, series: np.ndarray, mu: np.ndarray, m: int
+) -> np.ndarray:
+    """QT of one fixed segment against all segments, per dimension.
+
+    ``fixed`` is (m, d); returns (n_seg, d).
+    """
+    n_seg = mu.shape[0]
+    windows = np.lib.stride_tricks.sliding_window_view(series, m, axis=0)[:n_seg]
+    centered_fixed = fixed - fixed_mu  # (m, d)
+    # windows: (n_seg, d, m); subtract window means and contract over m.
+    centered_windows = windows - mu[:, :, None]
+    return np.einsum("jdm,md->jd", centered_windows, centered_fixed)
+
+
+def mstamp(
+    reference: np.ndarray,
+    query: np.ndarray | None,
+    m: int,
+    exclusion_zone: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multi-dimensional matrix profile, CPU FP64 reference.
+
+    Returns ``(P, I)`` of shape ``(n_q_seg, d)``: ``P[j, k]`` is the
+    (k+1)-dimensional profile value of query segment ``j`` and ``I[j, k]``
+    the matching reference position.  ``query=None`` computes a self-join
+    (default exclusion zone ceil(m/4)).
+    """
+    reference = validate_series(reference, "reference")
+    self_join = query is None
+    query_arr = reference if self_join else validate_series(query, "query")
+    if reference.shape[1] != query_arr.shape[1]:
+        raise ValueError("dimensionality mismatch")
+    if self_join and exclusion_zone is None:
+        exclusion_zone = int(np.ceil(m / 4))
+
+    ref = np.asarray(reference, dtype=np.float64)
+    qry = np.asarray(query_arr, dtype=np.float64)
+    d = ref.shape[1]
+    n_r_seg = ref.shape[0] - m + 1
+    n_q_seg = qry.shape[0] - m + 1
+
+    mu_r, inv_r, df_r, dg_r = precompute_statistics(ref, m)
+    mu_q, inv_q, df_q, dg_q = precompute_statistics(qry, m)
+    qt_row0 = _centered_first_row(ref[:m], mu_r[0], qry, mu_q, m)  # (n_q, d)
+    qt_col0 = _centered_first_row(qry[:m], mu_q[0], ref, mu_r, m)  # (n_r, d)
+
+    two_m = 2.0 * m
+    profile = np.full((n_q_seg, d), np.inf)
+    index = np.full((n_q_seg, d), -1, dtype=np.int64)
+    cols = np.arange(n_q_seg)
+    divisors = np.arange(1, d + 1, dtype=np.float64)
+
+    qt = qt_row0.copy()
+    for i in range(n_r_seg):
+        if i > 0:
+            qt[1:] = qt[:-1] + df_r[i] * dg_q[1:] + df_q[1:] * dg_r[i]
+            qt[0] = qt_col0[i]
+        corr = qt * inv_r[i] * inv_q
+        dist = np.sqrt(two_m * np.maximum(1.0 - corr, 0.0))
+        if exclusion_zone is not None:
+            dist = np.where(
+                (np.abs(cols - i) <= exclusion_zone)[:, None], np.inf, dist
+            )
+        inclusive = np.cumsum(np.sort(dist, axis=1), axis=1) / divisors
+        improved = inclusive < profile
+        profile[improved] = inclusive[improved]
+        index[improved] = i
+
+    return profile, index

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users a zero-code path to the main workflows:
+
+* ``profile``   — compute a matrix profile for a CSV time series
+* ``demo``      — run the synthetic quickstart (motif discovery)
+* ``model``     — print modelled execution times for a problem size
+* ``devices``   — list the simulated devices and their specs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core.api import matrix_profile
+from .core.config import RunConfig
+from .core.multi_tile import model_multi_tile
+from .gpu.device import DEVICES
+from .precision.modes import PrecisionMode
+from .reporting import format_seconds, print_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reduced-precision multi-GPU multi-dimensional matrix "
+        "profile (IPDPS 2022 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="matrix profile of a CSV time series")
+    p.add_argument("csv", help="input file; one row per sample, one column per dim")
+    p.add_argument("--query", help="optional second CSV for an AB-join")
+    p.add_argument("-m", "--window", type=int, required=True, help="segment length")
+    p.add_argument("--mode", default="FP64", help="precision mode (default FP64)")
+    p.add_argument("--device", default="A100", help="simulated device")
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--output", help="write P and I as CSV to this prefix")
+    p.add_argument("--top", type=int, default=3, help="motifs to print")
+    p.add_argument(
+        "--report", action="store_true",
+        help="print the Nsight-style kernel profiling report",
+    )
+
+    d = sub.add_parser("demo", help="synthetic motif-discovery demo")
+    d.add_argument("--mode", default="Mixed")
+    d.add_argument("-n", type=int, default=2048)
+    d.add_argument("-d", "--dims", type=int, default=8)
+    d.add_argument("-m", "--window", type=int, default=64)
+
+    mo = sub.add_parser("model", help="modelled execution time for a problem size")
+    mo.add_argument("-n", type=int, required=True, help="number of segments")
+    mo.add_argument("-d", "--dims", type=int, required=True)
+    mo.add_argument("-m", "--window", type=int, default=64)
+    mo.add_argument("--device", default="A100")
+    mo.add_argument("--tiles", type=int, default=1)
+    mo.add_argument("--gpus", type=int, default=1)
+
+    sub.add_parser("devices", help="list simulated devices")
+
+    e = sub.add_parser("experiments", help="list the paper's experiments")
+    e.add_argument("--show", metavar="ID", help="print one archived result table")
+
+    v = sub.add_parser(
+        "validate", help="cross-check all implementations on random data"
+    )
+    v.add_argument("-n", type=int, default=200, help="samples per series")
+    v.add_argument("-d", "--dims", type=int, default=3)
+    v.add_argument("-m", "--window", type=int, default=16)
+    v.add_argument("--seed", type=int, default=0)
+
+    pl = sub.add_parser("plan", help="plan the tile count for a problem")
+    pl.add_argument("-n", type=int, required=True, help="segments per axis")
+    pl.add_argument("-d", "--dims", type=int, required=True)
+    pl.add_argument("-m", "--window", type=int, default=64)
+    pl.add_argument("--mode", default="FP16")
+    pl.add_argument("--device", default="A100")
+    pl.add_argument("--target-error", type=float, default=None)
+    return parser
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    data = np.loadtxt(args.csv, delimiter=",", ndmin=2)
+    query = np.loadtxt(args.query, delimiter=",", ndmin=2) if args.query else None
+    result = matrix_profile(
+        data,
+        query,
+        m=args.window,
+        mode=args.mode,
+        device=args.device,
+        n_tiles=args.tiles,
+        n_gpus=args.gpus,
+    )
+    print(f"profile: {result.profile.shape[0]} segments x {result.d} dims "
+          f"({result.mode}, {result.n_tiles} tiles, {result.n_gpus} GPU(s))")
+    print(f"modelled device time: {format_seconds(result.modeled_time)}")
+    from .apps.motif import top_motifs
+
+    rows = [
+        [t + 1, mo.query_pos, mo.ref_pos, mo.distance]
+        for t, mo in enumerate(top_motifs(result, k=1, count=args.top))
+    ]
+    print_table(["#", "query pos", "match pos", "distance"], rows)
+    if args.report:
+        from .gpu.profiler import render_report
+
+        print()
+        print(render_report(result, args.device))
+    if args.output:
+        np.savetxt(f"{args.output}_profile.csv", result.profile, delimiter=",")
+        np.savetxt(f"{args.output}_index.csv", result.index, fmt="%d", delimiter=",")
+        print(f"wrote {args.output}_profile.csv and {args.output}_index.csv")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(0)
+    n, d, m = args.n, args.dims, args.window
+    ref = rng.normal(size=(n, d))
+    qry = rng.normal(size=(n, d))
+    wave = 5.0 * np.sin(np.linspace(0, 4 * np.pi, m))
+    ref[n // 5 : n // 5 + m, 0] += wave
+    qry[3 * n // 5 : 3 * n // 5 + m, 0] += wave
+    result = matrix_profile(ref, qry, m=m, mode=args.mode)
+    j, i = result.motif_location(1)
+    print(f"planted motif: query {3 * n // 5} <-> reference {n // 5}")
+    print(f"found motif:   query {j} <-> reference {i} ({args.mode})")
+    print(f"modelled A100 time: {format_seconds(result.modeled_time)}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .gpu.energy import estimate_energy
+
+    rows = []
+    for mode in PrecisionMode:
+        cfg = RunConfig(
+            mode=mode, device=args.device, n_tiles=args.tiles, n_gpus=args.gpus
+        )
+        r = model_multi_tile(args.n, args.dims, args.window, cfg)
+        energy = estimate_energy(r, args.device)
+        rows.append(
+            [
+                mode.value,
+                format_seconds(r.timeline.makespan),
+                format_seconds(r.merge_time),
+                format_seconds(r.modeled_time),
+                f"{energy.kilojoules:.2f} kJ",
+            ]
+        )
+    print_table(["mode", "GPU time", "merge", "total", "energy"], rows)
+    return 0
+
+
+def _cmd_devices(_: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.kind,
+            spec.n_sms,
+            f"{spec.peak_flops_fp64 / 1e12:.1f}",
+            f"{spec.mem_bandwidth / 1e9:.0f}",
+            f"{spec.mem_capacity / 1024**3:.0f}",
+            spec.max_streams,
+        ]
+        for spec in DEVICES.values()
+    ]
+    print_table(
+        ["device", "kind", "SMs/cores", "FP64 TFLOP/s", "BW GB/s", "mem GiB", "streams"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS, results_path
+
+    if args.show:
+        path = results_path(args.show)
+        if not path.exists():
+            print(f"no archived result at {path}; run "
+                  f"`pytest benchmarks/ --benchmark-only` first")
+            return 1
+        print(path.read_text())
+        return 0
+    rows = [
+        [e.exp_id, e.paper_item, e.kind, e.title] for e in EXPERIMENTS
+    ]
+    print_table(["id", "paper", "kind", "experiment"], rows)
+    print("regenerate everything with: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .core.planner import plan_tiles
+
+    plan = plan_tiles(
+        args.n,
+        args.n,
+        args.dims,
+        args.window,
+        mode=args.mode,
+        device=args.device,
+        target_error=args.target_error,
+    )
+    rows = [
+        ["tiles", plan.n_tiles],
+        ["grid", f"{plan.grid[0]} x {plan.grid[1]}"],
+        ["tile size", f"{plan.tile_rows} x {plan.tile_cols} segments"],
+        ["tile memory", f"{plan.tile_bytes / 1024**2:.1f} MiB"],
+        ["limited by", plan.limited_by],
+        ["predicted QT error bound", f"{plan.predicted_error_bound:.3g}"],
+    ]
+    print_table(["property", "value"], rows)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validation import validate_implementations
+
+    rng = np.random.default_rng(args.seed)
+    ref = rng.normal(size=(args.n, args.dims)).cumsum(axis=0)
+    qry = rng.normal(size=(args.n, args.dims)).cumsum(axis=0)
+    report = validate_implementations(ref, qry, args.window)
+    print(report.to_table())
+    print()
+    print("all implementations agree" if report.all_ok else "MISMATCH detected")
+    return 0 if report.all_ok else 1
+
+
+_COMMANDS = {
+    "profile": _cmd_profile,
+    "demo": _cmd_demo,
+    "model": _cmd_model,
+    "devices": _cmd_devices,
+    "experiments": _cmd_experiments,
+    "plan": _cmd_plan,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's core contribution: single-tile and multi-tile/multi-GPU
+multi-dimensional matrix profile with reduced-precision modes."""
+
+from .anytime import AnytimeState, anytime_matrix_profile, convergence_curve
+from .api import matrix_profile
+from .config import RunConfig, default_exclusion_zone
+from .multi_tile import compute_multi_tile, merge_tile_outputs, model_multi_tile
+from .pan import PanMatrixProfile, geometric_window_range, pan_matrix_profile
+from .planner import TilePlan, plan_tiles, tile_memory_bytes
+from .result import MatrixProfileResult
+from .scrimp import diagonal_count, diagonal_matrix_profile
+from .single_tile import (
+    TileOutput,
+    compute_single_tile,
+    run_tile,
+    schedule_tile,
+    tile_timing_from_output,
+)
+from .tiling import Tile, assign_tiles, compute_tile_list, tile_grid_shape
+
+__all__ = [
+    "AnytimeState",
+    "anytime_matrix_profile",
+    "convergence_curve",
+    "TilePlan",
+    "plan_tiles",
+    "tile_memory_bytes",
+    "diagonal_count",
+    "diagonal_matrix_profile",
+    "PanMatrixProfile",
+    "geometric_window_range",
+    "pan_matrix_profile",
+    "matrix_profile",
+    "RunConfig",
+    "default_exclusion_zone",
+    "MatrixProfileResult",
+    "TileOutput",
+    "compute_single_tile",
+    "compute_multi_tile",
+    "model_multi_tile",
+    "merge_tile_outputs",
+    "run_tile",
+    "schedule_tile",
+    "tile_timing_from_output",
+    "Tile",
+    "assign_tiles",
+    "compute_tile_list",
+    "tile_grid_shape",
+]

@@ -1,0 +1,74 @@
+"""Run configuration: launch parameters, devices, tiling and precision.
+
+Bundles the configuration surface of Pseudocode 1 (``s_block``, ``s_grid``)
+and Pseudocode 2 (``n_tiles``, ``n_gpu``) with the precision mode and the
+join semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.kernel import LaunchConfig
+from ..precision.modes import PrecisionMode, PrecisionPolicy, policy_for
+
+__all__ = ["RunConfig", "default_exclusion_zone"]
+
+
+def default_exclusion_zone(m: int) -> int:
+    """STUMPY's convention for self-join trivial-match exclusion: ceil(m/4)."""
+    return int(math.ceil(m / 4))
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Complete configuration of a matrix profile run.
+
+    Parameters mirror the tuning knobs of the paper: launch configuration
+    (tuned per device architecture), number of tiles and GPUs, stream count,
+    and precision mode.
+    """
+
+    mode: PrecisionMode = PrecisionMode.FP64
+    device: DeviceSpec = None  # type: ignore[assignment]
+    launch: LaunchConfig = None  # type: ignore[assignment]
+    n_tiles: int = 1
+    n_gpus: int = 1
+    n_streams: int | None = None
+    exclusion_zone: int | None = None  # None => default for self-joins
+    #: "bitonic" (the paper's cooperative kernel) or "batch" (the rejected
+    #: one-thread-per-sort alternative, kept as an executable ablation).
+    sort_strategy: str = "bitonic"
+    #: Skip the sort/scan kernel entirely when d == 1 (it is the identity
+    #: there) — the fast path the turbine case study (d=1) benefits from.
+    fast_path_1d: bool = True
+
+    def __post_init__(self) -> None:
+        # Resolve defaults for device/launch at construction so the frozen
+        # dataclass always carries concrete values.
+        if self.device is None:
+            object.__setattr__(self, "device", get_device("A100"))
+        else:
+            object.__setattr__(self, "device", get_device(self.device))
+        if self.launch is None:
+            object.__setattr__(self, "launch", LaunchConfig.tuned_for(self.device))
+        object.__setattr__(self, "mode", PrecisionMode.parse(self.mode))
+        if self.n_tiles < 1:
+            raise ValueError(f"n_tiles must be >= 1, got {self.n_tiles}")
+        if self.n_gpus < 1:
+            raise ValueError(f"n_gpus must be >= 1, got {self.n_gpus}")
+        if self.sort_strategy not in ("bitonic", "batch"):
+            raise ValueError(
+                f"sort_strategy must be 'bitonic' or 'batch', got "
+                f"{self.sort_strategy!r}"
+            )
+
+    @property
+    def policy(self) -> PrecisionPolicy:
+        return policy_for(self.mode)
+
+    def with_(self, **changes) -> "RunConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

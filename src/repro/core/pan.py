@@ -1,0 +1,115 @@
+"""Pan matrix profile: the profile across *all* window lengths.
+
+Choosing ``m`` is the matrix profile's one awkward hyper-parameter.  The
+pan matrix profile (Madrid et al., "Matrix Profile XX") computes profiles
+over a geometric range of window lengths and normalises them onto a
+common [0, 1] scale (distances grow like sqrt(2m), so raw profiles are
+not comparable across m).  The result answers "is there a motif at *any*
+length?" and exposes each motif's natural duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .api import matrix_profile
+from .config import RunConfig
+from .result import MatrixProfileResult
+
+__all__ = ["PanMatrixProfile", "pan_matrix_profile", "geometric_window_range"]
+
+
+def geometric_window_range(m_min: int, m_max: int, count: int = 8) -> list[int]:
+    """``count`` geometrically spaced window lengths in [m_min, m_max]."""
+    if m_min < 2 or m_max < m_min:
+        raise ValueError(f"invalid window range [{m_min}, {m_max}]")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    raw = np.geomspace(m_min, m_max, count)
+    windows = sorted({int(round(v)) for v in raw})
+    return windows
+
+
+@dataclass
+class PanMatrixProfile:
+    """Profiles per window length, on a common normalised scale."""
+
+    windows: list[int]
+    results: dict[int, MatrixProfileResult] = field(default_factory=dict)
+    k: int = 1
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def normalized_profile(self, m: int) -> np.ndarray:
+        """Profile at window m scaled to [0, 1]: D / (2*sqrt(m)) clipped.
+
+        2*sqrt(m) is the z-normalised distance maximum, so 0 = identical,
+        1 = anti-correlated — comparable across window lengths.
+        """
+        result = self.results[m]
+        return np.clip(result.profile_for(self.k) / (2.0 * np.sqrt(m)), 0.0, 1.0)
+
+    def best_window_for(self, position: int) -> tuple[int, float]:
+        """(window length, normalised distance) minimising at ``position``.
+
+        Longer windows have fewer positions; windows whose profile no
+        longer covers ``position`` are skipped.
+        """
+        best_m, best_v = -1, np.inf
+        for m in self.windows:
+            prof = self.normalized_profile(m)
+            if position < prof.shape[0] and prof[position] < best_v:
+                best_m, best_v = m, float(prof[position])
+        if best_m < 0:
+            raise ValueError(f"position {position} outside every profile")
+        return best_m, best_v
+
+    def global_motif(self) -> tuple[int, int, int]:
+        """(window length, query position, match position) of the best
+        normalised match anywhere in the pan profile."""
+        best = None
+        for m in self.windows:
+            prof = self.normalized_profile(m)
+            j = int(np.argmin(prof))
+            candidate = (float(prof[j]), m, j)
+            if best is None or candidate < best:
+                best = candidate
+        _, m, j = best
+        return m, j, int(self.results[m].index_for(self.k)[j])
+
+
+def pan_matrix_profile(
+    reference: np.ndarray,
+    query: np.ndarray | None = None,
+    windows: "list[int] | None" = None,
+    m_min: int = 8,
+    m_max: int = 128,
+    n_windows: int = 6,
+    config: RunConfig | None = None,
+    k: int = 1,
+) -> PanMatrixProfile:
+    """Compute the pan matrix profile.
+
+    ``windows`` overrides the geometric range.  Each window length runs
+    through the full (simulated-GPU) pipeline with the given config, so
+    precision modes and tiling apply per-layer.
+    """
+    config = config or RunConfig()
+    if windows is None:
+        windows = geometric_window_range(m_min, m_max, n_windows)
+    pan = PanMatrixProfile(windows=list(windows), k=k)
+    for m in pan.windows:
+        pan.results[m] = matrix_profile(
+            reference,
+            query,
+            m=m,
+            mode=config.mode,
+            device=config.device,
+            n_tiles=config.n_tiles,
+            n_gpus=config.n_gpus,
+        )
+    return pan

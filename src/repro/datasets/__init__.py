@@ -1,0 +1,65 @@
+"""Dataset generators: synthetic stress tests (Fig. 2/3/7) and substitutes
+for the three real-world case studies (HPC-ODA, GIAB genome, gas turbines)."""
+
+from .applications import (
+    GRID_EVENT_TYPES,
+    PMUDataset,
+    SeismicDataset,
+    make_pmu_dataset,
+    make_seismic_dataset,
+)
+from .genome import ENCODING, GenomeDataset, encode_bases, make_genome_dataset
+from .music import PITCH_CLASSES, ChromaSong, make_chroma_song
+from .hpcoda import (
+    APPLICATION_CLASSES,
+    SENSOR_NAMES,
+    HPCODataset,
+    make_hpcoda_dataset,
+)
+from .patterns import PATTERN_NAMES, all_patterns, generate_pattern
+from .synthetic import (
+    EmbeddedMotif,
+    StressDataset,
+    make_stress_dataset,
+    noise_series,
+)
+from .turbine import (
+    PAIR_CATEGORIES,
+    PairCategory,
+    TurbineSeries,
+    make_turbine_pairs,
+    make_turbine_series,
+    startup_pattern,
+)
+
+__all__ = [
+    "GRID_EVENT_TYPES",
+    "PMUDataset",
+    "SeismicDataset",
+    "make_pmu_dataset",
+    "make_seismic_dataset",
+    "PITCH_CLASSES",
+    "ChromaSong",
+    "make_chroma_song",
+    "PATTERN_NAMES",
+    "all_patterns",
+    "generate_pattern",
+    "EmbeddedMotif",
+    "StressDataset",
+    "make_stress_dataset",
+    "noise_series",
+    "APPLICATION_CLASSES",
+    "SENSOR_NAMES",
+    "HPCODataset",
+    "make_hpcoda_dataset",
+    "ENCODING",
+    "GenomeDataset",
+    "encode_bases",
+    "make_genome_dataset",
+    "PAIR_CATEGORIES",
+    "PairCategory",
+    "TurbineSeries",
+    "make_turbine_pairs",
+    "make_turbine_series",
+    "startup_pattern",
+]

@@ -1,0 +1,126 @@
+"""Synthetic genome sequences for the GIAB case study (Section VI-B).
+
+The paper analyses Genome-in-a-Bottle data (Chinese trio vs GRCh37): 16
+chromosomes are encoded as a 16-dimensional series with the mapping
+A->1, C->2, T->3, G->4 and mined with n=2^18, d=2^4, m=2^7 (m chosen at
+the shortest practical gene length).  We cannot download GIAB, so this
+module generates synthetic chromosomes: i.i.d. base soup with embedded
+"genes" — conserved subsequences planted in both the reference and query
+genomes (with optional point mutations, mimicking variant calls) — which
+is exactly the repeated-pattern structure matrix profile mining exploits.
+
+The small alphabet {1, 2, 3, 4} keeps every value exactly representable
+even in FP16, which is why the paper highlights DNA mining as especially
+amenable to reduced precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ENCODING", "encode_bases", "GenomeDataset", "make_genome_dataset"]
+
+#: The paper's transformation relation (Section VI-B).
+ENCODING = {"A": 1.0, "C": 2.0, "T": 3.0, "G": 4.0}
+
+_BASES = np.array(["A", "C", "T", "G"])
+_CODES = np.array([ENCODING[b] for b in _BASES])
+
+
+def encode_bases(sequence: str) -> np.ndarray:
+    """Encode an ACTG string into the paper's numeric series."""
+    try:
+        return np.array([ENCODING[b] for b in sequence], dtype=np.float64)
+    except KeyError as exc:
+        raise ValueError(f"unknown base {exc.args[0]!r}; expected A/C/T/G") from None
+
+
+@dataclass(frozen=True)
+class PlantedGene:
+    """Ground truth for one conserved subsequence pair."""
+
+    chromosome: int
+    ref_pos: int
+    query_pos: int
+    length: int
+    mutations: int
+
+
+@dataclass
+class GenomeDataset:
+    """Encoded reference/query genomes with planted-gene ground truth."""
+
+    reference: np.ndarray  # (n, d) encoded chromosomes
+    query: np.ndarray
+    m: int
+    genes: list[PlantedGene] = field(default_factory=list)
+
+    @property
+    def d(self) -> int:
+        return self.reference.shape[1]
+
+
+def _random_codes(n: int, rng: np.random.Generator) -> np.ndarray:
+    return _CODES[rng.integers(0, 4, size=n)]
+
+
+def make_genome_dataset(
+    n: int = 4096,
+    d: int = 16,
+    m: int = 128,
+    genes_per_chromosome: int = 2,
+    mutation_rate: float = 0.01,
+    seed: int = 0,
+) -> GenomeDataset:
+    """Generate ``d`` chromosome pairs with conserved genes.
+
+    Each chromosome gets ``genes_per_chromosome`` genes of length ``m``
+    planted at random non-overlapping loci in both genomes; the query copy
+    carries point mutations at ``mutation_rate`` (substituted bases),
+    modelling the variants between the GIAB trio member and GRCh37.
+    """
+    if n < 4 * m:
+        raise ValueError(f"n={n} too small for gene length m={m}")
+    rng = np.random.default_rng(seed)
+    reference = np.empty((n, d))
+    query = np.empty((n, d))
+    genes: list[PlantedGene] = []
+
+    for k in range(d):
+        reference[:, k] = _random_codes(n, rng)
+        query[:, k] = _random_codes(n, rng)
+        used_r: list[int] = []
+        used_q: list[int] = []
+        for _ in range(genes_per_chromosome):
+            gene = _random_codes(m, rng)
+            r_pos = _draw_locus(rng, n, m, used_r)
+            q_pos = _draw_locus(rng, n, m, used_q)
+            used_r.append(r_pos)
+            used_q.append(q_pos)
+            reference[r_pos : r_pos + m, k] = gene
+            mutated = gene.copy()
+            mut_sites = rng.random(m) < mutation_rate
+            mutated[mut_sites] = _random_codes(int(mut_sites.sum()), rng)
+            query[q_pos : q_pos + m, k] = mutated
+            genes.append(
+                PlantedGene(
+                    chromosome=k,
+                    ref_pos=r_pos,
+                    query_pos=q_pos,
+                    length=m,
+                    mutations=int(mut_sites.sum()),
+                )
+            )
+    return GenomeDataset(reference=reference, query=query, m=m, genes=genes)
+
+
+def _draw_locus(
+    rng: np.random.Generator, n: int, m: int, used: list[int], max_tries: int = 1000
+) -> int:
+    for _ in range(max_tries):
+        pos = int(rng.integers(0, n - m))
+        if all(abs(pos - u) >= 2 * m for u in used):
+            return pos
+    raise ValueError("could not place non-overlapping gene locus")

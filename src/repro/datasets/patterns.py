@@ -1,0 +1,98 @@
+"""The eight primitive injected patterns P0–P7 of the paper's stress tests.
+
+Fig. 3 plots eight shapes of differing complexity over ``x in [0, m)`` with
+values normalised to ``y in [-1, 1]``; the exact parametrisations are not
+published, so we use eight standard primitives of clearly graded
+complexity (pure tone up to a frequency-swept chirp).  The paper's finding
+— all shapes detected at ~100% except slightly lower recall for two of
+them in the FP16-family modes — depends only on having a diverse set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PATTERN_NAMES", "generate_pattern", "all_patterns"]
+
+PATTERN_NAMES = ("P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7")
+
+
+def _phase(m: int) -> np.ndarray:
+    return np.linspace(0.0, 1.0, m, endpoint=False)
+
+
+def _p0_sine(m: int) -> np.ndarray:
+    """One sine cycle — the simplest periodic pattern."""
+    return np.sin(2 * np.pi * _phase(m))
+
+
+def _p1_two_tone(m: int) -> np.ndarray:
+    """Superposition of two harmonics."""
+    t = _phase(m)
+    return 0.7 * np.sin(2 * np.pi * t) + 0.3 * np.sin(6 * np.pi * t)
+
+
+def _p2_square(m: int) -> np.ndarray:
+    """Square wave — sharp edges, spectrally hard."""
+    return np.sign(np.sin(2 * np.pi * 2 * _phase(m)) + 1e-12)
+
+
+def _p3_sawtooth(m: int) -> np.ndarray:
+    """Sawtooth — discontinuous ramp repeats."""
+    t = _phase(m)
+    return 2.0 * (2 * t - np.floor(2 * t)) - 1.0
+
+
+def _p4_triangle(m: int) -> np.ndarray:
+    """Triangle wave."""
+    t = _phase(m)
+    return 2.0 * np.abs(2.0 * (2 * t - np.floor(2 * t + 0.5))) - 1.0
+
+
+def _p5_gaussian(m: int) -> np.ndarray:
+    """Gaussian bump — a transient, aperiodic event."""
+    t = _phase(m)
+    bump = np.exp(-0.5 * ((t - 0.5) / 0.12) ** 2)
+    return 2.0 * bump - 1.0
+
+
+def _p6_chirp(m: int) -> np.ndarray:
+    """Linear chirp — frequency sweep, the most complex shape."""
+    t = _phase(m)
+    return np.sin(2 * np.pi * (1.0 * t + 3.0 * t * t))
+
+
+def _p7_damped(m: int) -> np.ndarray:
+    """Exponentially damped oscillation — a ring-down event."""
+    t = _phase(m)
+    return np.exp(-3.0 * t) * np.sin(2 * np.pi * 4 * t)
+
+
+_GENERATORS: dict[str, Callable[[int], np.ndarray]] = {
+    "P0": _p0_sine,
+    "P1": _p1_two_tone,
+    "P2": _p2_square,
+    "P3": _p3_sawtooth,
+    "P4": _p4_triangle,
+    "P5": _p5_gaussian,
+    "P6": _p6_chirp,
+    "P7": _p7_damped,
+}
+
+
+def generate_pattern(name: str, m: int) -> np.ndarray:
+    """Length-``m`` instance of pattern ``name``, normalised to [-1, 1]."""
+    if name not in _GENERATORS:
+        raise ValueError(f"unknown pattern {name!r}; expected one of {PATTERN_NAMES}")
+    if m < 4:
+        raise ValueError(f"pattern length must be >= 4, got {m}")
+    wave = _GENERATORS[name](m)
+    peak = np.max(np.abs(wave))
+    return wave / peak if peak > 0 else wave
+
+
+def all_patterns(m: int) -> dict[str, np.ndarray]:
+    """All eight patterns at length ``m``."""
+    return {name: generate_pattern(name, m) for name in PATTERN_NAMES}

@@ -1,0 +1,155 @@
+"""Synthetic stress-test dataset: noise with injected repeating patterns.
+
+Mirrors the paper's evaluation data (Section V-A): "random noise combined
+with randomly-located injected repeating patterns, providing a reliable
+basis for pattern detection".  Each embedded motif is one pattern instance
+written into *both* the reference and the query series at known positions,
+so the matrix profile index of the query occurrence should point at the
+reference occurrence — the ground truth for ``R_embedded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .patterns import PATTERN_NAMES, generate_pattern
+
+__all__ = ["EmbeddedMotif", "StressDataset", "make_stress_dataset", "noise_series"]
+
+
+@dataclass(frozen=True)
+class EmbeddedMotif:
+    """Ground truth for one embedded motif occurrence pair."""
+
+    pattern: str
+    dim: int  # dimension the pattern lives in
+    ref_pos: int  # start sample in the reference series
+    query_pos: int  # start sample in the query series
+    length: int
+    amplitude: float
+
+
+@dataclass
+class StressDataset:
+    """A reference/query pair with embedded-motif ground truth."""
+
+    reference: np.ndarray  # (n, d)
+    query: np.ndarray  # (n, d)
+    m: int
+    motifs: list[EmbeddedMotif] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return self.reference.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.reference.shape[1]
+
+
+def noise_series(n: int, d: int, rng: np.random.Generator, std: float = 1.0) -> np.ndarray:
+    """Plain Gaussian noise, (n, d).  Bounded values keep FP16 in range —
+    the same property the paper engineers via min-max normalisation."""
+    return rng.normal(0.0, std, size=(n, d))
+
+
+def _place_nonoverlapping(
+    rng: np.random.Generator, n: int, length: int, count: int, min_gap: int
+) -> list[int]:
+    """Draw ``count`` start positions whose windows (plus ``min_gap``)
+    don't overlap.
+
+    Constructive placement: the required blocks are laid out in order and
+    the remaining slack is split into random gaps (Dirichlet), then the
+    block order is shuffled — succeeds for any density that fits at all,
+    unlike rejection sampling.
+    """
+    block = length + min_gap
+    slack = n - count * block
+    if slack < 0:
+        raise ValueError(
+            f"could not place {count} non-overlapping windows of {length} "
+            f"(+{min_gap} gap) in {n}"
+        )
+    gaps = rng.dirichlet(np.ones(count + 1)) * slack
+    starts = []
+    cursor = 0.0
+    for t in range(count):
+        cursor += gaps[t]
+        starts.append(int(cursor))
+        cursor += block
+    rng.shuffle(starts)
+    return starts
+
+
+def make_stress_dataset(
+    n: int,
+    d: int,
+    m: int,
+    patterns: tuple[str, ...] = PATTERN_NAMES,
+    motifs_per_pattern: int = 1,
+    amplitude: float = 4.0,
+    noise_std: float = 1.0,
+    instance_jitter: float = 0.8,
+    seed: int = 0,
+) -> StressDataset:
+    """Build a stress-test reference/query pair.
+
+    Each requested pattern is embedded ``motifs_per_pattern`` times: the
+    *identical* pattern instance (scaled by ``amplitude``, which dominates
+    the unit noise) is added into a random dimension at random positions of
+    both series.
+
+    ``instance_jitter`` adds a fixed per-instance smooth perturbation to
+    the waveform (shared by the reference and query copies of that
+    instance).  Without it, multiple embeddings of the same *periodic*
+    pattern are interchangeable under z-normalisation, so the matrix
+    profile may legitimately pair a query occurrence with a different
+    reference occurrence and the slot-wise ground truth becomes ambiguous.
+    """
+    if n < 4 * m:
+        raise ValueError(f"n={n} too small for m={m}; need n >= 4m")
+    rng = np.random.default_rng(seed)
+    reference = noise_series(n, d, rng, noise_std)
+    query = noise_series(n, d, rng, noise_std)
+
+    total = len(patterns) * motifs_per_pattern
+    ref_positions = _place_nonoverlapping(rng, n, m, total, min_gap=m // 2)
+    query_positions = _place_nonoverlapping(rng, n, m, total, min_gap=m // 2)
+
+    motifs: list[EmbeddedMotif] = []
+    slot = 0
+    for name in patterns:
+        wave = generate_pattern(name, m)
+        for repeat in range(motifs_per_pattern):
+            # Repeats of the *same* pattern go to distinct dimensions
+            # (round-robin): two copies of a periodic pattern in one
+            # dimension are interchangeable under z-normalisation even
+            # with waveform jitter, which would make the slot-wise ground
+            # truth ambiguous.
+            dim = repeat % d if motifs_per_pattern > 1 else int(rng.integers(0, d))
+            r_pos = ref_positions[slot]
+            q_pos = query_positions[slot]
+            # Smooth per-instance fingerprint: low-pass noise added to the
+            # waveform itself, identical in both copies.
+            rough = rng.normal(0.0, 1.0, size=m)
+            kernel = np.ones(max(m // 8, 1)) / max(m // 8, 1)
+            fingerprint = np.convolve(rough, kernel, mode="same")
+            peak = np.max(np.abs(fingerprint)) or 1.0
+            instance = wave + instance_jitter * fingerprint / peak
+            reference[r_pos : r_pos + m, dim] += amplitude * instance
+            query[q_pos : q_pos + m, dim] += amplitude * instance
+            motifs.append(
+                EmbeddedMotif(
+                    pattern=name,
+                    dim=dim,
+                    ref_pos=r_pos,
+                    query_pos=q_pos,
+                    length=m,
+                    amplitude=amplitude,
+                )
+            )
+            slot += 1
+    return StressDataset(reference=reference, query=query, m=m, motifs=motifs)

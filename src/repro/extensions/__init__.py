@@ -1,0 +1,40 @@
+"""Extensions implementing the paper's future-work directions (Section VII):
+TF32/BFLOAT16 transprecision modes, multi-node (MPI-style) deployment, and
+mSTAMP motif-subspace recovery."""
+
+from .multinode import ClusterSpec, MultiNodeResult, NodeTimeline, model_multi_node
+from .subspace import (
+    MotifSubspace,
+    motif_with_subspace,
+    recover_subspace,
+    segment_distances,
+)
+from .transprecision import (
+    BF16,
+    SOFT_FORMATS,
+    SOFT_FP16,
+    TF32,
+    SoftFormat,
+    round_to_format,
+    transprecision_itemsize,
+    transprecision_matrix_profile,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "MultiNodeResult",
+    "NodeTimeline",
+    "model_multi_node",
+    "MotifSubspace",
+    "motif_with_subspace",
+    "recover_subspace",
+    "segment_distances",
+    "SoftFormat",
+    "BF16",
+    "TF32",
+    "SOFT_FP16",
+    "SOFT_FORMATS",
+    "round_to_format",
+    "transprecision_itemsize",
+    "transprecision_matrix_profile",
+]

@@ -1,0 +1,172 @@
+"""Multi-node scaling model — the paper's future-work item:
+
+    "our implementation could be further extended to multiple nodes
+    (e.g., using MPI or a Cloud-based solution)" (Section VII).
+
+The workload is not communication-bound (Section I), so a multi-node
+deployment distributes tiles across nodes exactly like the single-node
+scheme distributes them across GPUs, plus three communication phases an
+MPI deployment would add: broadcasting the input series, gathering the
+per-node partial profiles, and the root-side final merge.  This module
+models that deployment over the simulated GPU substrate and reports the
+strong-scaling behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import RunConfig
+from ..core.tiling import compute_tile_list
+from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.kernel import LaunchConfig
+from ..gpu.perfmodel import single_tile_timing, transfer_time
+from ..gpu.simulator import GPUSimulator, schedule_tile_timing
+from ..precision.modes import PrecisionMode, policy_for
+
+__all__ = ["ClusterSpec", "NodeTimeline", "MultiNodeResult", "model_multi_node"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster.
+
+    Defaults describe a Raven-like partition: 4 A100s per node on a
+    100 Gbit/s (12.5 GB/s effective) interconnect with 2 µs MPI latency.
+    """
+
+    n_nodes: int
+    gpus_per_node: int = 4
+    device: str = "A100"
+    interconnect_bandwidth: float = 12.5e9  # bytes/s per link
+    mpi_latency: float = 2.0e-6  # seconds per message
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError("cluster needs at least one node and one GPU")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def device_spec(self) -> DeviceSpec:
+        return get_device(self.device)
+
+
+@dataclass
+class NodeTimeline:
+    """Per-node modelled times."""
+
+    node: int
+    n_tiles: int
+    gpu_time: float
+
+
+@dataclass
+class MultiNodeResult:
+    """Outcome of a modelled multi-node run."""
+
+    cluster: ClusterSpec
+    mode: PrecisionMode
+    nodes: list[NodeTimeline] = field(default_factory=list)
+    broadcast_time: float = 0.0
+    gather_time: float = 0.0
+    merge_time: float = 0.0
+
+    @property
+    def gpu_makespan(self) -> float:
+        return max((n.gpu_time for n in self.nodes), default=0.0)
+
+    @property
+    def total_time(self) -> float:
+        return self.broadcast_time + self.gpu_makespan + self.gather_time + self.merge_time
+
+    def efficiency_vs(self, single_node: "MultiNodeResult") -> float:
+        """Strong-scaling parallel efficiency against a 1-node run."""
+        return single_node.total_time / (
+            self.cluster.n_nodes * self.total_time
+        )
+
+
+def model_multi_node(
+    n_seg: int,
+    d: int,
+    m: int,
+    cluster: ClusterSpec,
+    n_tiles: int | None = None,
+    mode: "PrecisionMode | str" = PrecisionMode.FP64,
+) -> MultiNodeResult:
+    """Model one multi-node matrix profile run.
+
+    Tiles (default: 4 per GPU, the paper's oversubscription guidance) are
+    assigned round-robin across the flattened (node, gpu) list; each
+    node's GPUs are simulated with the stream scheduler; communication
+    adds a binomial-tree broadcast of both input series and a gather of
+    every node's partial profile to the root, which performs the final
+    min/argmin merge.
+    """
+    policy = policy_for(mode)
+    device = cluster.device_spec
+    n_tiles = n_tiles if n_tiles is not None else 4 * cluster.total_gpus
+    tiles = compute_tile_list(n_seg, n_seg, n_tiles)
+    launch = LaunchConfig.tuned_for(device)
+
+    result = MultiNodeResult(cluster=cluster, mode=policy.mode)
+
+    # Per-node simulation: tiles t with (t % total_gpus) // gpus_per_node
+    # landing on this node (round-robin over the flat GPU list).
+    for node in range(cluster.n_nodes):
+        sim = GPUSimulator(device, n_gpus=cluster.gpus_per_node)
+        count = 0
+        for tile in tiles:
+            flat_gpu = tile.tile_id % cluster.total_gpus
+            if flat_gpu // cluster.gpus_per_node != node:
+                continue
+            gpu = sim.gpus[flat_gpu % cluster.gpus_per_node]
+            timing = single_tile_timing(
+                tile.n_rows,
+                tile.n_cols,
+                d,
+                m,
+                device,
+                policy.itemsize,
+                config=launch,
+                precalc_itemsize=policy.precalc.itemsize,
+                compensated=policy.compensated,
+            )
+            schedule_tile_timing(
+                gpu, gpu.next_stream(), sim.timeline, timing, f"tile{tile.tile_id}"
+            )
+            count += 1
+        sim.flush()
+        result.nodes.append(
+            NodeTimeline(node=node, n_tiles=count, gpu_time=sim.timeline.makespan)
+        )
+
+    # Binomial-tree broadcast of both input series: ceil(log2 N) rounds.
+    input_bytes = 2.0 * (n_seg + m - 1) * d * policy.itemsize
+    rounds = max(cluster.n_nodes - 1, 0).bit_length()
+    result.broadcast_time = rounds * (
+        input_bytes / cluster.interconnect_bandwidth + cluster.mpi_latency
+    )
+
+    # Local tile merge runs concurrently on every node (each node merges
+    # only its own tiles), then an MPI_Reduce-style binomial tree combines
+    # the per-node partials: ceil(log2 N) rounds, each moving one partial
+    # profile and applying one element-wise min/argmin pass.
+    covering = max(1, round(len(tiles) ** 0.5))
+    local_merge = (
+        float(n_seg) * d * covering * MERGE_TIME_PER_ELEMENT / cluster.n_nodes
+        + len(tiles) * TILE_DISPATCH_OVERHEAD / cluster.n_nodes
+    )
+    partial_bytes = float(n_seg) * d * (policy.itemsize + 8)
+    reduce_rounds = max(cluster.n_nodes - 1, 0).bit_length()
+    result.gather_time = reduce_rounds * (
+        partial_bytes / cluster.interconnect_bandwidth + cluster.mpi_latency
+    )
+    result.merge_time = local_merge + reduce_rounds * (
+        float(n_seg) * d * MERGE_TIME_PER_ELEMENT
+    )
+    return result

@@ -1,0 +1,93 @@
+"""Motif subspace recovery (mSTAMP's companion step).
+
+The multi-dimensional matrix profile tells *where* the best k-dimensional
+motif lies but not *which* k+1 dimensions form it.  Yeh et al.'s mSTAMP
+recovers the subspace by re-evaluating the per-dimension z-normalised
+distances of the matched segment pair and keeping the k+1 smallest — this
+module implements that recovery on top of any
+:class:`~repro.core.result.MatrixProfileResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import MatrixProfileResult
+from ..kernels.layout import validate_series
+
+__all__ = ["MotifSubspace", "segment_distances", "recover_subspace", "motif_with_subspace"]
+
+
+@dataclass(frozen=True)
+class MotifSubspace:
+    """A k-dimensional motif with its recovered dimension subset."""
+
+    query_pos: int
+    ref_pos: int
+    k: int
+    dimensions: tuple[int, ...]  # the k dimensions forming the motif
+    distances: tuple[float, ...]  # per-dimension z-norm distances, sorted
+
+
+def segment_distances(
+    reference: np.ndarray,
+    query: np.ndarray,
+    ref_pos: int,
+    query_pos: int,
+    m: int,
+) -> np.ndarray:
+    """Per-dimension z-normalised distances of one segment pair, shape (d,)."""
+    reference = validate_series(reference, "reference")
+    query = validate_series(query, "query")
+    if not 0 <= ref_pos <= reference.shape[0] - m:
+        raise ValueError(f"ref_pos {ref_pos} out of range for m={m}")
+    if not 0 <= query_pos <= query.shape[0] - m:
+        raise ValueError(f"query_pos {query_pos} out of range for m={m}")
+    a = reference[ref_pos : ref_pos + m].astype(np.float64)
+    b = query[query_pos : query_pos + m].astype(np.float64)
+
+    def znorm(seg):
+        mu = seg.mean(axis=0, keepdims=True)
+        sd = seg.std(axis=0, keepdims=True)
+        sd = np.where(sd == 0, 1.0, sd)
+        return (seg - mu) / sd
+
+    return np.linalg.norm(znorm(a) - znorm(b), axis=0)
+
+
+def recover_subspace(
+    reference: np.ndarray,
+    query: np.ndarray,
+    ref_pos: int,
+    query_pos: int,
+    m: int,
+    k: int,
+) -> MotifSubspace:
+    """The k dimensions in which the segment pair matches best."""
+    dists = segment_distances(reference, query, ref_pos, query_pos, m)
+    if not 1 <= k <= dists.shape[0]:
+        raise ValueError(f"k must be in [1, {dists.shape[0]}], got {k}")
+    order = np.argsort(dists, kind="stable")[:k]
+    return MotifSubspace(
+        query_pos=query_pos,
+        ref_pos=ref_pos,
+        k=k,
+        dimensions=tuple(int(i) for i in order),
+        distances=tuple(float(dists[i]) for i in order),
+    )
+
+
+def motif_with_subspace(
+    result: MatrixProfileResult,
+    reference: np.ndarray,
+    query: np.ndarray | None,
+    k: int,
+) -> MotifSubspace:
+    """Locate the best k-dimensional motif and recover its subspace."""
+    query_arr = reference if query is None else query
+    j, i = result.motif_location(k)
+    if i < 0:
+        raise ValueError("no valid motif at this k (all columns excluded)")
+    return recover_subspace(reference, query_arr, i, j, result.m, k)

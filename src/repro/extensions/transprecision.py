@@ -1,0 +1,176 @@
+"""Transprecision formats — the paper's future-work item:
+
+    "our implementation could be further extended ... using TF32 execution
+    mode or BFLOAT16" (Section VII).
+
+numpy has no native bfloat16/TF32, so this module provides *software
+rounding* to arbitrary binary floating-point formats (significand width +
+exponent range) and a reference matrix-profile evaluator that applies the
+rounding after every arithmetic operation — the same per-op semantics the
+hardware tensor pipelines implement.  FP16 parameters are included so the
+soft path can be validated bit-for-bit against numpy's native half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.mstamp import precompute_statistics
+from ..kernels.layout import validate_series
+
+__all__ = [
+    "SoftFormat",
+    "BF16",
+    "TF32",
+    "SOFT_FP16",
+    "SOFT_FORMATS",
+    "round_to_format",
+    "transprecision_matrix_profile",
+    "transprecision_itemsize",
+]
+
+
+@dataclass(frozen=True)
+class SoftFormat:
+    """A binary floating-point format: ``precision`` significand bits
+    (including the implicit leading one) and exponent range ``[emin, emax]``
+    for the *unbiased* exponent of the value in [1, 2) normal form."""
+
+    name: str
+    precision: int
+    emax: int
+    emin: int
+
+    @property
+    def eps(self) -> float:
+        """Unit roundoff, 2^-(p-1)."""
+        return 2.0 ** (1 - self.precision) / 2.0
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite value, (2 - 2^(1-p)) * 2^emax."""
+        return (2.0 - 2.0 ** (1 - self.precision)) * 2.0**self.emax
+
+
+#: bfloat16: 8 significand bits, float32 exponent range.
+BF16 = SoftFormat(name="BF16", precision=8, emax=127, emin=-126)
+
+#: NVIDIA TF32: 11 significand bits (FP16 precision), float32 exponent range.
+TF32 = SoftFormat(name="TF32", precision=11, emax=127, emin=-126)
+
+#: IEEE binary16 parameters, for validating the soft path against numpy.
+SOFT_FP16 = SoftFormat(name="FP16", precision=11, emax=15, emin=-14)
+
+SOFT_FORMATS: dict[str, SoftFormat] = {f.name: f for f in (BF16, TF32, SOFT_FP16)}
+
+
+def round_to_format(x: np.ndarray, fmt: SoftFormat) -> np.ndarray:
+    """Round ``x`` to ``fmt`` with round-to-nearest-even.
+
+    Semantics: normals rounded to ``fmt.precision`` bits; overflow to
+    +/-inf; values below the smallest normal are flushed to zero (the
+    tensor-core TF32 path flushes subnormals); NaN propagates.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mantissa, exponent = np.frexp(x)  # x = mantissa * 2^exponent, |m| in [0.5, 1)
+    # Round the significand to `precision` bits: mantissa in [0.5, 1) has
+    # its leading bit at position 1, so scale by 2^precision.
+    scale = 2.0**fmt.precision
+    rounded = np.rint(mantissa * scale)
+    out = np.ldexp(rounded / scale, exponent)
+
+    # frexp's exponent is one above the [1,2) convention: value = f*2^(e-1),
+    # f in [1, 2).  Normal range check uses e-1.
+    unbiased = exponent - 1
+    with np.errstate(invalid="ignore"):
+        overflow = np.isfinite(x) & (np.abs(out) > fmt.max_value)
+        underflow = np.isfinite(x) & (x != 0) & (unbiased < fmt.emin) & ~overflow
+        out = np.where(overflow, np.where(x >= 0, np.inf, -np.inf), out)
+        out = np.where(underflow, 0.0, out)
+        out = np.where(np.isfinite(x), out, x)  # propagate inf/NaN unchanged
+    return out
+
+
+def transprecision_itemsize(fmt: SoftFormat) -> int:
+    """Storage bytes per element for perf-model purposes: TF32 is stored
+    as 4-byte words (it is an *execution* mode of FP32 data); BF16 and
+    FP16 occupy 2 bytes."""
+    return 4 if fmt.precision > 8 and fmt.emax > 100 else 2
+
+
+def transprecision_matrix_profile(
+    reference: np.ndarray,
+    query: np.ndarray | None,
+    m: int,
+    fmt: SoftFormat,
+    exclusion_zone: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multi-dimensional matrix profile with per-op rounding to ``fmt``.
+
+    Reference evaluator for the TF32/BFLOAT16 extension: the streaming
+    recurrence, normalisation, sort and inclusive averaging all round to
+    ``fmt`` after every operation (the precalculation runs in FP64 and is
+    rounded once, mirroring the Mixed policy, which is how a tensor-core
+    deployment would stage its inputs).  Returns ``(P, I)``.
+    """
+    reference = validate_series(reference, "reference")
+    self_join = query is None
+    query_arr = reference if self_join else validate_series(query, "query")
+    if reference.shape[1] != query_arr.shape[1]:
+        raise ValueError("dimensionality mismatch")
+    if self_join and exclusion_zone is None:
+        exclusion_zone = int(np.ceil(m / 4))
+
+    rnd = lambda x: round_to_format(x, fmt)  # noqa: E731 - local shorthand
+
+    ref = np.asarray(reference, dtype=np.float64)
+    qry = np.asarray(query_arr, dtype=np.float64)
+    d = ref.shape[1]
+    n_r_seg = ref.shape[0] - m + 1
+    n_q_seg = qry.shape[0] - m + 1
+
+    mu_r, inv_r, df_r, dg_r = (rnd(a) for a in precompute_statistics(ref, m))
+    mu_q, inv_q, df_q, dg_q = (rnd(a) for a in precompute_statistics(qry, m))
+
+    # First row/column QT by rounded naive dots.
+    def first_against(fixed, fixed_mu, series, mu, n_seg):
+        acc = np.zeros((n_seg, d))
+        centered_fixed = rnd(fixed - fixed_mu)
+        for t in range(m):
+            term = rnd(centered_fixed[t] * rnd(series[t : t + n_seg] - mu))
+            acc = rnd(acc + term)
+        return acc
+
+    qt_row0 = first_against(ref[:m], mu_r[0], qry, mu_q, n_q_seg)
+    qt_col0 = first_against(qry[:m], mu_q[0], ref, mu_r, n_r_seg)
+
+    two_m = 2.0 * m
+    profile = np.full((n_q_seg, d), np.inf)
+    index = np.full((n_q_seg, d), -1, dtype=np.int64)
+    cols = np.arange(n_q_seg)
+    divisors = np.arange(1.0, d + 1.0)
+
+    qt = qt_row0.copy()
+    with np.errstate(over="ignore", invalid="ignore"):
+        for i in range(n_r_seg):
+            if i > 0:
+                step = rnd(qt[:-1] + rnd(df_r[i] * dg_q[1:]))
+                qt_new = np.empty_like(qt)
+                qt_new[1:] = rnd(step + rnd(df_q[1:] * dg_r[i]))
+                qt_new[0] = qt_col0[i]
+                qt = qt_new
+            corr = rnd(rnd(qt * inv_r[i]) * inv_q)
+            gap = np.maximum(rnd(1.0 - corr), 0.0)
+            dist = rnd(np.sqrt(rnd(two_m * gap)))
+            dist = np.where(np.isfinite(dist), dist, fmt.max_value)
+            if exclusion_zone is not None:
+                dist = np.where(
+                    (np.abs(cols - i) <= exclusion_zone)[:, None], np.inf, dist
+                )
+            inclusive = rnd(rnd(np.cumsum(np.sort(dist, axis=1), axis=1)) / divisors)
+            improved = inclusive < profile
+            profile[improved] = inclusive[improved]
+            index[improved] = i
+    return profile, index

@@ -1,0 +1,154 @@
+"""Device models for the simulated GPU substrate.
+
+The paper's evaluation (Section V-A) runs on:
+
+* **NVIDIA Tesla V100** (DGX-1 at LRZ): 7.8 TFLOP/s FP64, 32 GB HBM2,
+  900 GB/s, 80 SMs; tuned launch config grid=64, block=2560
+  (163,840 threads = 80 SMs x 64 warps x 32 threads).
+* **NVIDIA Tesla A100** (Raven at MPCDF): 9.7 TFLOP/s FP64, 40 GB HBM2e,
+  1,555 GB/s, 108 SMs; tuned launch config grid=64, block=3456
+  (221,184 threads = 108 SMs x 64 warps x 32 threads).
+* **Intel 16-core Skylake CPU** as the (MP)^N baseline host.
+
+A :class:`DeviceSpec` carries exactly the figures the roofline performance
+model needs.  Since we have no physical GPU, devices are *simulated*: the
+kernels execute real numpy arithmetic while the spec drives modelled time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "A100",
+    "SKYLAKE16",
+    "DEVICES",
+    "get_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of one compute device.
+
+    Attributes mirror the datasheet numbers quoted in Section V-A.
+    Throughput fields are in *base* units (FLOP/s, bytes/s).
+    """
+
+    name: str
+    kind: str  # "gpu" or "cpu"
+    n_sms: int
+    warps_per_sm: int
+    threads_per_warp: int
+    peak_flops_fp64: float
+    peak_flops_fp32: float
+    peak_flops_fp16: float
+    mem_bandwidth: float  # bytes/s (HBM / DRAM)
+    mem_capacity: int  # bytes
+    l2_bandwidth: float  # bytes/s, effective
+    l2_capacity: int  # bytes of last-level on-chip cache
+    l1_bandwidth: float  # bytes/s aggregate L1/TEX or shared-memory
+    sync_latency: float  # seconds per coarse-grained group synchronisation
+    kernel_launch_overhead: float  # seconds per kernel launch
+    pcie_bandwidth: float  # bytes/s host<->device
+    max_streams: int = 16
+    extras: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware thread capacity = SMs x warps/SM x threads/warp."""
+        return self.n_sms * self.warps_per_sm * self.threads_per_warp
+
+    def peak_flops(self, itemsize: int) -> float:
+        """Peak arithmetic throughput for the element size in bytes."""
+        if itemsize >= 8:
+            return self.peak_flops_fp64
+        if itemsize == 4:
+            return self.peak_flops_fp32
+        return self.peak_flops_fp16
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# Datasheet values from the paper (Section V-A) supplemented with public
+# NVIDIA specifications for the fields the paper does not quote directly
+# (FP32/FP16 peaks, L1/L2 bandwidth, PCIe gen3 x16).  The sync latency and
+# launch overhead are calibration constants (see calibration.py).
+V100 = DeviceSpec(
+    name="V100",
+    kind="gpu",
+    n_sms=80,
+    warps_per_sm=64,
+    threads_per_warp=32,
+    peak_flops_fp64=7.8e12,
+    peak_flops_fp32=15.7e12,
+    peak_flops_fp16=31.4e12,
+    mem_bandwidth=900e9,
+    mem_capacity=32 * 1024**3,
+    l2_bandwidth=2.5e12,
+    l2_capacity=6 * 1024**2,
+    l1_bandwidth=12.0e12,
+    sync_latency=0.13e-6,
+    kernel_launch_overhead=4.0e-6,
+    pcie_bandwidth=12e9,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    kind="gpu",
+    n_sms=108,
+    warps_per_sm=64,
+    threads_per_warp=32,
+    peak_flops_fp64=9.7e12,
+    peak_flops_fp32=19.5e12,
+    peak_flops_fp16=78.0e12,
+    mem_bandwidth=1555e9,
+    mem_capacity=40 * 1024**3,
+    l2_bandwidth=4.8e12,
+    l2_capacity=40 * 1024**2,
+    l1_bandwidth=19.0e12,
+    sync_latency=0.10e-6,
+    kernel_launch_overhead=3.5e-6,
+    pcie_bandwidth=24e9,
+)
+
+# The CPU baseline "device": an Intel 16-core Skylake node running the
+# (MP)^N reference.  Peak figures: 16 cores x 2 AVX-512 FMA units x 8 lanes
+# x 2 (FMA) x ~2.3 GHz ~= 1.2 TFLOP/s FP64; 6-channel DDR4-2666 ~= 128 GB/s.
+SKYLAKE16 = DeviceSpec(
+    name="Skylake16",
+    kind="cpu",
+    n_sms=16,  # cores
+    warps_per_sm=2,  # HW threads per core
+    threads_per_warp=1,
+    peak_flops_fp64=1.2e12,
+    peak_flops_fp32=2.4e12,
+    peak_flops_fp16=2.4e12,  # no native FP16; executes at FP32 rate
+    mem_bandwidth=128e9,
+    mem_capacity=192 * 1024**3,
+    l2_bandwidth=800e9,
+    l2_capacity=22 * 1024**2,  # shared L3
+    l1_bandwidth=4.0e12,
+    sync_latency=0.2e-6,
+    kernel_launch_overhead=0.0,
+    pcie_bandwidth=0.0,  # host-resident
+    max_streams=1,
+)
+
+DEVICES: dict[str, DeviceSpec] = {
+    spec.name.lower(): spec for spec in (V100, A100, SKYLAKE16)
+}
+
+
+def get_device(name: "str | DeviceSpec") -> DeviceSpec:
+    """Look up a device spec by name (``"V100"``, ``"A100"``, ``"Skylake16"``)."""
+    if isinstance(name, DeviceSpec):
+        return name
+    try:
+        return DEVICES[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(DEVICES))
+        raise ValueError(f"unknown device {name!r}; expected one of: {valid}") from None

@@ -1,0 +1,102 @@
+"""Energy model: what reduced precision buys in joules.
+
+HPC operators care about energy at least as much as time; the paper's
+motivation ("efficient usage of the GPU memory bandwidth") translates
+directly into an energy argument because a memory-bound kernel burns
+near-TDP power for its whole runtime regardless of arithmetic width —
+so the FP16-family's 1.4x time saving is, to first order, a 1.4x energy
+saving.  This module provides that estimate over modelled timelines:
+board power per device state (busy vs idle) integrated over the
+simulated ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import MatrixProfileResult
+from .device import DeviceSpec, get_device
+
+__all__ = ["POWER_SPECS", "PowerSpec", "EnergyEstimate", "estimate_energy"]
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Board power characteristics (datasheet TDP, measured-idle typical)."""
+
+    tdp: float  # watts at full load
+    idle: float  # watts idle
+    busy_fraction_memory_bound: float = 0.85  # memory-bound kernels draw
+    # slightly below TDP (no FP pipe saturation)
+
+
+POWER_SPECS: dict[str, PowerSpec] = {
+    "V100": PowerSpec(tdp=300.0, idle=40.0),
+    "A100": PowerSpec(tdp=400.0, idle=50.0),
+    "Skylake16": PowerSpec(tdp=150.0, idle=30.0, busy_fraction_memory_bound=0.9),
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown of one modelled run."""
+
+    device: str
+    n_gpus: int
+    busy_energy: float  # joules while kernels execute
+    idle_energy: float  # joules while a GPU waits inside the makespan
+    total_energy: float
+    average_power: float  # watts across the makespan
+
+    @property
+    def kilojoules(self) -> float:
+        return self.total_energy / 1e3
+
+
+def estimate_energy(
+    result: MatrixProfileResult, device: "DeviceSpec | str | None" = None
+) -> EnergyEstimate:
+    """Integrate modelled power over a result's timeline.
+
+    Every GPU draws ``busy_fraction * TDP`` during its compute ops and
+    ``idle`` power for the rest of the makespan (it cannot power down
+    mid-job).  Transfers are charged at idle + 10% TDP (DMA engines).
+    """
+    if device is None:
+        device_name = result.timeline.ops[0].device if result.timeline.ops else "A100"
+    else:
+        device_name = get_device(device).name
+    spec = POWER_SPECS.get(device_name)
+    if spec is None:
+        raise ValueError(f"no power spec for device {device_name!r}")
+
+    makespan = result.timeline.makespan
+    n_gpus = max(result.n_gpus, 1)
+    busy_power = spec.busy_fraction_memory_bound * spec.tdp
+    transfer_power = 0.1 * spec.tdp
+
+    busy_energy = 0.0
+    transfer_energy = 0.0
+    busy_per_gpu = {g: 0.0 for g in range(n_gpus)}
+    for op in result.timeline.ops:
+        if op.engine == "compute":
+            busy_energy += op.busy * busy_power
+            busy_per_gpu[op.device_index] = (
+                busy_per_gpu.get(op.device_index, 0.0) + op.busy
+            )
+        else:
+            transfer_energy += op.busy * transfer_power
+
+    idle_energy = sum(
+        max(makespan - busy, 0.0) * spec.idle for busy in busy_per_gpu.values()
+    )
+    total = busy_energy + idle_energy + transfer_energy
+    average = total / makespan / n_gpus if makespan > 0 else 0.0
+    return EnergyEstimate(
+        device=device_name,
+        n_gpus=n_gpus,
+        busy_energy=busy_energy,
+        idle_energy=idle_energy,
+        total_energy=total,
+        average_power=average,
+    )

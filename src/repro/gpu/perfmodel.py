@@ -1,0 +1,292 @@
+"""Roofline performance model for the simulated GPU kernels.
+
+Every kernel invocation produces a :class:`~repro.gpu.kernel.KernelCost`
+(memory traffic, arithmetic, synchronisations).  This module converts costs
+into time against a :class:`~repro.gpu.device.DeviceSpec`:
+
+``busy = max(dram, l2, l1, flops)`` terms — the paper observes all kernels
+are memory-bound (Section V-C), so one of the bandwidth terms dominates —
+plus an ``overhead`` term (kernel-launch gaps and coarse-grained
+synchronisation stalls) that occupies the issuing *stream* but not the SMs,
+and therefore hides under multi-stream concurrency.
+
+The module also provides *analytic* cost builders mirroring exactly the
+accounting the real kernels perform, so paper-scale problem sizes (n=2^16
+and beyond, infeasible to execute in Python) can be projected without
+running.  ``tests/test_perfmodel.py`` asserts the analytic formulas agree
+with the costs the executed kernels record.
+
+Cost-accounting conventions (shared by kernels and the analytic model; one
+"plane" is ``n_q_seg * d`` elements of the storage dtype):
+
+=================  =========================================================
+kernel             per-row accounting
+=================  =========================================================
+dist_calc          DRAM 3 planes (QT read, QT write, D write; df/dg/norm
+                   vectors are L2-resident), L2 6 planes, 8 flops/element
+sort_&_incl_scan   DRAM 2 planes (D in, D'' out), L1 ``stages`` padded
+                   planes, 1 flop/element/stage, ``stages`` group syncs
+update_mat_prof    DRAM 2 planes (D'' read, P/I write-combined), L2 5
+                   planes, 2 flops/element
+precalculation     once per tile: inputs + outputs + first row/column QT
+                   dot products (2*m flops per segment-dim)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from . import calibration as cal
+from .device import DeviceSpec, get_device
+from .kernel import KernelCost, LaunchConfig
+
+__all__ = [
+    "KernelTiming",
+    "TileTiming",
+    "kernel_time",
+    "sort_stage_count",
+    "single_tile_costs",
+    "single_tile_timing",
+    "cpu_baseline_time",
+    "transfer_time",
+]
+
+KERNEL_NAMES = ("precalculation", "dist_calc", "sort_&_incl_scan", "update_mat_prof")
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modelled time of one (possibly aggregated) kernel invocation."""
+
+    busy: float  # exclusive SM/memory-system occupancy
+    overhead: float  # launch + sync latency, hideable under concurrency
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.overhead
+
+    def __add__(self, other: "KernelTiming") -> "KernelTiming":
+        return KernelTiming(self.busy + other.busy, self.overhead + other.overhead)
+
+
+def kernel_time(
+    cost: KernelCost,
+    device: DeviceSpec,
+    itemsize: int,
+    working_set: float | None = None,
+) -> KernelTiming:
+    """Roofline time for ``cost`` on ``device`` at ``itemsize`` bytes/element.
+
+    ``working_set`` (bytes) enables the L2-residency bonus: when a tile's
+    active planes fit in L2, DRAM-bound kernels run at (a fraction of) L2
+    bandwidth instead — the effect that makes ~256 small tiles slightly
+    faster than one big tile in Fig. 7.
+    """
+    scale = cal.device_scale(device.name)
+    eff_dram = cal.dram_efficiency(cost.name, itemsize) * device.mem_bandwidth * scale
+    # Graduated L2-residency bonus: as a tile's active working set shrinks
+    # below L2 capacity, a growing fraction of its "DRAM" traffic is served
+    # from L2.  Full bonus below L2/8 (plenty of room for concurrent
+    # streams), no bonus above L2 — this is what makes many small tiles
+    # slightly *faster* than one huge tile in Fig. 7.
+    if working_set is not None and working_set < device.l2_capacity:
+        l2_rate = cal.L2_EFFICIENCY * device.l2_bandwidth * scale
+        lo = device.l2_capacity / 8.0
+        frac = min(1.0, (device.l2_capacity - working_set) / (device.l2_capacity - lo))
+        eff_dram = max(eff_dram, eff_dram + frac * (l2_rate - eff_dram))
+    t_dram = cost.bytes_dram / eff_dram
+    t_l2 = cost.bytes_l2 / (cal.L2_EFFICIENCY * device.l2_bandwidth * scale)
+    t_l1 = cost.bytes_l1 / (cal.l1_efficiency(itemsize) * device.l1_bandwidth * scale)
+    t_flop = cost.flops / (cal.SM_EFFICIENCY * device.peak_flops(itemsize))
+    busy = max(t_dram, t_l2, t_l1, t_flop)
+    overhead = (
+        cost.syncs * device.sync_latency
+        + cost.launches * device.kernel_launch_overhead
+    )
+    return KernelTiming(busy=busy, overhead=overhead)
+
+
+def sort_stage_count(d: int) -> tuple[int, int]:
+    """(bitonic stages, scan stages) for dimensionality ``d``.
+
+    The bitonic network on ``p = next_pow2(d)`` elements has
+    ``k(k+1)/2`` compare-exchange stages with ``k = log2(p)``; the fan-in
+    inclusive scan adds ``k`` stages (Section III-A: O(log^2 d) sort and
+    O(log d) scan).
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    p = 1 << (d - 1).bit_length()
+    k = p.bit_length() - 1
+    return k * (k + 1) // 2, k
+
+
+def _padded(d: int) -> int:
+    return 1 << (d - 1).bit_length()
+
+
+def single_tile_costs(
+    n_r_seg: int,
+    n_q_seg: int,
+    d: int,
+    m: int,
+    itemsize: int,
+    config: LaunchConfig,
+    precalc_itemsize: int | None = None,
+    compensated: bool = False,
+) -> dict[str, KernelCost]:
+    """Analytic aggregate kernel costs of one full single-tile run.
+
+    Mirrors exactly the accounting the executed kernels perform; see the
+    module docstring for the conventions.
+    """
+    if min(n_r_seg, n_q_seg, d, m) < 1:
+        raise ValueError("n_r_seg, n_q_seg, d and m must all be >= 1")
+    precalc_itemsize = precalc_itemsize or itemsize
+    plane = float(n_q_seg * d * itemsize)
+    elems = float(n_q_seg * d)
+    rounds_per_row = math.ceil(n_q_seg * d / config.total_threads)
+    sort_stages, scan_stages = sort_stage_count(d)
+    stages = sort_stages + scan_stages
+    p = _padded(d)
+
+    precalc_elems = float((n_r_seg + n_q_seg) * d)
+    precalc_flops = 2.0 * m * precalc_elems + 8.0 * precalc_elems
+    if compensated:
+        precalc_flops *= 4.0  # Kahan: 4 ops per accumulation step
+    precalc = KernelCost(
+        name="precalculation",
+        bytes_dram=(
+            # read both input series, write the 8 precalculated vectors and
+            # the first-row/column QT entries
+            float((n_r_seg + m - 1 + n_q_seg + m - 1) * d * precalc_itemsize)
+            + 8.0 * precalc_elems * precalc_itemsize
+            + precalc_elems * precalc_itemsize
+        ),
+        bytes_l2=2.0 * m * precalc_elems * precalc_itemsize,
+        bytes_l1=0.0,
+        flops=precalc_flops,
+        syncs=0,
+        launches=1,
+        loop_rounds=math.ceil(precalc_elems / config.total_threads),
+    )
+
+    dist = KernelCost(
+        name="dist_calc",
+        bytes_dram=3.0 * plane * n_r_seg,
+        bytes_l2=6.0 * plane * n_r_seg,
+        bytes_l1=0.0,
+        flops=8.0 * elems * n_r_seg,
+        syncs=0,
+        launches=n_r_seg,
+        loop_rounds=rounds_per_row * n_r_seg,
+    )
+
+    sort = KernelCost(
+        name="sort_&_incl_scan",
+        bytes_dram=2.0 * plane * n_r_seg,
+        bytes_l2=2.0 * plane * n_r_seg,
+        bytes_l1=float(stages * n_q_seg * p * itemsize) * n_r_seg,
+        flops=float(stages * n_q_seg * p) * n_r_seg,
+        syncs=stages * n_r_seg,
+        launches=n_r_seg,
+        loop_rounds=math.ceil(n_q_seg * p / config.total_threads) * n_r_seg,
+    )
+
+    update = KernelCost(
+        name="update_mat_prof",
+        bytes_dram=2.0 * plane * n_r_seg,
+        bytes_l2=5.0 * plane * n_r_seg,
+        bytes_l1=0.0,
+        flops=2.0 * elems * n_r_seg,
+        syncs=0,
+        launches=n_r_seg,
+        loop_rounds=rounds_per_row * n_r_seg,
+    )
+
+    return {c.name: c for c in (precalc, dist, sort, update)}
+
+
+@dataclass
+class TileTiming:
+    """Modelled timing of one tile: per-kernel timings plus transfer bytes."""
+
+    kernels: dict[str, KernelTiming] = field(default_factory=dict)
+    h2d_bytes: float = 0.0
+    d2h_bytes: float = 0.0
+
+    @property
+    def compute_busy(self) -> float:
+        return sum(t.busy for t in self.kernels.values())
+
+    @property
+    def compute_overhead(self) -> float:
+        return sum(t.overhead for t in self.kernels.values())
+
+    @property
+    def compute_total(self) -> float:
+        return self.compute_busy + self.compute_overhead
+
+
+def single_tile_timing(
+    n_r_seg: int,
+    n_q_seg: int,
+    d: int,
+    m: int,
+    device: "DeviceSpec | str",
+    itemsize: int,
+    config: LaunchConfig | None = None,
+    precalc_itemsize: int | None = None,
+    compensated: bool = False,
+    index_itemsize: int = 8,
+) -> TileTiming:
+    """Full analytic timing of a single tile (Pseudocode 1) at any scale."""
+    device = get_device(device)
+    config = config or LaunchConfig.tuned_for(device)
+    costs = single_tile_costs(
+        n_r_seg,
+        n_q_seg,
+        d,
+        m,
+        itemsize,
+        config,
+        precalc_itemsize=precalc_itemsize,
+        compensated=compensated,
+    )
+    working_set = 6.0 * n_q_seg * d * itemsize
+    timing = TileTiming()
+    for name, cost in costs.items():
+        size = precalc_itemsize if name == "precalculation" else itemsize
+        timing.kernels[name] = kernel_time(
+            cost, device, size or itemsize, working_set=working_set
+        )
+    timing.h2d_bytes = float((n_r_seg + n_q_seg + 2 * (m - 1)) * d * itemsize)
+    timing.d2h_bytes = float(n_q_seg * d * (itemsize + index_itemsize))
+    return timing
+
+
+def transfer_time(nbytes: float, device: DeviceSpec) -> float:
+    """Host<->device copy time over the PCIe link."""
+    if device.pcie_bandwidth <= 0:
+        return 0.0
+    return nbytes / device.pcie_bandwidth
+
+
+def cpu_baseline_time(n_r_seg: int, n_q_seg: int, d: int) -> float:
+    """Modelled (MP)^N runtime on the 16-core Skylake baseline (Fig. 6).
+
+    ``t = n_r * n_q * d * c * (1 + 0.35 * log2(d))`` — quadratic in the
+    number of segments, linear in dimensionality with a logarithmic sort
+    factor, independent of m; exactly the complexity behaviour Fig. 6
+    reports for the reference code.
+    """
+    log_d = math.log2(max(d, 2))
+    return (
+        float(n_r_seg)
+        * float(n_q_seg)
+        * d
+        * cal.CPU_CELL_TIME
+        * (1.0 + cal.CPU_SORT_FACTOR * log_d)
+    )

@@ -1,0 +1,145 @@
+"""Multi-GPU interconnect topology (DGX-1 NVLink hybrid cube mesh).
+
+The DGX-1 used in the paper's scaling study wires its 8 V100s in the
+NVLink *hybrid cube-mesh*: each GPU has 6 NVLink2 ports; GPUs 0-3 and 4-7
+form two quads with doubled links on some edges, plus cross connections —
+not a full crossbar, so data placement matters.  The Raven A100 nodes use
+NVSwitch, an effective all-to-all.
+
+While the tiled matrix profile needs no GPU-to-GPU traffic during compute
+(tiles are independent), the *input distribution* does: the host can feed
+every GPU over PCIe, or feed one GPU and let NVLink broadcast.  This
+module models both strategies over the real link graphs (networkx), which
+is what a production multi-GPU loader would use.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .device import DeviceSpec, get_device
+
+__all__ = [
+    "NVLINK2_BW",
+    "NVLINK3_BW",
+    "dgx1_topology",
+    "nvswitch_topology",
+    "pcie_broadcast_time",
+    "nvlink_broadcast_time",
+    "best_broadcast_time",
+]
+
+#: Per-link NVLink bandwidth (one direction), bytes/s.
+NVLINK2_BW = 25e9  # V100 generation
+NVLINK3_BW = 50e9  # A100 generation
+
+
+def dgx1_topology() -> nx.Graph:
+    """The DGX-1 hybrid cube-mesh of 8 V100s.
+
+    Edges carry a ``links`` attribute (1 or 2 NVLink bricks) and
+    ``bandwidth`` in bytes/s.  Reference: NVIDIA DGX-1 system architecture
+    whitepaper; intra-quad neighbours get doubled links on the ring edges.
+    """
+    graph = nx.Graph(name="DGX-1")
+    graph.add_nodes_from(range(8))
+    double = [(0, 1), (2, 3), (4, 5), (6, 7), (0, 2), (1, 3), (4, 6), (5, 7)]
+    single = [
+        (0, 3),
+        (1, 2),
+        (4, 7),
+        (5, 6),
+        (0, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7),
+    ]
+    for u, v in double:
+        graph.add_edge(u, v, links=2, bandwidth=2 * NVLINK2_BW)
+    for u, v in single:
+        graph.add_edge(u, v, links=1, bandwidth=NVLINK2_BW)
+    return graph
+
+
+def nvswitch_topology(n_gpus: int = 4, link_bw: float = NVLINK3_BW * 12 / 2) -> nx.Graph:
+    """An NVSwitch all-to-all (Raven A100 nodes): every pair connected at
+    the full per-GPU NVLink aggregate."""
+    graph = nx.complete_graph(n_gpus)
+    graph.name = "NVSwitch"
+    for u, v in graph.edges:
+        graph.edges[u, v]["links"] = 12
+        graph.edges[u, v]["bandwidth"] = link_bw
+    return graph
+
+
+def pcie_broadcast_time(
+    nbytes: float, n_gpus: int, device: "DeviceSpec | str"
+) -> float:
+    """Host feeds every GPU over the shared PCIe complex (serialised)."""
+    device = get_device(device)
+    if device.pcie_bandwidth <= 0:
+        return 0.0
+    return n_gpus * nbytes / device.pcie_bandwidth
+
+
+def nvlink_broadcast_time(
+    nbytes: float,
+    topology: nx.Graph,
+    device: "DeviceSpec | str",
+    root: int = 0,
+) -> float:
+    """Host feeds GPU ``root`` once over PCIe, then the payload propagates
+    over NVLink along a breadth-first broadcast tree; each tree depth level
+    is one store-and-forward round at the slowest participating link."""
+    device = get_device(device)
+    if root not in topology:
+        raise ValueError(f"root {root} not in topology {topology.name!r}")
+    upload = (
+        nbytes / device.pcie_bandwidth if device.pcie_bandwidth > 0 else 0.0
+    )
+    tree = nx.bfs_tree(topology, root)
+    total = upload
+    # Group tree edges by depth; one round per level.
+    depth = nx.shortest_path_length(tree, root)
+    max_depth = max(depth.values(), default=0)
+    for level in range(1, max_depth + 1):
+        edges = [
+            (u, v)
+            for u, v in tree.edges
+            if depth[v] == level
+        ]
+        if not edges:
+            continue
+        slowest = min(topology.edges[u, v]["bandwidth"] for u, v in edges)
+        total += nbytes / slowest
+    return total
+
+
+def best_broadcast_time(
+    nbytes: float,
+    n_gpus: int,
+    device: "DeviceSpec | str" = "V100",
+    topology: nx.Graph | None = None,
+) -> tuple[float, str]:
+    """The better of PCIe fan-out and NVLink tree broadcast.
+
+    Returns ``(seconds, strategy)``.  Large payloads favour NVLink (per
+    level the links are 2-4x PCIe); tiny payloads favour direct PCIe
+    (fewer store-and-forward rounds).
+    """
+    device = get_device(device)
+    if topology is None:
+        topology = (
+            dgx1_topology() if device.name == "V100" else nvswitch_topology(n_gpus)
+        )
+    sub_nodes = list(topology.nodes)[:n_gpus]
+    sub = topology.subgraph(sub_nodes).copy()
+    if sub.number_of_nodes() > 1 and not nx.is_connected(sub):
+        candidates = {"pcie": pcie_broadcast_time(nbytes, n_gpus, device)}
+    else:
+        candidates = {
+            "pcie": pcie_broadcast_time(nbytes, n_gpus, device),
+            "nvlink": nvlink_broadcast_time(nbytes, sub, device),
+        }
+    strategy = min(candidates, key=candidates.get)
+    return candidates[strategy], strategy

@@ -1,0 +1,115 @@
+"""Chrome-trace export of simulated timelines.
+
+`chrome://tracing` / Perfetto's JSON trace format is the lingua franca of
+GPU timeline visualisation (Nsight Systems exports it too).  This module
+converts a :class:`~repro.gpu.stream.Timeline` into that format, one
+trace "process" per simulated GPU and one "thread" per engine, so a
+multi-GPU tiled run can be inspected visually: stream interleaving,
+transfer overlap, the merge gap — everything the scheduler modelled.
+
+Timestamps are microseconds (the format's unit); durations come straight
+from the modelled ops.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.result import MatrixProfileResult
+from .stream import Timeline
+
+__all__ = ["timeline_to_trace_events", "export_chrome_trace"]
+
+#: Stable thread ids per engine within each device row.
+_ENGINE_TID = {"compute": 0, "h2d": 1, "d2h": 2}
+_ENGINE_LABEL = {"compute": "SMs (compute)", "h2d": "DMA H2D", "d2h": "DMA D2H"}
+
+
+def timeline_to_trace_events(timeline: Timeline) -> list[dict]:
+    """The Trace Event Format list for ``timeline``.
+
+    Each op becomes a complete ("X") event; metadata ("M") events name
+    the processes/threads.  Kernel ops carry their stream id and the
+    kernel family as arguments so Perfetto can group/filter them.
+    """
+    events: list[dict] = []
+    seen_devices: set[int] = set()
+    for op in timeline.ops:
+        if op.device_index not in seen_devices:
+            seen_devices.add(op.device_index)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": op.device_index,
+                    "args": {"name": f"{op.device} #{op.device_index}"},
+                }
+            )
+            for engine, tid in _ENGINE_TID.items():
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": op.device_index,
+                        "tid": tid,
+                        "args": {"name": _ENGINE_LABEL[engine]},
+                    }
+                )
+        kernel = op.label.split(":", 1)[0]
+        events.append(
+            {
+                "ph": "X",
+                "name": op.label,
+                "cat": op.engine,
+                "pid": op.device_index,
+                "tid": _ENGINE_TID[op.engine],
+                "ts": op.start * 1e6,
+                "dur": max(op.duration, 0.0) * 1e6,
+                "args": {"stream": op.stream, "kernel": kernel},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    source: "Timeline | MatrixProfileResult", path: "str | Path"
+) -> Path:
+    """Write a ``.json`` trace viewable in chrome://tracing or Perfetto.
+
+    Accepts either a raw timeline or a full result (whose merge time, if
+    any, is appended as a host-side event after the GPU makespan).
+    """
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(path.suffix + ".json")
+
+    if isinstance(source, MatrixProfileResult):
+        timeline = source.timeline
+        events = timeline_to_trace_events(timeline)
+        if source.merge_time > 0:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": 9999,
+                    "args": {"name": "host (CPU)"},
+                }
+            )
+            events.append(
+                {
+                    "ph": "X",
+                    "name": "merge_tiles",
+                    "cat": "host",
+                    "pid": 9999,
+                    "tid": 0,
+                    "ts": timeline.makespan * 1e6,
+                    "dur": source.merge_time * 1e6,
+                    "args": {"tiles": source.n_tiles},
+                }
+            )
+    else:
+        events = timeline_to_trace_events(source)
+
+    path.write_text(json.dumps({"traceEvents": events}, indent=None))
+    return path

@@ -1,0 +1,117 @@
+"""Result persistence: save/load matrix profile results and timelines.
+
+Long mining runs (the paper's n=2^18 genome study takes minutes even on
+an A100) should be resumable and auditable: this module serialises
+:class:`~repro.core.result.MatrixProfileResult` to a single ``.npz``
+archive (arrays) with an embedded JSON header (metadata + timeline), and
+loads it back loss-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .core.result import MatrixProfileResult
+from .gpu.kernel import KernelCost
+from .gpu.stream import StreamOp, Timeline
+from .precision.modes import PrecisionMode
+
+__all__ = ["save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def _timeline_to_records(timeline: Timeline) -> list[dict]:
+    return [
+        {
+            "device": op.device,
+            "device_index": op.device_index,
+            "stream": op.stream,
+            "engine": op.engine,
+            "label": op.label,
+            "start": op.start,
+            "end": op.end,
+            "overhead": op.overhead,
+        }
+        for op in timeline.ops
+    ]
+
+
+def _timeline_from_records(records: list[dict]) -> Timeline:
+    timeline = Timeline()
+    for r in records:
+        timeline.add(StreamOp(**r))
+    return timeline
+
+
+def _costs_to_records(costs: dict[str, KernelCost]) -> dict[str, dict]:
+    return {
+        name: {
+            "bytes_dram": c.bytes_dram,
+            "bytes_l2": c.bytes_l2,
+            "bytes_l1": c.bytes_l1,
+            "flops": c.flops,
+            "syncs": c.syncs,
+            "launches": c.launches,
+            "loop_rounds": c.loop_rounds,
+        }
+        for name, c in costs.items()
+    }
+
+
+def _costs_from_records(records: dict[str, dict]) -> dict[str, KernelCost]:
+    out = {}
+    for name, fields in records.items():
+        cost = KernelCost(name=name)
+        for key, value in fields.items():
+            setattr(cost, key, value)
+        out[name] = cost
+    return out
+
+
+def save_result(result: MatrixProfileResult, path: "str | Path") -> Path:
+    """Serialise ``result`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "mode": result.mode.value,
+        "m": result.m,
+        "n_tiles": result.n_tiles,
+        "n_gpus": result.n_gpus,
+        "merge_time": result.merge_time,
+        "timeline": _timeline_to_records(result.timeline),
+        "costs": _costs_to_records(result.costs),
+    }
+    np.savez_compressed(
+        path,
+        profile=result.profile,
+        index=result.index,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def load_result(path: "str | Path") -> MatrixProfileResult:
+    """Load a result previously written by :func:`save_result`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result format {header.get('format_version')!r}"
+            )
+        return MatrixProfileResult(
+            profile=data["profile"],
+            index=data["index"],
+            mode=PrecisionMode.parse(header["mode"]),
+            m=int(header["m"]),
+            n_tiles=int(header["n_tiles"]),
+            n_gpus=int(header["n_gpus"]),
+            timeline=_timeline_from_records(header["timeline"]),
+            merge_time=float(header["merge_time"]),
+            costs=_costs_from_records(header["costs"]),
+        )

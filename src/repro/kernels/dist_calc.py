@@ -1,0 +1,120 @@
+"""The ``dist_calc`` kernel (Pseudocode 1, line 4).
+
+Computes one row (plane) of the 3-d distance matrix from the previous row
+using the mean-centred streaming dot product, Eq. (1) of the paper::
+
+    QT[i,j,k] = QT[i-1,j-1,k] + df_r[i,k]*dg_q[j,k] + df_q[j,k]*dg_r[i,k]
+    D[i,j,k]  = sqrt( 2*m * (1 - QT[i,j,k] * inv_r[i,k] * inv_q[j,k]) )
+
+Each device thread evaluates one ``(j, k)`` element of the new plane; the
+update costs two FMAs per element per dimension ("only four floating-point
+operations per dimension in each iteration").  All arithmetic rounds to the
+mode's compute dtype after every operation, exactly like the ``__half``
+intrinsics path of the CUDA implementation.
+
+Overflow handling: half-precision QT values beyond 65504 become ``inf`` in
+the FMA pipeline (the large-deviation failure mode of Section V-B); the
+resulting non-finite distances are saturated to the dtype's largest finite
+value so that the downstream sort and min-merge remain well defined — they
+then simply never win a nearest-neighbour slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.kernel import Kernel, grid_stride_chunks
+from ..precision.arithmetic import rp_fma
+from ..precision.modes import DTYPE_MAX, PrecisionPolicy
+from .precalc import PrecalcResult
+
+__all__ = ["DistCalcKernel"]
+
+
+@dataclass
+class DistCalcKernel(Kernel):
+    """Streaming distance-row computation for one tile.
+
+    Holds the running QT plane between invocations (the diagonal-wise
+    dependency of Eq. (1)); call :meth:`run` with consecutive row indices
+    ``i = 0, 1, ..., n_r_seg-1``.
+    """
+
+    policy: PrecisionPolicy = field(kw_only=True)
+
+    def bind(self, pre: PrecalcResult) -> None:
+        """Attach a tile's precalculation outputs and reset the recurrence."""
+        dtype = self.policy.compute
+        self.pre = pre
+        self.qt = None  # current row's QT plane, (d, n_q_seg)
+        self._two_m = dtype.type(2 * pre.m)
+        self._one = dtype.type(1)
+        # Cache compute-dtype views of the per-row vectors (storage and
+        # compute dtypes coincide in every mode, so these are no-copy).
+        self._df_r = pre.df_r.astype(dtype, copy=False)
+        self._dg_r = pre.dg_r.astype(dtype, copy=False)
+        self._inv_r = pre.inv_r.astype(dtype, copy=False)
+        self._df_q = pre.df_q.astype(dtype, copy=False)
+        self._dg_q = pre.dg_q.astype(dtype, copy=False)
+        self._inv_q = pre.inv_q.astype(dtype, copy=False)
+        self._qt_col0 = pre.qt_col0.astype(dtype, copy=False)
+
+    def run(self, i: int) -> np.ndarray:
+        """Compute distance plane for reference row ``i``; returns (d, n_q)."""
+        pre = self.pre
+        dtype = self.policy.compute
+        if i == 0:
+            self.qt = pre.qt_row0.astype(dtype, copy=True)
+        else:
+            if self.qt is None:
+                raise RuntimeError("rows must be visited in order starting at 0")
+            qt_prev = self.qt
+            qt_new = np.empty_like(qt_prev)
+            # j = 0 has no top-left predecessor: take the precalculated
+            # first-column entry.
+            qt_new[:, 0] = self._qt_col0[:, i]
+            # Two rounded FMAs per element, matching the __hfma2 pipeline:
+            # QT[i, j] = QT[i-1, j-1] + df_r[i]*dg_q[j] + df_q[j]*dg_r[i].
+            step = rp_fma(
+                self._df_r[:, i : i + 1],
+                self._dg_q[:, 1:],
+                qt_prev[:, :-1],
+                dtype,
+            )
+            qt_new[:, 1:] = rp_fma(
+                self._df_q[:, 1:],
+                self._dg_r[:, i : i + 1],
+                step,
+                dtype,
+            )
+            self.qt = qt_new
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            corr = (
+                (self.qt * self._inv_r[:, i : i + 1]).astype(dtype) * self._inv_q
+            ).astype(dtype)
+            gap = (self._one - corr).astype(dtype)
+            # Rounding can push corr slightly above 1 for perfect matches;
+            # clamp so sqrt stays real (SCAMP does the same).
+            np.maximum(gap, dtype.type(0), out=gap)
+            dist = np.sqrt((self._two_m * gap).astype(dtype)).astype(dtype)
+        limit = dtype.type(DTYPE_MAX[np.dtype(dtype)])
+        dist = np.where(np.isfinite(dist), dist, limit).astype(dtype)
+
+        self._record_cost(dist)
+        return dist
+
+    def _record_cost(self, plane: np.ndarray) -> None:
+        """Per-row cost per the conventions in ``repro.gpu.perfmodel``."""
+        elems = float(plane.size)
+        size = self.policy.storage.itemsize
+        rounds = len(list(grid_stride_chunks(plane.size, self.config)))
+        self._account(
+            bytes_dram=3.0 * elems * size,
+            bytes_l2=6.0 * elems * size,
+            flops=8.0 * elems,
+            launches=1,
+            loop_rounds=rounds,
+        )

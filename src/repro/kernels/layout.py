@@ -1,0 +1,54 @@
+"""Dimension-wise data layout helpers.
+
+The paper's first GPU optimisation (Section III-A) is a *dimension-wise*
+data layout: "consecutive elements of each dimension reside next to each
+other in memory ... for all the data involved in the computations".  In
+numpy terms every device-side array is shaped ``(d, n)`` and C-contiguous,
+so a kernel sweeping segments within one dimension walks unit-stride memory
+— the coalesced-access pattern the grid-stride loops rely on.
+
+The public API accepts the conventional time-major ``(n, d)`` layout (as
+produced by sensor pipelines and used by STUMPY); these helpers convert at
+the host/device boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_device_layout", "to_host_layout", "validate_series"]
+
+
+def validate_series(series: np.ndarray, name: str = "series") -> np.ndarray:
+    """Normalise a host time series to a 2-d float array of shape (n, d).
+
+    1-d input is treated as a single-dimensional series (d = 1).
+    """
+    arr = np.asarray(series)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-d or 2-d, got shape {arr.shape}")
+    if arr.shape[0] < 2:
+        raise ValueError(f"{name} must have at least 2 samples, got {arr.shape[0]}")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            f"{name} contains non-finite values (NaN/inf); impute or drop "
+            "them before mining — z-normalised distances are undefined there"
+        )
+    return arr
+
+
+def to_device_layout(series: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """(n, d) host layout -> C-contiguous (d, n) device layout in ``dtype``."""
+    arr = validate_series(series)
+    return np.ascontiguousarray(arr.T, dtype=dtype)
+
+
+def to_host_layout(plane: np.ndarray) -> np.ndarray:
+    """(d, n) device layout -> (n, d) host layout (C-contiguous copy)."""
+    if plane.ndim != 2:
+        raise ValueError(f"device plane must be 2-d, got shape {plane.shape}")
+    return np.ascontiguousarray(plane.T)

@@ -1,0 +1,282 @@
+"""The ``precalculation`` kernel (Pseudocode 1, line 2).
+
+Prepares, in a single pass over the two input series, everything the main
+iteration loop needs (Section II-B / III-A):
+
+* windowed means ``mu`` and inverse centred norms ``inv = 1/||T_i - mu_i||``
+  (the paper's ``dr^-1`` / ``dq^-1`` up to the constant ``m`` folded in),
+* the streaming-update coefficient vectors ``df`` and ``dg``,
+* the first row and first column of the correlation matrix ``QT`` via a
+  naive (non-streaming) centred dot product.
+
+Windowed sums are realised with *cumulative summations* exactly as the
+paper describes ("this kernel computes the variables df, dg, ... using
+cumulative summations").  In FP16 those running sums are where the severe
+cancellation originates; the Mixed mode lifts them to FP32, and FP16C
+additionally applies Kahan compensation (Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.kernel import Kernel, grid_stride_chunks
+from ..precision.modes import PrecisionPolicy
+
+__all__ = ["PrecalcResult", "PrecalcKernel"]
+
+
+@dataclass
+class PrecalcResult:
+    """Device-resident precalculation outputs, all in dimension-wise layout.
+
+    Shapes: ``*_r`` arrays are ``(d, n_r_seg)``, ``*_q`` are ``(d, n_q_seg)``,
+    ``qt_row0`` is ``(d, n_q_seg)`` (correlation of reference segment 0 with
+    every query segment) and ``qt_col0`` is ``(d, n_r_seg)`` (every reference
+    segment with query segment 0).  Storage dtype follows the precision
+    policy; the main loop never needs the wider precalc dtype again.
+    """
+
+    m: int
+    mu_r: np.ndarray
+    inv_r: np.ndarray
+    df_r: np.ndarray
+    dg_r: np.ndarray
+    mu_q: np.ndarray
+    inv_q: np.ndarray
+    df_q: np.ndarray
+    dg_q: np.ndarray
+    qt_row0: np.ndarray
+    qt_col0: np.ndarray
+
+    @property
+    def n_r_seg(self) -> int:
+        return self.mu_r.shape[1]
+
+    @property
+    def n_q_seg(self) -> int:
+        return self.mu_q.shape[1]
+
+    @property
+    def d(self) -> int:
+        return self.mu_r.shape[0]
+
+
+class _Accumulator:
+    """Sequential (optionally Kahan-compensated) accumulator in ``dtype``.
+
+    Models one device thread's register accumulation: every addition
+    rounds to the target format; with compensation enabled the classic
+    Kahan recurrence runs entirely in that format.
+    """
+
+    def __init__(self, shape: tuple[int, ...], dtype: np.dtype, compensated: bool):
+        self.dtype = dtype
+        self.value = np.zeros(shape, dtype=dtype)
+        self.comp = np.zeros(shape, dtype=dtype) if compensated else None
+
+    def add(self, term: np.ndarray) -> None:
+        term = term.astype(self.dtype, copy=False)
+        if self.comp is None:
+            self.value = (self.value + term).astype(self.dtype)
+        else:
+            y = (term - self.comp).astype(self.dtype)
+            total = (self.value + y).astype(self.dtype)
+            self.comp = ((total - self.value).astype(self.dtype) - y).astype(self.dtype)
+            self.value = total
+
+
+def _window_stats(
+    series: np.ndarray, m: int, policy: PrecisionPolicy
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windowed means and inverse centred norms, per-window accumulation.
+
+    ``series`` is (d, len) in the precalc dtype.  Each output element is
+    accumulated over its own m samples ("each thread computes ... the
+    corresponding cumulative summations for each element", Section III-A)
+    with a two-pass centred second moment — so the rounding error is the
+    length-m dot-product error of the precalc format, which FP16C further
+    compresses with Kahan compensation.
+    """
+    dtype = policy.precalc
+    d, length = series.shape
+    n_seg = length - m + 1
+
+    acc = _Accumulator((d, n_seg), dtype, policy.compensated)
+    for t in range(m):
+        acc.add(series[:, t : t + n_seg])
+    with np.errstate(over="ignore", invalid="ignore"):
+        mu = (acc.value / dtype.type(m)).astype(dtype)
+
+    acc2 = _Accumulator((d, n_seg), dtype, policy.compensated)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for t in range(m):
+            diff = (series[:, t : t + n_seg] - mu).astype(dtype)
+            acc2.add((diff * diff).astype(dtype))
+    cent_sq = acc2.value
+    # Flat windows give non-positive centred energy after rounding; clamp to
+    # the smallest normal so the reciprocal stays finite (ill-conditioned
+    # regions then produce the large errors Section V-B describes).
+    tiny = np.finfo(dtype).tiny
+    cent_sq = np.maximum(cent_sq, dtype.type(tiny))
+    with np.errstate(over="ignore", invalid="ignore"):
+        inv = (dtype.type(1.0) / np.sqrt(cent_sq).astype(dtype)).astype(dtype)
+    return mu, inv
+
+
+def _delta_coefficients(
+    series: np.ndarray, mu: np.ndarray, m: int, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """The streaming-update coefficients df, dg (SCAMP formulation).
+
+    ``df[i] = (T[i+m-1] - T[i-1]) / 2``
+    ``dg[i] = (T[i+m-1] - mu[i]) + (T[i-1] - mu[i-1])``, with index 0 = 0.
+    """
+    d, length = series.shape
+    n_seg = length - m + 1
+    df = np.zeros((d, n_seg), dtype=dtype)
+    dg = np.zeros((d, n_seg), dtype=dtype)
+    if n_seg > 1:
+        head = series[:, m : m + n_seg - 1]  # T[i+m-1] for i >= 1
+        tail = series[:, 0 : n_seg - 1]  # T[i-1]   for i >= 1
+        df[:, 1:] = ((head - tail).astype(dtype) * dtype.type(0.5)).astype(dtype)
+        dg[:, 1:] = (
+            (head - mu[:, 1:]).astype(dtype) + (tail - mu[:, :-1]).astype(dtype)
+        ).astype(dtype)
+    return df, dg
+
+
+def _centered_dot_against(
+    fixed_seg: np.ndarray,
+    fixed_mu: np.ndarray,
+    series: np.ndarray,
+    mu: np.ndarray,
+    m: int,
+    policy: PrecisionPolicy,
+) -> np.ndarray:
+    """Naive centred dot products of one fixed segment against all segments.
+
+    ``out[k, j] = sum_t (fixed[k, t] - fixed_mu[k]) * (series[k, j+t] - mu[k, j])``
+
+    Accumulated sequentially over ``t`` in the precalc dtype (one rounded
+    FMA per step), with optional Kahan compensation — this is the "naive
+    (non-streaming) dot product formulation" of Section III-A, one thread
+    per output element on the device.
+    """
+    dtype = policy.precalc
+    d, n_seg = mu.shape
+    acc = _Accumulator((d, n_seg), dtype, policy.compensated)
+    fixed_centered = (fixed_seg - fixed_mu[:, None]).astype(dtype)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for t in range(m):
+            term = (
+                fixed_centered[:, t : t + 1]
+                * (series[:, t : t + n_seg] - mu).astype(dtype)
+            ).astype(dtype)
+            acc.add(term)
+    return acc.value
+
+
+@dataclass
+class PrecalcKernel(Kernel):
+    """Executes the precalculation for one tile and records its cost."""
+
+    policy: PrecisionPolicy = field(kw_only=True)
+
+    def run(self, tr_dev: np.ndarray, tq_dev: np.ndarray, m: int) -> PrecalcResult:
+        """``tr_dev``/``tq_dev`` are (d, len) device arrays in storage dtype."""
+        if tr_dev.ndim != 2 or tq_dev.ndim != 2:
+            raise ValueError("device series must be 2-d (d, n)")
+        if tr_dev.shape[0] != tq_dev.shape[0]:
+            raise ValueError(
+                f"dimensionality mismatch: {tr_dev.shape[0]} vs {tq_dev.shape[0]}"
+            )
+        if m < 2:
+            raise ValueError(f"segment length m must be >= 2, got {m}")
+        if m > min(tr_dev.shape[1], tq_dev.shape[1]):
+            raise ValueError(
+                f"m={m} exceeds series lengths {tr_dev.shape[1]}, {tq_dev.shape[1]}"
+            )
+        policy = self.policy
+        pdtype = policy.precalc
+        sdtype = policy.storage
+
+        tr = tr_dev.astype(pdtype, copy=False)
+        tq = tq_dev.astype(pdtype, copy=False)
+
+        mu_r, inv_r = _window_stats(tr, m, policy)
+        mu_q, inv_q = _window_stats(tq, m, policy)
+        df_r, dg_r = _delta_coefficients(tr, mu_r, m, pdtype)
+        df_q, dg_q = _delta_coefficients(tq, mu_q, m, pdtype)
+
+        qt_row0 = _centered_dot_against(tr[:, :m], mu_r[:, 0], tq, mu_q, m, policy)
+        qt_col0 = _centered_dot_against(tq[:, :m], mu_q[:, 0], tr, mu_r, m, policy)
+
+        result = PrecalcResult(
+            m=m,
+            mu_r=mu_r.astype(sdtype),
+            inv_r=inv_r.astype(sdtype),
+            df_r=df_r.astype(sdtype),
+            dg_r=dg_r.astype(sdtype),
+            mu_q=mu_q.astype(sdtype),
+            inv_q=inv_q.astype(sdtype),
+            df_q=df_q.astype(sdtype),
+            dg_q=dg_q.astype(sdtype),
+            qt_row0=qt_row0.astype(sdtype),
+            qt_col0=qt_col0.astype(sdtype),
+        )
+        self._record_cost(result, tr_dev, tq_dev, m)
+        return result
+
+    def _record_cost(
+        self,
+        result: PrecalcResult,
+        tr_dev: np.ndarray,
+        tq_dev: np.ndarray,
+        m: int,
+    ) -> None:
+        """Cost per the conventions in ``repro.gpu.perfmodel``."""
+        d = result.d
+        n_r, n_q = result.n_r_seg, result.n_q_seg
+        psize = self.policy.precalc.itemsize
+        pre_elems = float((n_r + n_q) * d)
+        flops = 2.0 * m * pre_elems + 8.0 * pre_elems
+        if self.policy.compensated:
+            flops *= 4.0
+        rounds = len(list(grid_stride_chunks(int(pre_elems), self.config)))
+        self._account(
+            bytes_dram=(
+                float((tr_dev.shape[1] + tq_dev.shape[1]) * d * psize)
+                + 8.0 * pre_elems * psize
+                + pre_elems * psize
+            ),
+            bytes_l2=2.0 * m * pre_elems * psize,
+            flops=flops,
+            launches=1,
+            loop_rounds=rounds,
+        )
+
+
+def naive_qt_row(
+    tr_dev: np.ndarray,
+    tq_dev: np.ndarray,
+    m: int,
+    row: int,
+    policy: PrecisionPolicy,
+) -> np.ndarray:
+    """Reference helper: centred QT of reference segment ``row`` against all
+    query segments, computed naively in the precalc precision.
+
+    Used by tests to validate the streaming recurrence against direct
+    evaluation at arbitrary rows.
+    """
+    pdtype = policy.precalc
+    tr = tr_dev.astype(pdtype, copy=False)
+    tq = tq_dev.astype(pdtype, copy=False)
+    mu_r, _ = _window_stats(tr, m, policy)
+    mu_q, _ = _window_stats(tq, m, policy)
+    return _centered_dot_against(
+        tr[:, row : row + m], mu_r[:, row], tq, mu_q, m, policy
+    )

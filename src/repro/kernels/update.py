@@ -1,0 +1,83 @@
+"""The ``update_mat_prof`` kernel (Pseudocode 1, line 6).
+
+Merges the inclusive-average plane of iteration ``i`` into the running
+matrix profile with a column-wise min/argmin (Eq. 3)::
+
+    P[j,k] = min(P[j,k], D''[i,j,k]);   I[j,k] = i  where it improved
+
+Each thread owns one ``(j, k)`` element — "embarrassingly parallel" in the
+paper's words.  Strict ``<`` keeps the *first* minimising row on ties,
+matching the sequential iteration order of the CPU reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.kernel import Kernel
+from ..precision.modes import DTYPE_MAX, PrecisionPolicy
+
+__all__ = ["UpdateKernel", "INDEX_DTYPE"]
+
+#: Matrix-profile index dtype; int64 comfortably covers any segment count.
+INDEX_DTYPE = np.dtype(np.int64)
+
+
+@dataclass
+class UpdateKernel(Kernel):
+    """Running min/argmin merge for one tile."""
+
+    policy: PrecisionPolicy = field(kw_only=True)
+
+    def allocate(self, d: int, n_q_seg: int) -> None:
+        """Initialise the running profile to +max and indices to -1."""
+        dtype = self.policy.storage
+        limit = dtype.type(DTYPE_MAX[np.dtype(dtype)])
+        self.profile = np.full((d, n_q_seg), limit, dtype=dtype)
+        self.indices = np.full((d, n_q_seg), -1, dtype=INDEX_DTYPE)
+
+    def run(self, plane: np.ndarray, row: int, row_offset: int = 0) -> None:
+        """Merge plane ``D''`` of (tile-local) reference row ``row``.
+
+        ``row_offset`` maps the tile-local row to the global reference
+        index recorded in ``I`` (multi-tile runs pass the tile's origin).
+        """
+        if plane.shape != self.profile.shape:
+            raise ValueError(
+                f"plane shape {plane.shape} != profile shape {self.profile.shape}"
+            )
+        plane = plane.astype(self.policy.storage, copy=False)
+        improved = plane < self.profile
+        np.copyto(self.profile, plane, where=improved)
+        np.copyto(self.indices, INDEX_DTYPE.type(row + row_offset), where=improved)
+        self._record_cost(plane)
+
+    def masked_run(
+        self, plane: np.ndarray, row: int, mask: np.ndarray, row_offset: int = 0
+    ) -> None:
+        """Merge with an exclusion mask (True = excluded column).
+
+        Self-joins exclude trivial matches around the diagonal; the mask is
+        applied per row before the min-merge.
+        """
+        plane = plane.astype(self.policy.storage, copy=False)
+        improved = (plane < self.profile) & ~mask
+        np.copyto(self.profile, plane, where=improved)
+        np.copyto(self.indices, INDEX_DTYPE.type(row + row_offset), where=improved)
+        self._record_cost(plane)
+
+    def _record_cost(self, plane: np.ndarray) -> None:
+        """Per-row cost per the conventions in ``repro.gpu.perfmodel``."""
+        elems = float(plane.size)
+        size = self.policy.storage.itemsize
+        rounds = math.ceil(plane.size / self.config.total_threads)
+        self._account(
+            bytes_dram=2.0 * elems * size,
+            bytes_l2=5.0 * elems * size,
+            flops=2.0 * elems,
+            launches=1,
+            loop_rounds=rounds,
+        )

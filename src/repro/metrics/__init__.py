@@ -1,0 +1,24 @@
+"""Accuracy metrics of Section V-A: numerical (R, A), practical
+(R_embedded, relaxed recall) and classification (F-score)."""
+
+from .classification import (
+    accuracy,
+    confusion_matrix,
+    macro_f_score,
+    precision_recall_f1,
+)
+from .numerical import recall_rate, relative_accuracy, relative_error
+from .practical import detection_hits, embedded_motif_recall, relaxed_recall
+
+__all__ = [
+    "recall_rate",
+    "relative_accuracy",
+    "relative_error",
+    "detection_hits",
+    "embedded_motif_recall",
+    "relaxed_recall",
+    "accuracy",
+    "confusion_matrix",
+    "macro_f_score",
+    "precision_recall_f1",
+]

@@ -1,0 +1,66 @@
+"""Classification metrics (Section V-A: F-score for classification).
+
+The HPC-ODA case study scores a nearest-neighbour classifier with the
+F-score — the harmonic mean of precision and recall (Tharwat, 2020) —
+averaged over classes (macro) to be robust to class imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "precision_recall_f1", "macro_f_score", "accuracy"]
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """(n_classes, n_classes) counts; rows = true class, cols = predicted."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=-1), y_pred.max(initial=-1))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(cm).astype(np.float64)
+    predicted = cm.sum(axis=0).astype(np.float64)
+    actual = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+    return precision, recall, f1
+
+
+def macro_f_score(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> float:
+    """Macro-averaged F-score over classes that actually occur in y_true."""
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    _, _, f1 = precision_recall_f1(y_true, y_pred, cm.shape[0])
+    present = cm.sum(axis=1) > 0
+    if not present.any():
+        return 0.0
+    return float(f1[present].mean())
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))

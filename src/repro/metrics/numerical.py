@@ -1,0 +1,61 @@
+"""Numerical accuracy metrics (Section V-A, first set).
+
+* **Recall rate R** — the ratio of matrix profile *indices* that match the
+  reference calculation exactly.
+* **Relative accuracy A = 1 − E** — where E is the relative discrepancy of
+  the matrix profile *values* against the FP64 reference, reported in
+  percent.  A is clamped at 0 (FP16 errors can exceed 100% relative error,
+  and the paper's plots bottom out near 0/5%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_rate", "relative_error", "relative_accuracy"]
+
+
+def _valid_mask(reference: np.ndarray) -> np.ndarray:
+    return np.isfinite(reference)
+
+
+def recall_rate(index: np.ndarray, index_ref: np.ndarray) -> float:
+    """Fraction of matching matrix profile indices, in percent.
+
+    Entries where the reference index is -1 (excluded columns) are ignored.
+    """
+    index = np.asarray(index)
+    index_ref = np.asarray(index_ref)
+    if index.shape != index_ref.shape:
+        raise ValueError(f"shape mismatch: {index.shape} vs {index_ref.shape}")
+    valid = index_ref >= 0
+    if not valid.any():
+        return 100.0
+    return float(np.mean(index[valid] == index_ref[valid]) * 100.0)
+
+
+def relative_error(profile: np.ndarray, profile_ref: np.ndarray) -> float:
+    """Mean relative discrepancy E of profile values vs the reference.
+
+    Near-zero reference distances (perfect matches) are compared against
+    the mean reference magnitude instead, to keep E finite — these are
+    exactly the ill-conditioned entries of Section V-B.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    profile_ref = np.asarray(profile_ref, dtype=np.float64)
+    if profile.shape != profile_ref.shape:
+        raise ValueError(f"shape mismatch: {profile.shape} vs {profile_ref.shape}")
+    valid = _valid_mask(profile_ref)
+    if not valid.any():
+        return 0.0
+    ref = profile_ref[valid]
+    test = np.where(np.isfinite(profile[valid]), profile[valid], 0.0)
+    scale_floor = max(float(np.mean(np.abs(ref))), np.finfo(np.float64).tiny)
+    denom = np.maximum(np.abs(ref), 1e-3 * scale_floor)
+    return float(np.mean(np.abs(test - ref) / denom))
+
+
+def relative_accuracy(profile: np.ndarray, profile_ref: np.ndarray) -> float:
+    """A = (1 − E) in percent, clamped to [0, 100]."""
+    err = relative_error(profile, profile_ref)
+    return float(np.clip((1.0 - err) * 100.0, 0.0, 100.0))

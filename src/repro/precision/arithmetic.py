@@ -1,0 +1,128 @@
+"""Reduced-precision arithmetic helpers.
+
+On NVIDIA GPUs the ``__half`` intrinsics round every floating-point
+operation to binary16.  numpy's ``float16`` arithmetic has the same
+semantics (each ufunc computes in a wider format internally and rounds the
+result to binary16), so computing on ``float16`` arrays is a faithful
+per-operation emulation of the paper's FP16 kernels.  The helpers here make
+the rounding points explicit and add the saturation behaviour of CUDA's
+half-precision conversions.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .modes import DTYPE_MAX
+
+__all__ = [
+    "quantize",
+    "saturate_cast",
+    "rp_add",
+    "rp_sub",
+    "rp_mul",
+    "rp_div",
+    "rp_fma",
+    "rp_sqrt",
+    "ulp_distance",
+]
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+def quantize(x: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """Round ``x`` to ``dtype`` (round-to-nearest-even, may overflow to inf).
+
+    This is the "storage" rounding: exactly what happens when a register
+    value is written to a lower-precision array element.  Overflow becomes
+    inf silently (hardware conversion semantics).
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x).astype(dtype, copy=False)
+
+
+def saturate_cast(x: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """Round ``x`` to ``dtype``, clamping overflow to the largest finite value.
+
+    CUDA's ``__float2half_rn`` family saturates rather than producing inf
+    for values within float range; the paper's turbine case study relies on
+    min-max normalisation precisely to stay below this threshold.  NaNs are
+    propagated unchanged.
+    """
+    dtype = np.dtype(dtype)
+    limit = DTYPE_MAX[dtype]
+    arr = np.asarray(x, dtype=np.float64)
+    clipped = np.clip(arr, -limit, limit)
+    # np.clip propagates NaN already; just cast.
+    return clipped.astype(dtype)
+
+
+def rp_add(a: ArrayLike, b: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """``a + b`` rounded to ``dtype``."""
+    with np.errstate(over="ignore", invalid="ignore"):
+        return (quantize(a, dtype) + quantize(b, dtype)).astype(dtype, copy=False)
+
+
+def rp_sub(a: ArrayLike, b: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """``a - b`` rounded to ``dtype``."""
+    with np.errstate(over="ignore", invalid="ignore"):
+        return (quantize(a, dtype) - quantize(b, dtype)).astype(dtype, copy=False)
+
+
+def rp_mul(a: ArrayLike, b: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """``a * b`` rounded to ``dtype``."""
+    with np.errstate(over="ignore", invalid="ignore"):
+        return (quantize(a, dtype) * quantize(b, dtype)).astype(dtype, copy=False)
+
+
+def rp_div(a: ArrayLike, b: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """``a / b`` rounded to ``dtype``."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (quantize(a, dtype) / quantize(b, dtype)).astype(dtype, copy=False)
+
+
+def rp_fma(a: ArrayLike, b: ArrayLike, c: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """Fused multiply-add ``a*b + c`` with a *single* rounding to ``dtype``.
+
+    GPU pipelines provide fused FMA (``__hfma`` for half) which rounds once.
+    We emulate the fused behaviour by evaluating in the next-wider format —
+    the product of two ``dtype`` values is exact there (11-bit significands
+    square into 22 < 24 bits for half, 24 into 48 < 53 for single) — and
+    rounding the final result once.  For float64 numpy has no fma; the
+    two-rounding fallback differs from hardware by at most one ulp.
+    """
+    dtype = np.dtype(dtype)
+    with np.errstate(over="ignore", invalid="ignore"):
+        if dtype == np.float64:
+            a_q, b_q, c_q = quantize(a, dtype), quantize(b, dtype), quantize(c, dtype)
+            return np.asarray(a_q * b_q + c_q, dtype=dtype)
+        wide = np.float32 if dtype == np.float16 else np.float64
+        a_w = np.asarray(quantize(a, dtype), dtype=wide)
+        b_w = np.asarray(quantize(b, dtype), dtype=wide)
+        c_w = np.asarray(quantize(c, dtype), dtype=wide)
+        return (a_w * b_w + c_w).astype(dtype)
+
+
+def rp_sqrt(a: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """``sqrt(a)`` rounded to ``dtype`` (NaN for negative inputs)."""
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(quantize(a, dtype)).astype(dtype, copy=False)
+
+
+def ulp_distance(a: ArrayLike, b: ArrayLike, dtype: np.dtype) -> np.ndarray:
+    """Distance between ``a`` and ``b`` in units-in-the-last-place of ``dtype``.
+
+    Useful for tests asserting "bit-identical up to k ulps" across code
+    paths that should agree (e.g. streaming vs. naive dot products in FP64).
+    """
+    dtype = np.dtype(dtype)
+    a_q = quantize(a, dtype)
+    b_q = quantize(b, dtype)
+    spacing = np.spacing(np.maximum(np.abs(a_q), np.abs(b_q)).astype(dtype))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.abs(a_q.astype(np.float64) - b_q.astype(np.float64)) / spacing.astype(
+            np.float64
+        )
+    return np.where(a_q == b_q, 0.0, out)

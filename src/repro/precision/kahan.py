@@ -1,0 +1,117 @@
+"""Compensated summation (Kahan, 1965) in explicit reduced precision.
+
+The FP16C mode of the paper performs the precalculation with "an improved
+variation of arithmetic that uses Kahan's compensated summation ... to
+prevent the error propagation from severe cancellations" (Section III-C).
+
+All routines here round *every* intermediate to the requested dtype, so the
+compensation genuinely operates in the target precision — summing in float64
+and casting at the end would hide exactly the errors being compensated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "kahan_sum",
+    "kahan_cumsum",
+    "kahan_dot",
+    "neumaier_sum",
+    "naive_sum",
+    "naive_cumsum",
+]
+
+
+def naive_sum(values: np.ndarray, dtype: np.dtype, axis: int = -1) -> np.ndarray:
+    """Sequential (recursive) summation with per-step rounding to ``dtype``.
+
+    This mirrors a scalar accumulation loop on the device — *not* numpy's
+    pairwise summation, whose error is O(log n · eps) rather than the
+    O(n · eps) of the naive loop the paper analyses.
+    """
+    values = np.moveaxis(np.asarray(values, dtype=dtype), axis, -1)
+    acc = np.zeros(values.shape[:-1], dtype=dtype)
+    for t in range(values.shape[-1]):
+        acc = (acc + values[..., t]).astype(dtype)
+    return acc
+
+
+def naive_cumsum(values: np.ndarray, dtype: np.dtype, axis: int = -1) -> np.ndarray:
+    """Running (inclusive) sums with per-step rounding to ``dtype``."""
+    values = np.moveaxis(np.asarray(values, dtype=dtype), axis, -1)
+    out = np.empty_like(values)
+    acc = np.zeros(values.shape[:-1], dtype=dtype)
+    for t in range(values.shape[-1]):
+        acc = (acc + values[..., t]).astype(dtype)
+        out[..., t] = acc
+    return np.moveaxis(out, -1, axis)
+
+
+def kahan_sum(values: np.ndarray, dtype: np.dtype, axis: int = -1) -> np.ndarray:
+    """Kahan compensated summation, vectorised over all other axes.
+
+    The classic recurrence, with every operation rounded to ``dtype``::
+
+        y = x[t] - c
+        t = s + y
+        c = (t - s) - y
+        s = t
+    """
+    values = np.moveaxis(np.asarray(values, dtype=dtype), axis, -1)
+    s = np.zeros(values.shape[:-1], dtype=dtype)
+    c = np.zeros_like(s)
+    for t in range(values.shape[-1]):
+        y = (values[..., t] - c).astype(dtype)
+        total = (s + y).astype(dtype)
+        c = ((total - s).astype(dtype) - y).astype(dtype)
+        s = total
+    return s
+
+
+def kahan_cumsum(values: np.ndarray, dtype: np.dtype, axis: int = -1) -> np.ndarray:
+    """Inclusive compensated running sums (used by FP16C precalculation)."""
+    values = np.moveaxis(np.asarray(values, dtype=dtype), axis, -1)
+    out = np.empty_like(values)
+    s = np.zeros(values.shape[:-1], dtype=dtype)
+    c = np.zeros_like(s)
+    for t in range(values.shape[-1]):
+        y = (values[..., t] - c).astype(dtype)
+        total = (s + y).astype(dtype)
+        c = ((total - s).astype(dtype) - y).astype(dtype)
+        s = total
+        out[..., t] = s
+    return np.moveaxis(out, -1, axis)
+
+
+def kahan_dot(a: np.ndarray, b: np.ndarray, dtype: np.dtype, axis: int = -1) -> np.ndarray:
+    """Compensated dot product ``sum(a*b)`` along ``axis`` in ``dtype``.
+
+    Products are rounded to ``dtype`` before accumulation (matching a
+    device loop of ``__hmul`` followed by compensated adds).
+    """
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
+    prod = (a * b).astype(dtype)
+    return kahan_sum(prod, dtype, axis=axis)
+
+
+def neumaier_sum(values: np.ndarray, dtype: np.dtype, axis: int = -1) -> np.ndarray:
+    """Neumaier's improved Kahan–Babuška summation.
+
+    Handles the case where the next addend is larger in magnitude than the
+    running sum, which plain Kahan mishandles.  Included as the "improved
+    arithmetic" ablation point.
+    """
+    values = np.moveaxis(np.asarray(values, dtype=dtype), axis, -1)
+    s = np.zeros(values.shape[:-1], dtype=dtype)
+    c = np.zeros_like(s)
+    for t in range(values.shape[-1]):
+        x = values[..., t]
+        total = (s + x).astype(dtype)
+        big = np.abs(s) >= np.abs(x)
+        corr_big = ((s - total).astype(dtype) + x).astype(dtype)
+        corr_small = ((x - total).astype(dtype) + s).astype(dtype)
+        c = (c + np.where(big, corr_big, corr_small)).astype(dtype)
+        s = total
+    return (s + c).astype(dtype)

@@ -1,0 +1,172 @@
+"""Precision modes for matrix profile computation.
+
+The paper (Section III-C) defines five modes:
+
+* **FP64** -- double precision for storage and arithmetic (the reference).
+* **FP32** -- single precision for storage and arithmetic.
+* **FP16** -- half precision everywhere; fastest, most error-prone.
+* **Mixed** -- FP16 storage/arithmetic in the main iteration loop, but the
+  ``precalculation`` kernel runs in FP32.
+* **FP16C** -- like Mixed, but the precalculation additionally uses Kahan's
+  compensated summation to suppress cancellation, after which the main loop
+  runs in FP16.
+
+Each mode is a frozen dataclass capturing the *dtype policy*: which numpy
+dtype is used for storage of the large planes, which dtype the main-loop
+arithmetic rounds to, which dtype the precalculation uses, and whether the
+precalculation applies compensated summation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PrecisionMode",
+    "PrecisionPolicy",
+    "POLICIES",
+    "policy_for",
+    "MACHINE_EPS",
+    "DTYPE_MAX",
+]
+
+#: Unit roundoff (machine epsilon for round-to-nearest) per IEEE format,
+#: as used in the paper's error analysis (Section V-B):
+#: eps64 = 2^-52, eps32 = 2^-23, eps16 = 2^-10  (the paper quotes the
+#: round-to-nearest *precision* of the significand).
+MACHINE_EPS: dict[np.dtype, float] = {
+    np.dtype(np.float64): 2.0**-52,
+    np.dtype(np.float32): 2.0**-23,
+    np.dtype(np.float16): 2.0**-10,
+}
+
+#: Largest finite representable magnitude per format (overflow threshold,
+#: relevant for the paper's discussion of large-deviation regions in FP16).
+DTYPE_MAX: dict[np.dtype, float] = {
+    np.dtype(np.float64): float(np.finfo(np.float64).max),
+    np.dtype(np.float32): float(np.finfo(np.float32).max),
+    np.dtype(np.float16): float(np.finfo(np.float16).max),  # 65504.0
+}
+
+
+class PrecisionMode(str, enum.Enum):
+    """The five precision modes of the paper (Fig. 1, bottom table)."""
+
+    FP64 = "FP64"
+    FP32 = "FP32"
+    FP16 = "FP16"
+    MIXED = "Mixed"
+    FP16C = "FP16C"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def parse(cls, value: "PrecisionMode | str") -> "PrecisionMode":
+        """Parse a mode from a string, case-insensitively.
+
+        Accepts the paper's spellings (``"Mixed"``, ``"FP16C"``) as well as
+        lower-case variants.
+        """
+        if isinstance(value, cls):
+            return value
+        lookup = {m.value.lower(): m for m in cls}
+        try:
+            return lookup[str(value).lower()]
+        except KeyError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown precision mode {value!r}; expected one of: {valid}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Dtype policy realising one :class:`PrecisionMode`.
+
+    Attributes
+    ----------
+    mode:
+        The mode this policy realises.
+    storage:
+        Dtype used for the large device-resident planes (``QT``, ``D``,
+        ``P`` and the precalculated vectors handed to the main loop).
+    compute:
+        Dtype the main-loop arithmetic rounds to after every operation.
+        On real hardware this is the register format of the FMA pipeline.
+    precalc:
+        Dtype used *inside* the ``precalculation`` kernel.  For Mixed and
+        FP16C this is wider than ``storage``; results are rounded down to
+        ``storage`` when handed to the main loop.
+    compensated:
+        Whether precalculation uses Kahan compensated summation (FP16C).
+    """
+
+    mode: PrecisionMode
+    storage: np.dtype
+    compute: np.dtype
+    precalc: np.dtype
+    compensated: bool
+
+    @property
+    def eps(self) -> float:
+        """Unit roundoff of the main-loop compute format."""
+        return MACHINE_EPS[self.compute]
+
+    @property
+    def precalc_eps(self) -> float:
+        """Unit roundoff of the precalculation format."""
+        return MACHINE_EPS[self.precalc]
+
+    @property
+    def max_value(self) -> float:
+        """Overflow threshold of the main-loop compute format."""
+        return DTYPE_MAX[self.compute]
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element in device storage (drives the perf model)."""
+        return self.storage.itemsize
+
+    def __post_init__(self) -> None:
+        for field in ("storage", "compute", "precalc"):
+            value = getattr(self, field)
+            if np.dtype(value) not in MACHINE_EPS:
+                raise TypeError(f"{field} must be a float16/32/64 dtype, got {value}")
+
+
+def _policy(
+    mode: PrecisionMode,
+    storage: type,
+    compute: type,
+    precalc: type,
+    compensated: bool = False,
+) -> PrecisionPolicy:
+    return PrecisionPolicy(
+        mode=mode,
+        storage=np.dtype(storage),
+        compute=np.dtype(compute),
+        precalc=np.dtype(precalc),
+        compensated=compensated,
+    )
+
+
+#: The mode -> policy table from Fig. 1 of the paper:
+#: precalculation dtype / main-loop dtype (+ compensator for FP16C).
+POLICIES: dict[PrecisionMode, PrecisionPolicy] = {
+    PrecisionMode.FP64: _policy(PrecisionMode.FP64, np.float64, np.float64, np.float64),
+    PrecisionMode.FP32: _policy(PrecisionMode.FP32, np.float32, np.float32, np.float32),
+    PrecisionMode.FP16: _policy(PrecisionMode.FP16, np.float16, np.float16, np.float16),
+    PrecisionMode.MIXED: _policy(PrecisionMode.MIXED, np.float16, np.float16, np.float32),
+    PrecisionMode.FP16C: _policy(
+        PrecisionMode.FP16C, np.float16, np.float16, np.float32, compensated=True
+    ),
+}
+
+
+def policy_for(mode: "PrecisionMode | str") -> PrecisionPolicy:
+    """Return the :class:`PrecisionPolicy` for ``mode`` (string accepted)."""
+    return POLICIES[PrecisionMode.parse(mode)]

@@ -1,0 +1,175 @@
+"""Input preprocessing for reduced-precision time series mining.
+
+Half-precision mining is only viable when the input respects the format's
+range and conditioning limits (Section V-B: overflow in large-deviation
+regions, ill-conditioning in flat regions).  The paper's turbine study
+min-max normalises explicitly "to avoid overflow in reduced precision
+computation"; this module packages that and the related conditioning
+transforms, plus a pre-flight check that inspects a series against a
+precision mode and recommends fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kernels.layout import validate_series
+from .precision.errors import flat_region_fraction, overflow_risk_fraction
+from .precision.modes import PrecisionMode, policy_for
+
+__all__ = [
+    "minmax_normalize",
+    "zscore_normalize",
+    "detrend",
+    "denoise_moving_average",
+    "PreflightReport",
+    "preflight_check",
+    "prepare_for_mode",
+]
+
+
+def minmax_normalize(
+    series: np.ndarray,
+    feature_range: tuple[float, float] = (0.0, 1.0),
+    per_dimension: bool = True,
+) -> np.ndarray:
+    """Scale each dimension (or the whole series) into ``feature_range``.
+
+    The paper's overflow mitigation: z-normalised matrix profile results
+    are invariant to per-dimension affine maps, so this changes nothing in
+    FP64 but keeps every intermediate inside FP16's finite range.
+    Constant dimensions map to the range midpoint.
+    """
+    arr = validate_series(series).astype(np.float64)
+    lo_t, hi_t = feature_range
+    if hi_t <= lo_t:
+        raise ValueError(f"invalid feature range {feature_range}")
+    axis = 0 if per_dimension else None
+    lo = arr.min(axis=axis, keepdims=True)
+    hi = arr.max(axis=axis, keepdims=True)
+    span = hi - lo
+    mid = (lo_t + hi_t) / 2.0
+    safe = np.where(span == 0, 1.0, span)
+    out = (arr - lo) / safe * (hi_t - lo_t) + lo_t
+    return np.where(span == 0, mid, out)
+
+
+def zscore_normalize(series: np.ndarray, per_dimension: bool = True) -> np.ndarray:
+    """Zero-mean unit-variance scaling (constant dims become zero)."""
+    arr = validate_series(series).astype(np.float64)
+    axis = 0 if per_dimension else None
+    mu = arr.mean(axis=axis, keepdims=True)
+    sd = arr.std(axis=axis, keepdims=True)
+    safe = np.where(sd == 0, 1.0, sd)
+    return np.where(sd == 0, 0.0, (arr - mu) / safe)
+
+
+def detrend(series: np.ndarray) -> np.ndarray:
+    """Remove each dimension's least-squares linear trend.
+
+    Long monotone drifts (the cumulative counters of monitoring data) put
+    every window at a different offset, inflating the dynamic range FP16
+    must represent; detrending collapses it.
+    """
+    arr = validate_series(series).astype(np.float64)
+    n = arr.shape[0]
+    t = np.arange(n, dtype=np.float64)
+    t_centered = t - t.mean()
+    denom = float(t_centered @ t_centered)
+    slope = (t_centered @ (arr - arr.mean(axis=0))) / denom
+    return arr - arr.mean(axis=0) - np.outer(t_centered, slope)
+
+
+def denoise_moving_average(series: np.ndarray, window: int = 3) -> np.ndarray:
+    """Centred moving-average smoothing (edges use shrinking windows).
+
+    Mild smoothing raises the signal-to-rounding-noise ratio of FP16
+    matching on very noisy sensors; window=1 is the identity.
+    """
+    arr = validate_series(series).astype(np.float64)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return arr.copy()
+    n = arr.shape[0]
+    cs = np.concatenate([np.zeros((1, arr.shape[1])), np.cumsum(arr, axis=0)])
+    half = window // 2
+    starts = np.clip(np.arange(n) - half, 0, n)
+    stops = np.clip(np.arange(n) + window - half, 0, n)
+    sums = cs[stops] - cs[starts]
+    counts = (stops - starts)[:, None].astype(np.float64)
+    return sums / counts
+
+
+@dataclass
+class PreflightReport:
+    """Outcome of checking a series against a precision mode."""
+
+    mode: PrecisionMode
+    m: int
+    overflow_fraction: float
+    flat_fraction: float
+    dynamic_range: float  # max|x| / rms, a conditioning indicator
+    recommendations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No blocking issue for the requested mode."""
+        return not any(r.startswith("required") for r in self.recommendations)
+
+
+def preflight_check(
+    series: np.ndarray, m: int, mode: "PrecisionMode | str"
+) -> PreflightReport:
+    """Inspect ``series`` for the failure modes of Section V-B under
+    ``mode`` and recommend preprocessing steps."""
+    arr = validate_series(series).astype(np.float64)
+    policy = policy_for(mode)
+    overflow = overflow_risk_fraction(arr, m, policy.compute)
+    flat = flat_region_fraction(arr, m)
+    rms = float(np.sqrt(np.mean(arr**2))) or 1.0
+    dyn = float(np.max(np.abs(arr))) / rms
+
+    recs: list[str] = []
+    if overflow > 0:
+        recs.append(
+            "required: min-max normalise — "
+            f"{overflow:.1%} of windows overflow {policy.compute} "
+            "(the paper's turbine mitigation)"
+        )
+    if flat > 0.01:
+        recs.append(
+            f"advised: {flat:.1%} of windows are numerically flat; "
+            "their z-normalisation is ill-conditioned — consider adding "
+            "dither or excluding constant regions"
+        )
+    if dyn > 50 and policy.itemsize <= 2:
+        recs.append(
+            "advised: large dynamic range relative to RMS; detrend() "
+            "before half-precision mining"
+        )
+    return PreflightReport(
+        mode=policy.mode,
+        m=m,
+        overflow_fraction=overflow,
+        flat_fraction=flat,
+        dynamic_range=dyn,
+        recommendations=recs,
+    )
+
+
+def prepare_for_mode(
+    series: np.ndarray, m: int, mode: "PrecisionMode | str"
+) -> tuple[np.ndarray, PreflightReport]:
+    """Apply the minimal preprocessing that makes ``series`` safe for
+    ``mode``: min-max normalisation when overflow is possible, otherwise
+    the input is passed through unchanged.  Returns the (possibly
+    transformed) series and the post-transform report."""
+    report = preflight_check(series, m, mode)
+    arr = validate_series(series)
+    if report.overflow_fraction > 0:
+        arr = minmax_normalize(arr)
+        report = preflight_check(arr, m, mode)
+    return arr, report

@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers shared by benchmarks and examples.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+each figure becomes a table of the series it plots.  These helpers keep
+that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_seconds", "banner"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly duration: µs/ms/s with three significant digits."""
+    if value != value:  # NaN
+        return "nan"
+    if value < 1e-3:
+        return f"{value * 1e6:.3g} us"
+    if value < 1.0:
+        return f"{value * 1e3:.3g} ms"
+    return f"{value:.3g} s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule, GitHub-markdown-ish."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    print(format_table(headers, rows, title))
+    print()
+
+
+def banner(text: str) -> None:
+    """Section banner for example/benchmark output."""
+    line = "#" * (len(text) + 4)
+    print(f"\n{line}\n# {text} #\n{line}")
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

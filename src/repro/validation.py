@@ -1,0 +1,120 @@
+"""Cross-implementation validation harness.
+
+The repository contains four independent evaluators of the same quantity
+(brute force, mSTAMP, the simulated-GPU pipeline, the anytime variant)
+plus the tiled/multi-GPU decompositions that must be invariant.  This
+module runs them all on one input and produces an agreement report — the
+tool to reach for when porting to new hardware or modifying a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .baselines.brute_force import brute_force_mdmp
+from .baselines.mstamp import mstamp
+from .core.anytime import anytime_matrix_profile
+from .core.config import RunConfig
+from .core.multi_tile import compute_multi_tile
+from .core.single_tile import compute_single_tile
+from .reporting import format_table
+
+__all__ = ["Agreement", "ValidationReport", "validate_implementations"]
+
+
+@dataclass(frozen=True)
+class Agreement:
+    """Pairwise agreement between two implementations."""
+
+    first: str
+    second: str
+    max_profile_diff: float
+    index_match_rate: float
+
+    def ok(self, atol: float = 1e-8, min_match: float = 0.999) -> bool:
+        return self.max_profile_diff <= atol and self.index_match_rate >= min_match
+
+
+@dataclass
+class ValidationReport:
+    """All pairwise agreements plus convenience accessors."""
+
+    implementations: list[str] = field(default_factory=list)
+    agreements: list[Agreement] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(a.ok() for a in self.agreements)
+
+    def worst(self) -> Agreement:
+        if not self.agreements:
+            raise ValueError("empty report")
+        return max(self.agreements, key=lambda a: a.max_profile_diff)
+
+    def to_table(self) -> str:
+        rows = [
+            [
+                f"{a.first} vs {a.second}",
+                f"{a.max_profile_diff:.3g}",
+                f"{a.index_match_rate:.2%}",
+                "ok" if a.ok() else "MISMATCH",
+            ]
+            for a in self.agreements
+        ]
+        return format_table(
+            ["pair", "max |dP|", "index match", "verdict"],
+            rows,
+            "Cross-implementation agreement (FP64)",
+        )
+
+
+def _agreement(name_a, pa, ia, name_b, pb, ib) -> Agreement:
+    finite = np.isfinite(pa) & np.isfinite(pb)
+    max_diff = float(np.max(np.abs(pa[finite] - pb[finite]))) if finite.any() else 0.0
+    valid = (ia >= 0) & (ib >= 0)
+    match = float(np.mean(ia[valid] == ib[valid])) if valid.any() else 1.0
+    return Agreement(name_a, name_b, max_diff, match)
+
+
+def validate_implementations(
+    reference: np.ndarray,
+    query: np.ndarray | None,
+    m: int,
+    n_tiles: int = 6,
+    n_gpus: int = 2,
+) -> ValidationReport:
+    """Run every FP64 evaluator on the same input and compare pairwise.
+
+    Implementations compared:
+
+    * ``brute-force``: direct z-normalised distances, O(n² m d);
+    * ``mstamp``: the CPU streaming reference;
+    * ``gpu-single``: the simulated-GPU single-tile pipeline;
+    * ``gpu-tiled``: the multi-tile/multi-GPU decomposition;
+    * ``anytime``: the random-order evaluator at fraction 1.0.
+    """
+    results: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    results["brute-force"] = brute_force_mdmp(reference, query, m)
+    results["mstamp"] = mstamp(reference, query, m)
+    single = compute_single_tile(reference, query, m, RunConfig(mode="FP64"))
+    results["gpu-single"] = (single.profile, single.index)
+    tiled = compute_multi_tile(
+        reference, query, m, RunConfig(mode="FP64", n_tiles=n_tiles, n_gpus=n_gpus)
+    )
+    results["gpu-tiled"] = (tiled.profile, tiled.index)
+    anytime = anytime_matrix_profile(reference, query, m, fraction=1.0)
+    results["anytime"] = (anytime.profile, anytime.index)
+
+    report = ValidationReport(implementations=list(results))
+    names = list(results)
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            pa, ia = results[names[i]]
+            pb, ib = results[names[j]]
+            report.agreements.append(
+                _agreement(names[i], pa, ia, names[j], pb, ib)
+            )
+    return report

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_pair(rng):
+    """A small (reference, query) pair of smooth 3-d series, m=16."""
+    ref = rng.normal(size=(200, 3)).cumsum(axis=0)
+    qry = rng.normal(size=(180, 3)).cumsum(axis=0)
+    return ref, qry, 16
+
+
+@pytest.fixture
+def bounded_pair(rng):
+    """A bounded-amplitude pair (safe for FP16), m=16."""
+    t = np.arange(240)
+    ref = np.stack(
+        [np.sin(2 * np.pi * t / (12 + 3 * k)) for k in range(3)], axis=1
+    ) + 0.1 * rng.normal(size=(240, 3))
+    qry = np.stack(
+        [np.sin(2 * np.pi * t[:220] / (12 + 3 * k) + 0.7) for k in range(3)], axis=1
+    ) + 0.1 * rng.normal(size=(220, 3))
+    return ref, qry, 16

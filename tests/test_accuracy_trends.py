@@ -1,0 +1,108 @@
+"""Directional accuracy-trend tests reproducing the paper's qualitative
+claims (Section V-B) at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.datasets.synthetic import make_stress_dataset
+from repro.metrics.numerical import recall_rate, relative_accuracy
+
+
+@pytest.fixture(scope="module")
+def stress():
+    ds = make_stress_dataset(n=1400, d=6, m=32, amplitude=4.0, seed=9)
+    ref_result = matrix_profile(ds.reference, ds.query, m=ds.m, mode="FP64")
+    return ds, ref_result
+
+
+def _run(ds, mode, **kw):
+    return matrix_profile(ds.reference, ds.query, m=ds.m, mode=mode, **kw)
+
+
+class TestPrecisionOrdering:
+    def test_fp32_accuracy_near_100(self, stress):
+        ds, ref = stress
+        r = _run(ds, "FP32")
+        assert relative_accuracy(r.profile, ref.profile) > 99.0
+        assert recall_rate(r.index, ref.index) > 95.0
+
+    def test_fp16_below_fp32(self, stress):
+        ds, ref = stress
+        a32 = relative_accuracy(_run(ds, "FP32").profile, ref.profile)
+        a16 = relative_accuracy(_run(ds, "FP16").profile, ref.profile)
+        assert a16 < a32
+
+    def test_mixed_at_least_fp16(self, stress):
+        # Fig. 2: Mixed and FP16C roughly double the accuracy of FP16.
+        ds, ref = stress
+        r16 = recall_rate(_run(ds, "FP16").index, ref.index)
+        rmx = recall_rate(_run(ds, "Mixed").index, ref.index)
+        assert rmx >= r16 - 1.0  # never meaningfully worse
+
+    def test_fp16c_tracks_mixed(self, stress):
+        # Fig. 2: "Mixed and FP16C modes result in almost the same accuracy".
+        ds, ref = stress
+        amx = relative_accuracy(_run(ds, "Mixed").profile, ref.profile)
+        acp = relative_accuracy(_run(ds, "FP16C").profile, ref.profile)
+        assert abs(amx - acp) < 5.0
+
+    def test_fp64_gpu_identical_to_reference(self, stress):
+        # "The FP64 mode on the GPU can generate identical results as the
+        # CPU-based implementation."
+        ds, ref = stress
+        from repro.baselines.mstamp import mstamp
+
+        p_cpu, i_cpu = mstamp(ds.reference, ds.query, ds.m)
+        assert relative_accuracy(ref.profile, p_cpu) > 99.999
+        assert recall_rate(ref.index, i_cpu) == 100.0
+
+
+class TestErrorGrowsWithStreamLength:
+    def test_fp16_recall_decreases_with_n(self):
+        # Fig. 2 top-left: accuracy decreases as n grows (e ~ n*eps).
+        recalls = []
+        for n in (600, 2000):
+            ds = make_stress_dataset(n=n, d=4, m=32, amplitude=4.0, seed=13)
+            ref = matrix_profile(ds.reference, ds.query, m=32, mode="FP64")
+            r16 = matrix_profile(ds.reference, ds.query, m=32, mode="FP16")
+            recalls.append(recall_rate(r16.index, ref.index))
+        assert recalls[1] <= recalls[0] + 1.0
+
+
+class TestTilingImprovesReducedPrecision:
+    def test_recall_non_decreasing_with_tiles(self):
+        # Fig. 7 / Fig. 10: more tiles => higher FP16 accuracy.
+        ds = make_stress_dataset(n=1600, d=4, m=32, amplitude=4.0, seed=17)
+        ref = matrix_profile(ds.reference, ds.query, m=32, mode="FP64")
+        recalls = []
+        for n_tiles in (1, 16, 64):
+            r = matrix_profile(ds.reference, ds.query, m=32, mode="FP16", n_tiles=n_tiles)
+            recalls.append(recall_rate(r.index, ref.index))
+        assert recalls[2] >= recalls[0] - 1.0
+        assert max(recalls[1:]) >= recalls[0]
+
+    def test_tiling_does_not_change_fp64(self):
+        ds = make_stress_dataset(n=800, d=3, m=24, seed=19)
+        a = matrix_profile(ds.reference, ds.query, m=24, mode="FP64")
+        b = matrix_profile(ds.reference, ds.query, m=24, mode="FP64", n_tiles=16)
+        np.testing.assert_array_equal(a.index, b.index)
+
+
+class TestPerformanceOrdering:
+    def test_modeled_time_ordering(self, stress):
+        # Lower precision must never model slower (Fig. 5).
+        ds, _ = stress
+        t64 = _run(ds, "FP64").modeled_time
+        t32 = _run(ds, "FP32").modeled_time
+        t16 = _run(ds, "FP16").modeled_time
+        assert t16 <= t32 <= t64
+
+    def test_fp16_family_performance_close(self, stress):
+        # FP16, Mixed and FP16C perform alike (precalc is negligible).
+        ds, _ = stress
+        t16 = _run(ds, "FP16").modeled_time
+        tmx = _run(ds, "Mixed").modeled_time
+        tcp = _run(ds, "FP16C").modeled_time
+        assert tmx == pytest.approx(t16, rel=0.1)
+        assert tcp == pytest.approx(t16, rel=0.1)

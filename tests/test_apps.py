@@ -1,0 +1,103 @@
+"""Unit tests for the application layer (classifier and motif mining)."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.apps.classifier import classify_hpcoda, nn_classify, smooth_predictions
+from repro.apps.motif import top_discords, top_motifs
+from repro.datasets.hpcoda import make_hpcoda_dataset
+from repro.datasets.synthetic import make_stress_dataset
+
+
+class TestNNClassify:
+    def test_label_transfer(self):
+        index = np.array([[0], [2], [1]])
+        labels = np.array([10, 20, 30])
+        np.testing.assert_array_equal(nn_classify(index, labels, 1), [10, 30, 20])
+
+    def test_unmatched_predicts_minus_one(self):
+        index = np.array([[-1], [0]])
+        labels = np.array([5, 6])
+        np.testing.assert_array_equal(nn_classify(index, labels, 1), [-1, 5])
+
+
+class TestSmoothing:
+    def test_removes_isolated_flip(self):
+        preds = np.array([1, 1, 1, 2, 1, 1, 1])
+        out = smooth_predictions(preds, 5)
+        assert np.all(out == 1)
+
+    def test_window_one_is_identity(self):
+        preds = np.array([1, 2, 3])
+        np.testing.assert_array_equal(smooth_predictions(preds, 1), preds)
+
+    def test_preserves_long_blocks(self):
+        preds = np.array([0] * 20 + [1] * 20)
+        out = smooth_predictions(preds, 7)
+        assert out[5] == 0 and out[35] == 1
+
+
+class TestClassifyHPCODA:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_hpcoda_dataset(n_per_half=1024, d=8, phase_length=(96, 192), seed=11)
+
+    def test_fp64_pipeline_accuracy(self, dataset):
+        out = classify_hpcoda(dataset, m=32, mode="FP64")
+        assert out.accuracy > 0.8
+        assert out.f_score > 0.7
+        assert out.runtime > 0
+
+    def test_mixed_mode_close_to_fp64(self, dataset):
+        base = classify_hpcoda(dataset, m=32, mode="FP64")
+        mixed = classify_hpcoda(dataset, m=32, mode="Mixed")
+        assert mixed.f_score > base.f_score - 0.15
+
+    def test_prediction_shapes(self, dataset):
+        out = classify_hpcoda(dataset, m=32)
+        assert out.predictions.shape == out.truth.shape
+
+
+class TestMotifMining:
+    @pytest.fixture(scope="class")
+    def result(self):
+        ds = make_stress_dataset(n=900, d=3, m=32, amplitude=6.0, seed=21)
+        res = matrix_profile(ds.reference, ds.query, m=32, mode="FP64")
+        return ds, res
+
+    def test_top_motif_is_an_embedded_pair(self, result):
+        ds, res = result
+        motifs = top_motifs(res, k=1, count=3)
+        planted = {(mo.query_pos, mo.ref_pos) for mo in ds.motifs}
+        hit = any(
+            any(abs(m.query_pos - q) <= 1 and abs(m.ref_pos - r) <= 1 for q, r in planted)
+            for m in motifs
+        )
+        assert hit
+
+    def test_motifs_separated(self, result):
+        _, res = result
+        motifs = top_motifs(res, k=1, count=5)
+        positions = [m.query_pos for m in motifs]
+        for a in range(len(positions)):
+            for b in range(a + 1, len(positions)):
+                assert abs(positions[a] - positions[b]) >= res.m
+
+    def test_motifs_sorted_by_distance(self, result):
+        _, res = result
+        motifs = top_motifs(res, k=1, count=5)
+        dists = [m.distance for m in motifs]
+        assert dists == sorted(dists)
+
+    def test_discords_are_worst_matches(self, result):
+        _, res = result
+        discords = top_discords(res, k=1, count=3)
+        motifs = top_motifs(res, k=1, count=1)
+        assert discords[0].distance > motifs[0].distance
+
+    def test_discords_sorted_descending(self, result):
+        _, res = result
+        discords = top_discords(res, k=1, count=4)
+        dists = [m.distance for m in discords]
+        assert dists == sorted(dists, reverse=True)

@@ -1,0 +1,76 @@
+"""Unit tests for the MPdist sequence distance."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mpdist import mpdist, mpdist_profile
+
+
+class TestMPdist:
+    def test_identical_sequences_zero(self, rng):
+        a = rng.normal(size=(60, 1))
+        assert mpdist(a, a.copy()) == pytest.approx(0.0, abs=1e-6)
+
+    def test_shift_tolerance(self, rng):
+        # A periodic pattern shifted by a fraction of its period: z-norm
+        # distance is large, MPdist stays near zero.
+        t = np.arange(200)
+        x = np.sin(2 * np.pi * t / 11)[:, None] + 0.01 * rng.normal(size=(200, 1))
+        a = x[10:50]
+        b = x[15:55]  # 5-sample shift
+        from repro.apps.consensus import distance_profile
+
+        znorm = float(distance_profile(a, b, 40)[0])
+        assert mpdist(a, b) < 0.3
+        assert znorm > 1.0  # the aligned distance is much larger
+
+    def test_different_patterns_far(self, rng):
+        t = np.arange(60)
+        a = np.sin(2 * np.pi * t / 7)[:, None]
+        b = ((t % 30) / 30.0)[:, None]
+        assert mpdist(a, b) > 1.0
+
+    def test_symmetryish(self, rng):
+        a = rng.normal(size=(50, 1))
+        b = rng.normal(size=(50, 1))
+        assert mpdist(a, b) == pytest.approx(mpdist(b, a), rel=1e-9)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            mpdist(rng.normal(size=(40, 1)), rng.normal(size=(40, 2)))
+
+    def test_subm_validation(self, rng):
+        with pytest.raises(ValueError):
+            mpdist(rng.normal(size=(20, 1)), rng.normal(size=(20, 1)), subm=30)
+
+
+class TestMPdistProfile:
+    def test_shape(self, rng):
+        q = rng.normal(size=(30, 1))
+        t = rng.normal(size=(200, 1))
+        prof = mpdist_profile(q, t)
+        assert prof.shape == (171,)
+
+    def test_self_location_near_zero(self, rng):
+        t = rng.normal(size=(200, 1))
+        q = t[80:110].copy()
+        prof = mpdist_profile(q, t)
+        assert prof[80] == pytest.approx(0.0, abs=1e-6)
+        # MPdist's 5% quantile is generous to overlapping windows, but
+        # windows far from the source must score clearly worse.
+        far = np.concatenate([prof[: 80 - 30], prof[110 + 1 :]])
+        assert far.min() > 0.5
+
+    def test_profile_matches_pairwise_at_probe(self, rng):
+        # The sliding profile at position j equals (up to the k quantile
+        # convention) the pairwise mpdist against that window.
+        t = np.arange(150)
+        x = np.sin(2 * np.pi * t / 9)[:, None] + 0.05 * rng.normal(size=(150, 1))
+        q = x[20:60]
+        prof = mpdist_profile(q, x)
+        direct = mpdist(q, x[70:110])
+        assert prof[70] == pytest.approx(direct, abs=0.2)
+
+    def test_series_too_short(self, rng):
+        with pytest.raises(ValueError):
+            mpdist_profile(rng.normal(size=(50, 1)), rng.normal(size=(30, 1)))

@@ -1,0 +1,166 @@
+"""Unit tests for the pan matrix profile, consensus motifs and annotation
+vectors."""
+
+import numpy as np
+import pytest
+
+from repro.apps.annotation import (
+    corrected_profile,
+    flat_region_annotation,
+    interval_annotation,
+)
+from repro.apps.consensus import ConsensusMotif, consensus_motif, distance_profile
+from repro.core.pan import geometric_window_range, pan_matrix_profile
+
+
+class TestGeometricRange:
+    def test_endpoints_included(self):
+        ws = geometric_window_range(8, 128, 5)
+        assert ws[0] == 8
+        assert ws[-1] == 128
+
+    def test_sorted_unique(self):
+        ws = geometric_window_range(8, 64, 10)
+        assert ws == sorted(set(ws))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_window_range(1, 64)
+        with pytest.raises(ValueError):
+            geometric_window_range(64, 8)
+
+
+class TestPanProfile:
+    @pytest.fixture(scope="class")
+    def pan(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(500, 1))
+        # Plant a motif of natural length 48.
+        wave = 4 * np.sin(np.linspace(0, 4 * np.pi, 48))
+        x[60:108, 0] += wave
+        x[300:348, 0] += wave
+        return pan_matrix_profile(x, windows=[12, 24, 48, 96])
+
+    def test_results_per_window(self, pan):
+        assert pan.n_windows == 4
+        assert set(pan.results) == {12, 24, 48, 96}
+
+    def test_normalised_profiles_in_unit_range(self, pan):
+        for m in pan.windows:
+            prof = pan.normalized_profile(m)
+            assert np.all(prof >= 0) and np.all(prof <= 1)
+
+    def test_global_motif_found_near_plant(self, pan):
+        m, j, i = pan.global_motif()
+        locs = sorted([j, i])
+        assert abs(locs[0] - 60) < 48
+        assert abs(locs[1] - 300) < 48
+
+    def test_best_window_prefers_motif_length(self, pan):
+        m, value = pan.best_window_for(60)
+        assert m >= 24  # short windows match noise; the motif is long
+        assert value < 0.4
+
+    def test_position_out_of_range(self, pan):
+        with pytest.raises(ValueError):
+            pan.best_window_for(10_000)
+
+
+class TestDistanceProfile:
+    def test_self_match_zero(self, rng):
+        x = rng.normal(size=(100, 2))
+        prof = distance_profile(x[10:26], x, 16)
+        assert prof[10] == pytest.approx(0.0, abs=1e-6)
+
+    def test_shape(self, rng):
+        x = rng.normal(size=(100, 1))
+        assert distance_profile(x[:16], x, 16).shape == (85,)
+
+    def test_bad_window_shape(self, rng):
+        x = rng.normal(size=(100, 2))
+        with pytest.raises(ValueError):
+            distance_profile(x[:10], x, 16)
+
+
+class TestConsensusMotif:
+    def test_shared_pattern_found(self, rng):
+        m = 24
+        wave = 4 * np.sin(np.linspace(0, 4 * np.pi, m))
+        collection = []
+        truth = []
+        for s in range(3):
+            x = rng.normal(size=(300, 1))
+            pos = 50 + 70 * s
+            x[pos : pos + m, 0] += wave
+            collection.append(x)
+            truth.append(pos)
+        motif = consensus_motif(collection, m, candidate_stride=4)
+        assert isinstance(motif, ConsensusMotif)
+        # The canonical occurrence and every match land on the plants.
+        for sid, pos in motif.matches:
+            assert abs(pos - truth[sid]) < m, (sid, pos, truth[sid])
+        assert motif.radius < 3.0
+
+    def test_radius_is_max_distance(self, rng):
+        collection = [rng.normal(size=(80, 1)) for _ in range(2)]
+        motif = consensus_motif(collection, 16, candidate_stride=8)
+        assert motif.radius >= 0
+        assert len(motif.matches) == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            consensus_motif([rng.normal(size=(50, 1))], 16)
+        with pytest.raises(ValueError):
+            consensus_motif(
+                [rng.normal(size=(50, 1)), rng.normal(size=(50, 2))], 16
+            )
+
+
+class TestAnnotation:
+    def test_corrected_profile_formula(self):
+        profile = np.array([1.0, 2.0, 4.0])
+        av = np.array([1.0, 0.5, 0.0])
+        out = corrected_profile(profile, av)
+        np.testing.assert_allclose(out, [1.0, 4.0, 8.0])
+
+    def test_annotation_range_checked(self):
+        with pytest.raises(ValueError):
+            corrected_profile(np.ones(3), np.array([0.0, 2.0, 1.0]))
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            corrected_profile(np.ones(3), np.ones(4))
+
+    def test_flat_region_annotation(self):
+        x = np.concatenate([np.zeros(100), np.sin(np.arange(100))])[:, None]
+        av = flat_region_annotation(x, 16)
+        assert av[:60].max() < 0.5  # flat half suppressed
+        assert av[120:].min() > 0.5  # active half kept
+
+    def test_interval_annotation(self):
+        av = interval_annotation(50, [(10, 20), (45, 99)])
+        assert np.all(av[10:20] == 0)
+        assert np.all(av[45:] == 0)
+        assert np.all(av[:10] == 1)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            interval_annotation(10, [(5, 3)])
+
+    def test_guided_motif_skips_suppressed(self, rng):
+        from repro import matrix_profile
+        from repro.apps.annotation import apply_annotation
+
+        m = 16
+        x = rng.normal(size=(300, 1))
+        wave = 5 * np.sin(np.linspace(0, 6.28, m))
+        # Two motif pairs; annotate away the stronger one.
+        x[20 : 20 + m, 0] += wave
+        x[100 : 100 + m, 0] += wave
+        x[200 : 200 + m, 0] += 0.8 * wave + 0.2 * rng.normal(size=m)
+        x[250 : 250 + m, 0] += 0.8 * wave + 0.2 * rng.normal(size=m)
+        result = matrix_profile(x, m=m)
+        av = interval_annotation(result.n_q_seg, [(0, 140)])
+        corrected = apply_annotation(result, av, k=1)
+        j = int(np.argmin(corrected))
+        assert j >= 140  # best remaining motif is the un-suppressed pair

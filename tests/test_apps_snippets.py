@@ -1,0 +1,73 @@
+"""Unit tests for snippet (representative summary) extraction."""
+
+import numpy as np
+import pytest
+
+from repro.apps.snippets import Snippet, find_snippets
+
+
+@pytest.fixture
+def two_regime_series(rng):
+    """First half fast sine, second half slow triangle."""
+    t = np.arange(600)
+    fast = np.sin(2 * np.pi * t[:300] / 11)
+    tri = 2 * np.abs(((t[300:] % 44) / 44.0) - 0.5) * 2 - 1
+    return (np.concatenate([fast, tri]) + 0.05 * rng.normal(size=600))[:, None]
+
+
+class TestFindSnippets:
+    def test_two_snippets_distinguish_regimes(self, two_regime_series):
+        from repro.apps.mpdist import mpdist
+
+        x = two_regime_series
+        snippets = find_snippets(x, m=40, count=2)
+        assert len(snippets) == 2
+        positions = sorted(s.position for s in snippets)
+        assert positions[1] - positions[0] >= 40  # distinct summaries
+        # A mid-sine window and a mid-triangle window must prefer
+        # different snippets of the pair (the pair separates the regimes).
+        def nearest(snapshot_pos):
+            probe = x[snapshot_pos : snapshot_pos + 40]
+            return int(np.argmin([
+                mpdist(probe, x[s.position : s.position + 40]) for s in snippets
+            ]))
+
+        assert nearest(100) != nearest(500)
+
+    def test_coverage_sums_to_one(self, two_regime_series):
+        snippets = find_snippets(two_regime_series, m=40, count=2)
+        assert sum(s.coverage for s in snippets) == pytest.approx(1.0)
+
+    def test_balanced_coverage_for_equal_regimes(self, two_regime_series):
+        snippets = find_snippets(two_regime_series, m=40, count=2)
+        for s in snippets:
+            assert 0.3 < s.coverage < 0.7
+
+    def test_single_snippet(self, rng):
+        x = rng.normal(size=(200, 1))
+        snippets = find_snippets(x, m=16, count=1)
+        assert len(snippets) == 1
+        assert snippets[0].coverage == 1.0
+
+    def test_count_capped_by_candidates(self, rng):
+        x = rng.normal(size=(60, 1))
+        snippets = find_snippets(x, m=16, count=100, candidate_stride=16)
+        assert len(snippets) <= 3
+
+    def test_mean_distance_nonnegative(self, two_regime_series):
+        for s in find_snippets(two_regime_series, m=40, count=3):
+            assert s.mean_distance >= 0
+            assert isinstance(s, Snippet)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            find_snippets(rng.normal(size=(10, 1)), m=20)
+        with pytest.raises(ValueError):
+            find_snippets(rng.normal(size=(50, 1)), m=8, count=0)
+        with pytest.raises(ValueError):
+            find_snippets(rng.normal(size=(50, 1)), m=8, candidate_stride=0)
+
+    def test_multidimensional(self, rng):
+        x = rng.normal(size=(200, 3))
+        snippets = find_snippets(x, m=20, count=2)
+        assert len(snippets) == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the streaming matrix profile."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.apps.streaming import StreamingMatrixProfile
+from repro.core.config import RunConfig
+
+
+class TestStreaming:
+    def test_matches_batch_fp64(self, rng):
+        ref = rng.normal(size=(200, 3)).cumsum(axis=0)
+        qry = rng.normal(size=(150, 3)).cumsum(axis=0)
+        m = 16
+        batch = matrix_profile(ref, qry, m=m, mode="FP64")
+
+        stream = StreamingMatrixProfile(ref, m, RunConfig(mode="FP64"))
+        profiles, indices = stream.extend(qry)
+        assert profiles.shape == batch.profile.shape
+        np.testing.assert_allclose(profiles, batch.profile, atol=1e-8)
+        assert np.mean(indices == batch.index) > 0.999
+
+    def test_incremental_append_protocol(self, rng):
+        ref = rng.normal(size=(100, 2))
+        stream = StreamingMatrixProfile(ref, 8)
+        qry = rng.normal(size=(20, 2))
+        outs = [stream.append(row) for row in qry]
+        # First m-1 appends produce nothing; the rest produce one row each.
+        assert all(o is None for o in outs[:7])
+        assert all(o is not None for o in outs[7:])
+        assert stream.n_segments == 13
+
+    def test_profile_rows_shape(self, rng):
+        ref = rng.normal(size=(80, 4))
+        stream = StreamingMatrixProfile(ref, 8)
+        for row in rng.normal(size=(8, 4)):
+            out = stream.append(row)
+        profile_row, index_row = out
+        assert profile_row.shape == (4,)
+        assert index_row.shape == (4,)
+        assert np.all(index_row >= 0)
+        assert np.all(index_row < stream.n_ref_seg)
+
+    def test_motif_detected_live(self, rng):
+        m = 16
+        ref = rng.normal(size=(200, 1))
+        wave = 5 * np.sin(np.linspace(0, 6.28, m))
+        ref[60 : 60 + m, 0] += wave
+        stream = StreamingMatrixProfile(ref, m)
+        # Feed noise, then the motif: the motif segment must match pos 60
+        # with a small distance.
+        for row in rng.normal(size=(40, 1)):
+            stream.append(row)
+        baseline_dist = stream.profiles[-1][0]
+        for v in wave:
+            out = stream.append(np.array([v + 0.01 * rng.normal()]))
+        profile_row, index_row = out
+        assert abs(int(index_row[0]) - 60) <= 1
+        assert profile_row[0] < baseline_dist
+
+    def test_fp16_mode_runs(self, rng):
+        ref = rng.uniform(0, 1, size=(120, 2))
+        stream = StreamingMatrixProfile(ref, 8, RunConfig(mode="FP16"))
+        profiles, indices = stream.extend(rng.uniform(0, 1, size=(30, 2)))
+        assert profiles.shape == (23, 2)
+        assert np.all(np.isfinite(profiles))
+
+    def test_validation(self, rng):
+        ref = rng.normal(size=(50, 2))
+        with pytest.raises(ValueError):
+            StreamingMatrixProfile(ref, 1)
+        stream = StreamingMatrixProfile(ref, 8)
+        with pytest.raises(ValueError):
+            stream.append(np.zeros(3))
+
+    def test_empty_result(self, rng):
+        stream = StreamingMatrixProfile(rng.normal(size=(50, 2)), 8)
+        profiles, indices = stream.result()
+        assert profiles.shape == (0, 2)

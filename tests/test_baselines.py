@@ -1,0 +1,101 @@
+"""Unit tests for the CPU baselines (brute force oracle and mSTAMP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_mdmp, znormalized_distance_matrix
+from repro.baselines.mstamp import mstamp, precompute_statistics
+
+
+class TestBruteForceDistances:
+    def test_identical_segments_distance_zero(self, rng):
+        x = rng.normal(size=(60, 1))
+        x[30:40, 0] = x[5:15, 0]  # plant an exact repeat
+        D = znormalized_distance_matrix(x, x, 10)
+        assert D[5, 30, 0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetry_of_self_join(self, rng):
+        x = rng.normal(size=(40, 2))
+        D = znormalized_distance_matrix(x, x, 8)
+        np.testing.assert_allclose(D, np.swapaxes(D, 0, 1), atol=1e-10)
+
+    def test_scale_invariance(self, rng):
+        # Z-normalised distance ignores per-dimension affine transforms.
+        x = rng.normal(size=(50, 1))
+        y = 3.0 * x + 7.0
+        D1 = znormalized_distance_matrix(x, x, 8)
+        D2 = znormalized_distance_matrix(y, y, 8)
+        # Near-zero distances emerge from a cancellation, so sqrt amplifies
+        # fp64 noise to ~1e-5 absolute; the comparison is loose accordingly.
+        np.testing.assert_allclose(D1, D2, atol=1e-4)
+
+    def test_max_distance_bound(self, rng):
+        # Z-normalised Euclidean distance is at most 2*sqrt(m).
+        x = rng.normal(size=(60, 1))
+        D = znormalized_distance_matrix(x, x, 16)
+        assert np.all(D <= 2.0 * np.sqrt(16) + 1e-9)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            znormalized_distance_matrix(
+                rng.normal(size=(30, 1)), rng.normal(size=(30, 2)), 8
+            )
+
+
+class TestBruteForceProfile:
+    def test_profile_columns_non_decreasing_in_k(self, rng):
+        # Averaging over more (sorted) dimensions can only increase the
+        # inclusive mean of the best match... per column of one row, but
+        # after the min over rows the k-profile is still non-decreasing.
+        p, _ = brute_force_mdmp(rng.normal(size=(60, 4)), rng.normal(size=(50, 4)), 8)
+        assert np.all(np.diff(p, axis=1) >= -1e-12)
+
+    def test_self_join_index_outside_zone(self, rng):
+        x = rng.normal(size=(60, 2))
+        p, i = brute_force_mdmp(x, None, 8)
+        pos = np.arange(p.shape[0])
+        valid = i[:, 0] >= 0
+        assert np.all(np.abs(i[valid, 0] - pos[valid]) > 2)
+
+
+class TestMStampStatistics:
+    def test_mu_matches_sliding_mean(self, rng):
+        x = rng.normal(size=(50, 2))
+        mu, inv, df, dg = precompute_statistics(x, 8)
+        expected = np.lib.stride_tricks.sliding_window_view(x[:, 0], 8).mean(axis=1)
+        np.testing.assert_allclose(mu[:, 0], expected, rtol=1e-12)
+
+    def test_too_short_raises(self, rng):
+        with pytest.raises(ValueError):
+            precompute_statistics(rng.normal(size=(5, 1)), 10)
+
+
+class TestMStampVsBruteForce:
+    def test_ab_join_agrees(self, small_pair):
+        ref, qry, m = small_pair
+        p_bf, i_bf = brute_force_mdmp(ref, qry, m)
+        p_ms, i_ms = mstamp(ref, qry, m)
+        np.testing.assert_allclose(p_ms, p_bf, atol=1e-8)
+        assert np.mean(i_ms == i_bf) > 0.999
+
+    def test_self_join_agrees(self, small_pair):
+        ref, _, m = small_pair
+        p_bf, i_bf = brute_force_mdmp(ref, None, m)
+        p_ms, i_ms = mstamp(ref, None, m)
+        mask = np.isfinite(p_bf)
+        np.testing.assert_allclose(p_ms[mask], p_bf[mask], atol=1e-8)
+        assert np.mean(i_ms == i_bf) > 0.999
+
+    def test_1d_input(self, rng):
+        x = rng.normal(size=120).cumsum()
+        p, i = mstamp(x, None, 12)
+        assert p.shape == (109, 1)
+
+    def test_planted_motif_found(self, rng):
+        ref = rng.normal(size=(200, 1))
+        qry = rng.normal(size=(200, 1))
+        wave = np.sin(np.linspace(0, 4 * np.pi, 24))
+        ref[40:64, 0] += 5 * wave
+        qry[130:154, 0] += 5 * wave
+        p, i = mstamp(ref, qry, 24)
+        assert abs(int(i[130, 0]) - 40) <= 1

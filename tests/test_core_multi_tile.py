@@ -1,0 +1,118 @@
+"""Unit tests for the multi-tile / multi-GPU algorithm (Pseudocode 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.multi_tile import compute_multi_tile, model_multi_tile
+from repro.core.single_tile import compute_single_tile
+
+
+class TestTiledEqualsSingleInFP64:
+    @pytest.mark.parametrize("n_tiles", [2, 4, 9, 16])
+    def test_ab_join(self, small_pair, n_tiles):
+        ref, qry, m = small_pair
+        single = compute_single_tile(ref, qry, m, RunConfig(mode="FP64"))
+        tiled = compute_multi_tile(
+            ref, qry, m, RunConfig(mode="FP64", n_tiles=n_tiles)
+        )
+        np.testing.assert_allclose(tiled.profile, single.profile, atol=1e-10)
+        np.testing.assert_array_equal(tiled.index, single.index)
+
+    @pytest.mark.parametrize("n_gpus", [1, 2, 3, 4])
+    def test_gpu_count_does_not_change_results(self, small_pair, n_gpus):
+        ref, qry, m = small_pair
+        base = compute_multi_tile(ref, qry, m, RunConfig(mode="FP64", n_tiles=8))
+        multi = compute_multi_tile(
+            ref, qry, m, RunConfig(mode="FP64", n_tiles=8, n_gpus=n_gpus)
+        )
+        np.testing.assert_array_equal(multi.profile, base.profile)
+        np.testing.assert_array_equal(multi.index, base.index)
+
+    def test_self_join_tiled(self, small_pair):
+        ref, _, m = small_pair
+        single = compute_single_tile(ref, None, m, RunConfig(mode="FP64"))
+        tiled = compute_multi_tile(ref, None, m, RunConfig(mode="FP64", n_tiles=4))
+        np.testing.assert_allclose(tiled.profile, single.profile, atol=1e-10)
+        np.testing.assert_array_equal(tiled.index, single.index)
+
+
+class TestTilingBoundsError:
+    def test_more_tiles_do_not_hurt_fp16_much(self, rng):
+        # Smaller tiles restart the recurrence more often: the FP16 profile
+        # error vs FP64 must not grow with the tile count (Fig. 7 trend).
+        t = np.arange(1000)
+        ref = (np.sin(2 * np.pi * t / 17)[:, None] + 0.2 * rng.normal(size=(1000, 2)))
+        qry = (np.sin(2 * np.pi * t[:900] / 17)[:, None] + 0.2 * rng.normal(size=(900, 2)))
+        m = 16
+        base = compute_multi_tile(ref, qry, m, RunConfig(mode="FP64", n_tiles=1))
+        errs = []
+        for n_tiles in (1, 16, 64):
+            r = compute_multi_tile(ref, qry, m, RunConfig(mode="FP16", n_tiles=n_tiles))
+            errs.append(np.mean(np.abs(r.profile - base.profile)))
+        assert errs[-1] <= errs[0] * 1.05
+
+    def test_merge_time_grows_with_tiles(self, small_pair):
+        ref, qry, m = small_pair
+        few = compute_multi_tile(ref, qry, m, RunConfig(n_tiles=2))
+        many = compute_multi_tile(ref, qry, m, RunConfig(n_tiles=16))
+        assert many.merge_time > few.merge_time
+
+
+class TestMultiGpuTimeline:
+    def test_tiles_distributed_across_devices(self, small_pair):
+        ref, qry, m = small_pair
+        result = compute_multi_tile(ref, qry, m, RunConfig(n_tiles=8, n_gpus=4))
+        devices = {op.device_index for op in result.timeline.ops}
+        assert devices == {0, 1, 2, 3}
+
+    def test_scaling_reduces_makespan(self, small_pair):
+        ref, qry, m = small_pair
+        t1 = compute_multi_tile(ref, qry, m, RunConfig(n_tiles=8, n_gpus=1))
+        t4 = compute_multi_tile(ref, qry, m, RunConfig(n_tiles=8, n_gpus=4))
+        assert t4.timeline.makespan < t1.timeline.makespan
+
+    def test_costs_aggregated_over_tiles(self, small_pair):
+        ref, qry, m = small_pair
+        single = compute_single_tile(ref, qry, m, RunConfig())
+        tiled = compute_multi_tile(ref, qry, m, RunConfig(n_tiles=4))
+        # Distance traffic is identical in total (same matrix cells).
+        assert tiled.costs["dist_calc"].bytes_dram == pytest.approx(
+            single.costs["dist_calc"].bytes_dram, rel=0.01
+        )
+        # Precalculation repeats per tile => strictly more traffic.
+        assert (
+            tiled.costs["precalculation"].bytes_dram
+            > single.costs["precalculation"].bytes_dram
+        )
+
+
+class TestModelMultiTile:
+    def test_modeled_time_positive_and_scales(self):
+        t1 = model_multi_tile(4096, 16, 64, RunConfig(n_tiles=4, n_gpus=1))
+        t4 = model_multi_tile(4096, 16, 64, RunConfig(n_tiles=4, n_gpus=4))
+        assert 0 < t4.timeline.makespan < t1.timeline.makespan
+
+    def test_empty_profile(self):
+        r = model_multi_tile(1024, 4, 16, RunConfig(n_tiles=2))
+        assert r.profile.size == 0
+        assert r.n_tiles == 2
+
+    def test_parallel_efficiency_above_90_percent_when_divisible(self):
+        # The Fig. 5 headline: >90% efficiency at 1/2/4/8 GPUs, 16 tiles,
+        # at paper scale (small problems are merge-bound, Amdahl).
+        base = model_multi_tile(2**16, 64, 64, RunConfig(device="V100", n_tiles=16))
+        for g in (2, 4, 8):
+            r = model_multi_tile(
+                2**16, 64, 64, RunConfig(device="V100", n_tiles=16, n_gpus=g)
+            )
+            eff = base.modeled_time / (g * r.modeled_time)
+            assert eff > 0.85, f"{g} GPUs: efficiency {eff:.2f}"
+
+    def test_odd_gpu_counts_less_efficient(self):
+        r4 = model_multi_tile(2**16, 64, 64, RunConfig(device="V100", n_tiles=16, n_gpus=4))
+        r3 = model_multi_tile(2**16, 64, 64, RunConfig(device="V100", n_tiles=16, n_gpus=3))
+        base = model_multi_tile(2**16, 64, 64, RunConfig(device="V100", n_tiles=16))
+        eff4 = base.modeled_time / (4 * r4.modeled_time)
+        eff3 = base.modeled_time / (3 * r3.modeled_time)
+        assert eff3 < eff4

@@ -1,0 +1,94 @@
+"""Unit tests for the SCRIMP-style diagonal traversal."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.core.config import RunConfig
+from repro.core.scrimp import (
+    _diagonal_cells,
+    diagonal_count,
+    diagonal_matrix_profile,
+)
+
+
+class TestDiagonalGeometry:
+    def test_count(self):
+        assert diagonal_count(5, 7) == 11
+        assert diagonal_count(1, 1) == 1
+
+    def test_cells_cover_matrix_exactly_once(self):
+        n_r, n_q = 6, 4
+        seen = np.zeros((n_r, n_q), dtype=int)
+        for k in range(diagonal_count(n_r, n_q)):
+            i0, j0, length = _diagonal_cells(k, n_r, n_q)
+            for t in range(length):
+                seen[i0 + t, j0 + t] += 1
+        assert np.all(seen == 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            _diagonal_cells(99, 3, 3)
+
+    def test_main_diagonal_longest(self):
+        n_r, n_q = 5, 8
+        lengths = [
+            _diagonal_cells(k, n_r, n_q)[2]
+            for k in range(diagonal_count(n_r, n_q))
+        ]
+        assert max(lengths) == min(n_r, n_q)
+
+
+class TestDiagonalProfile:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        rng = np.random.default_rng(8)
+        ref = rng.normal(size=(150, 3)).cumsum(axis=0)
+        qry = rng.normal(size=(130, 3)).cumsum(axis=0)
+        return ref, qry, 12
+
+    def test_full_run_matches_row_order(self, pair):
+        ref, qry, m = pair
+        row_order = matrix_profile(ref, qry, m=m, mode="FP64")
+        diag = diagonal_matrix_profile(ref, qry, m)
+        np.testing.assert_allclose(diag.profile, row_order.profile, atol=1e-8)
+        assert np.mean(diag.index == row_order.index) > 0.99
+
+    def test_self_join_matches(self, pair):
+        ref, _, m = pair
+        row_order = matrix_profile(ref, m=m, mode="FP64")
+        diag = diagonal_matrix_profile(ref, None, m)
+        np.testing.assert_allclose(diag.profile, row_order.profile, atol=1e-8)
+        assert np.mean(diag.index == row_order.index) > 0.99
+
+    def test_sampled_run_is_upper_bound(self, pair):
+        ref, qry, m = pair
+        exact = diagonal_matrix_profile(ref, qry, m)
+        approx = diagonal_matrix_profile(ref, qry, m, fraction=0.3, seed=5)
+        assert np.all(approx.profile >= exact.profile - 1e-9)
+
+    def test_sampling_converges_fast(self, pair):
+        # SCRIMP's selling point: half the diagonals nearly finish the job.
+        ref, qry, m = pair
+        exact = diagonal_matrix_profile(ref, qry, m)
+        half = diagonal_matrix_profile(ref, qry, m, fraction=0.5, seed=7)
+        rel = np.abs(half.profile - exact.profile) / np.maximum(exact.profile, 1e-9)
+        # Dominates the linear baseline even on random-walk data (the
+        # hard case; structured data converges far faster).
+        assert np.mean(rel < 0.05) > 0.55
+
+    def test_reduced_precision_runs(self, pair):
+        ref, qry, m = pair
+        r = diagonal_matrix_profile(ref, qry, m, config=RunConfig(mode="FP32"))
+        assert np.all(np.isfinite(r.profile))
+
+    def test_invalid_fraction(self, pair):
+        ref, qry, m = pair
+        with pytest.raises(ValueError):
+            diagonal_matrix_profile(ref, qry, m, fraction=1.5)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="dimensionality"):
+            diagonal_matrix_profile(
+                rng.normal(size=(60, 2)), rng.normal(size=(60, 3)), 8
+            )

@@ -1,0 +1,103 @@
+"""Unit tests for the tiling scheme (Pseudocode 2 support machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import Tile, assign_tiles, compute_tile_list, tile_grid_shape
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, (1, 1)),
+            (2, (1, 2)),
+            (4, (2, 2)),
+            (16, (4, 4)),
+            (32, (4, 8)),
+            (256, (16, 16)),
+            (1024, (32, 32)),
+            (12, (3, 4)),
+            (7, (1, 7)),
+        ],
+    )
+    def test_near_square_factorisation(self, n, expected):
+        assert tile_grid_shape(n) == expected
+
+    def test_product_preserved(self):
+        for n in range(1, 200):
+            g_r, g_q = tile_grid_shape(n)
+            assert g_r * g_q == n
+            assert g_r <= g_q
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tile_grid_shape(0)
+
+
+class TestComputeTileList:
+    def test_full_coverage_no_overlap(self):
+        tiles = compute_tile_list(100, 90, 16)
+        cells = np.zeros((100, 90), dtype=int)
+        for t in tiles:
+            cells[t.row_start : t.row_stop, t.col_start : t.col_stop] += 1
+        assert np.all(cells == 1)
+
+    def test_single_tile(self):
+        tiles = compute_tile_list(50, 60, 1)
+        assert len(tiles) == 1
+        assert tiles[0].n_rows == 50
+        assert tiles[0].n_cols == 60
+
+    def test_balanced_split(self):
+        tiles = compute_tile_list(100, 100, 4)
+        assert all(t.n_rows == 50 and t.n_cols == 50 for t in tiles)
+
+    def test_uneven_split_differs_by_one(self):
+        tiles = compute_tile_list(10, 10, 9)
+        rows = {t.n_rows for t in tiles}
+        assert rows <= {3, 4}
+
+    def test_clamped_when_too_many_tiles(self):
+        tiles = compute_tile_list(2, 3, 100)
+        # grid clamps to 2 x 3 = 6 tiles at most
+        assert len(tiles) <= 6
+        assert all(t.n_rows >= 1 and t.n_cols >= 1 for t in tiles)
+
+    def test_row_major_ordering(self):
+        tiles = compute_tile_list(100, 100, 4)
+        assert [t.tile_id for t in tiles] == [0, 1, 2, 3]
+        assert tiles[0].row_start == tiles[1].row_start  # same row band
+        assert tiles[2].row_start > tiles[0].row_start
+
+    def test_sample_ranges_extend_by_m_minus_1(self):
+        tile = Tile(0, 10, 20, 30, 50)
+        assert tile.sample_range_rows(8) == (10, 27)
+        assert tile.sample_range_cols(8) == (30, 57)
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            compute_tile_list(0, 10, 4)
+
+
+class TestAssignTiles:
+    def test_round_robin(self):
+        tiles = compute_tile_list(100, 100, 8)
+        assert assign_tiles(tiles, 4) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_perfect_balance_when_divisible(self):
+        tiles = compute_tile_list(64, 64, 16)
+        assignment = assign_tiles(tiles, 4)
+        counts = np.bincount(assignment)
+        assert np.all(counts == 4)
+
+    def test_imbalance_for_odd_gpu_counts(self):
+        # 16 tiles on 3 GPUs: one GPU gets 6 tiles, the Fig. 5 dip.
+        tiles = compute_tile_list(64, 64, 16)
+        counts = np.bincount(assign_tiles(tiles, 3))
+        assert counts.max() == 6
+        assert counts.min() == 5
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ValueError):
+            assign_tiles([], 0)

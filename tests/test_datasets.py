@@ -1,0 +1,182 @@
+"""Unit tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.genome import ENCODING, encode_bases, make_genome_dataset
+from repro.datasets.hpcoda import (
+    APPLICATION_CLASSES,
+    SENSOR_NAMES,
+    make_hpcoda_dataset,
+)
+from repro.datasets.patterns import PATTERN_NAMES, all_patterns, generate_pattern
+from repro.datasets.synthetic import make_stress_dataset, noise_series
+from repro.datasets.turbine import (
+    PAIR_CATEGORIES,
+    make_turbine_pairs,
+    make_turbine_series,
+    startup_pattern,
+)
+
+
+class TestPatterns:
+    def test_eight_patterns(self):
+        assert len(PATTERN_NAMES) == 8
+        waves = all_patterns(64)
+        assert set(waves) == set(PATTERN_NAMES)
+
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_normalised_to_unit_range(self, name):
+        w = generate_pattern(name, 48)
+        assert w.shape == (48,)
+        assert np.max(np.abs(w)) == pytest.approx(1.0)
+
+    def test_patterns_mutually_distinct(self):
+        waves = all_patterns(64)
+        names = list(waves)
+        for a in range(len(names)):
+            for b in range(a + 1, len(names)):
+                assert not np.allclose(waves[names[a]], waves[names[b]], atol=0.1)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            generate_pattern("P8", 32)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            generate_pattern("P0", 2)
+
+
+class TestStressDataset:
+    def test_shapes_and_ground_truth(self):
+        ds = make_stress_dataset(n=800, d=4, m=32, seed=7)
+        assert ds.reference.shape == (800, 4)
+        assert ds.query.shape == (800, 4)
+        assert len(ds.motifs) == 8  # one per pattern
+
+    def test_motifs_actually_embedded(self):
+        ds = make_stress_dataset(n=800, d=4, m=32, amplitude=6.0, seed=7)
+        for mo in ds.motifs:
+            seg_r = ds.reference[mo.ref_pos : mo.ref_pos + 32, mo.dim]
+            seg_q = ds.query[mo.query_pos : mo.query_pos + 32, mo.dim]
+            # The shared pattern dominates: segments correlate strongly.
+            corr = np.corrcoef(seg_r, seg_q)[0, 1]
+            assert corr > 0.8, f"{mo.pattern}: corr={corr:.2f}"
+
+    def test_non_overlapping(self):
+        ds = make_stress_dataset(n=2000, d=2, m=40, motifs_per_pattern=2, seed=3)
+        pos = sorted(mo.ref_pos for mo in ds.motifs)
+        assert all(b - a >= 40 for a, b in zip(pos, pos[1:]))
+
+    def test_deterministic(self):
+        a = make_stress_dataset(n=600, d=2, m=24, seed=5)
+        b = make_stress_dataset(n=600, d=2, m=24, seed=5)
+        np.testing.assert_array_equal(a.reference, b.reference)
+
+    def test_too_small_n(self):
+        with pytest.raises(ValueError):
+            make_stress_dataset(n=100, d=2, m=32)
+
+    def test_noise_series_shape(self, rng):
+        assert noise_series(100, 3, rng).shape == (100, 3)
+
+
+class TestHPCODA:
+    def test_shapes_and_labels(self):
+        ds = make_hpcoda_dataset(n_per_half=512, d=8, seed=1)
+        assert ds.reference.shape == (512, 8)
+        assert ds.query_labels.shape == (512,)
+        assert set(np.unique(ds.reference_labels)) <= set(range(len(APPLICATION_CLASSES)))
+
+    def test_round_robin_covers_classes(self):
+        ds = make_hpcoda_dataset(n_per_half=4096, d=4, seed=2)
+        # With ~16+ phases, every class should appear in both halves.
+        assert len(np.unique(ds.reference_labels)) == len(APPLICATION_CLASSES)
+        assert len(np.unique(ds.query_labels)) == len(APPLICATION_CLASSES)
+
+    def test_segment_labels_midpoint(self):
+        ds = make_hpcoda_dataset(n_per_half=512, d=4, seed=1)
+        m = 32
+        seg = ds.segment_labels(ds.reference_labels, m)
+        assert seg.shape == (512 - m + 1,)
+        assert seg[0] == ds.reference_labels[m // 2]
+
+    def test_too_many_sensors(self):
+        with pytest.raises(ValueError):
+            make_hpcoda_dataset(d=len(SENSOR_NAMES) + 1)
+
+
+class TestGenome:
+    def test_encoding_map(self):
+        np.testing.assert_array_equal(encode_bases("ACTG"), [1.0, 2.0, 3.0, 4.0])
+
+    def test_unknown_base(self):
+        with pytest.raises(ValueError):
+            encode_bases("ACTN")
+
+    def test_values_in_alphabet(self):
+        ds = make_genome_dataset(n=1024, d=3, m=64, seed=2)
+        assert set(np.unique(ds.reference)) <= {1.0, 2.0, 3.0, 4.0}
+
+    def test_genes_planted_with_mutations(self):
+        ds = make_genome_dataset(n=1024, d=2, m=64, mutation_rate=0.05, seed=2)
+        for gene in ds.genes:
+            ref_gene = ds.reference[gene.ref_pos : gene.ref_pos + 64, gene.chromosome]
+            qry_gene = ds.query[gene.query_pos : gene.query_pos + 64, gene.chromosome]
+            matches = np.mean(ref_gene == qry_gene)
+            assert matches > 0.8  # conserved up to the mutation rate
+
+    def test_gene_count(self):
+        ds = make_genome_dataset(n=2048, d=4, m=64, genes_per_chromosome=3, seed=1)
+        assert len(ds.genes) == 12
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            make_genome_dataset(n=100, d=2, m=64)
+
+
+class TestTurbine:
+    def test_startup_patterns_rise_to_full_speed(self):
+        for kind in ("P1", "P2"):
+            w = startup_pattern(kind, 256)
+            assert w[0] == pytest.approx(0.0, abs=0.02)
+            assert w[-1] == pytest.approx(1.0, abs=0.02)
+            assert np.all(np.diff(w) >= -1e-9)  # monotone ramps
+
+    def test_p1_has_intermediate_plateau(self):
+        w = startup_pattern("P1", 400)
+        mid = w[int(0.35 * 400) : int(0.5 * 400)]
+        assert np.ptp(mid) < 0.02  # flat hold stage
+        assert 0.4 < mid.mean() < 0.75
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            startup_pattern("P3", 100)
+
+    def test_series_minmax_normalised(self):
+        ts = make_turbine_series(4096, 256, ("P1",), "GT2", seed=3)
+        assert ts.values.min() == pytest.approx(0.0)
+        assert ts.values.max() == pytest.approx(1.0)
+
+    def test_startups_recorded(self):
+        ts = make_turbine_series(6000, 256, ("P1", "P2"), seed=3)
+        assert [k for k, _ in ts.startups] == ["P1", "P2"]
+        assert ts.positions_of("P1") and ts.positions_of("P2")
+
+    def test_machine_validation(self):
+        with pytest.raises(ValueError):
+            make_turbine_series(4096, 256, ("P1",), "GT3")
+
+    def test_pair_categories_table1(self):
+        names = [c.name for c in PAIR_CATEGORIES]
+        assert names == ["P1-P1", "P2-P2", "both-P1", "both-P2"]
+        both_p1 = PAIR_CATEGORIES[2]
+        assert both_p1.reference_patterns == ("P1", "P2")
+        assert both_p1.target == "P1"
+
+    def test_make_pairs(self):
+        pairs = make_turbine_pairs(PAIR_CATEGORIES[0], 3, 3000, 256, seed=5)
+        assert len(pairs) == 3
+        ref, qry = pairs[0]
+        assert ref.machine == "GT1"
+        assert ref.positions_of("P1")

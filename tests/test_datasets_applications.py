@@ -1,0 +1,111 @@
+"""Unit tests for the intro-motivated application dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.applications import (
+    GRID_EVENT_TYPES,
+    make_pmu_dataset,
+    make_seismic_dataset,
+)
+
+
+class TestSeismic:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_seismic_dataset(n=8000, d=3, event_length=200, snr=8.0, seed=4)
+
+    def test_shapes(self, ds):
+        assert ds.trace.shape == (8000, 3)
+        assert len(ds.events) == 6  # 2 families x 3 events
+
+    def test_families_balanced(self, ds):
+        families = [e.family for e in ds.events]
+        assert families.count(0) == 3
+        assert families.count(1) == 3
+
+    def test_events_visible_above_background(self, ds):
+        # RMS in an event window clearly exceeds background RMS.
+        quiet = np.delete(
+            np.arange(ds.n),
+            np.concatenate(
+                [np.arange(e.position, e.position + 200) for e in ds.events]
+            ),
+        )
+        bg_rms = np.sqrt(np.mean(ds.trace[quiet] ** 2))
+        ev = ds.events[0]
+        ev_rms = np.sqrt(np.mean(ds.trace[ev.position : ev.position + 200] ** 2))
+        assert ev_rms > 1.3 * bg_rms
+
+    def test_same_family_events_correlate(self, ds):
+        by_family = {}
+        for e in ds.events:
+            by_family.setdefault(e.family, []).append(e)
+        for family, events in by_family.items():
+            a = ds.trace[events[0].position : events[0].position + 200, 0]
+            b = ds.trace[events[1].position : events[1].position + 200, 0]
+            corr = np.corrcoef(a, b)[0, 1]
+            assert corr > 0.5, f"family {family}: corr={corr:.2f}"
+
+    def test_matrix_profile_finds_family_repeats(self, ds):
+        from repro import matrix_profile
+
+        result = matrix_profile(ds.trace, m=200, mode="FP64")
+        # For at least one event, its best self-join match is another
+        # event of the same family.
+        hits = 0
+        for e in ds.events:
+            match = int(result.index[e.position, 2])
+            same = [
+                o for o in ds.events
+                if o.family == e.family and o.position != e.position
+            ]
+            if any(abs(match - o.position) < 100 for o in same):
+                hits += 1
+        assert hits >= len(ds.events) // 2
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            make_seismic_dataset(n=500, event_length=400)
+
+
+class TestPMU:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_pmu_dataset(n=6000, n_pmus=3, event_duration=120, seed=9)
+
+    def test_shapes(self, ds):
+        assert ds.measurements.shape == (6000, 6)
+        assert len(ds.events) == 6  # 3 types x 2
+
+    def test_event_types_covered(self, ds):
+        kinds = {e.kind for e in ds.events}
+        assert kinds == set(GRID_EVENT_TYPES)
+
+    def test_voltage_baseline_per_unit(self, ds):
+        # Magnitude channels hover around 1.0 p.u.
+        assert np.abs(ds.measurements[:, 0].mean() - 1.0) < 0.05
+
+    def test_sag_reduces_voltage(self, ds):
+        sag = next(e for e in ds.events if e.kind == "voltage_sag")
+        window = ds.measurements[sag.position : sag.position + sag.duration, 0]
+        assert window.min() < ds.measurements[:, 0].mean() - 0.03
+
+    def test_recurring_events_matched_by_profile(self, ds):
+        from repro import matrix_profile
+
+        result = matrix_profile(ds.measurements, m=120, mode="FP64")
+        by_kind = {}
+        for e in ds.events:
+            by_kind.setdefault(e.kind, []).append(e)
+        hits = 0
+        for kind, events in by_kind.items():
+            probe = events[0]
+            match = int(result.index[probe.position, 1])
+            if abs(match - events[1].position) < 60:
+                hits += 1
+        assert hits >= 2  # at least two of the three types re-identified
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            make_pmu_dataset(n=300, event_duration=150)

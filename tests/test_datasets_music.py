@@ -1,0 +1,58 @@
+"""Unit tests for the chroma-song generator (MIR domain)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.music import PITCH_CLASSES, make_chroma_song
+
+
+class TestChromaSong:
+    @pytest.fixture(scope="class")
+    def song(self):
+        return make_chroma_song(seed=5)
+
+    def test_twelve_pitch_classes(self, song):
+        assert song.chroma.shape[1] == 12
+        assert len(PITCH_CLASSES) == 12
+
+    def test_structure_recorded(self, song):
+        kinds = [s.kind for s in song.sections]
+        assert kinds == ["verse", "chorus", "verse", "chorus", "bridge", "chorus"]
+        assert song.occurrences("chorus")[0].kind == "chorus"
+
+    def test_sections_tile_the_song(self, song):
+        cursor = 0
+        for s in song.sections:
+            assert s.start == cursor
+            cursor += s.length
+        assert cursor == song.n_frames
+
+    def test_choruses_correlate(self, song):
+        choruses = song.occurrences("chorus")
+        a = song.chroma[choruses[0].start : choruses[0].start + choruses[0].length]
+        b = song.chroma[choruses[1].start : choruses[1].start + choruses[1].length]
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_verse_and_chorus_differ(self, song):
+        verse = song.occurrences("verse")[0]
+        chorus = song.occurrences("chorus")[0]
+        a = song.chroma[verse.start : verse.start + verse.length]
+        b = song.chroma[chorus.start : chorus.start + chorus.length]
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr < 0.8
+
+    def test_unknown_section_kind(self):
+        with pytest.raises(ValueError, match="unknown section kind"):
+            make_chroma_song(structure=("verse", "drop"))
+
+    def test_matrix_profile_recovers_chorus_repeats(self, song):
+        from repro import matrix_profile
+
+        m = song.frames_per_bar * 2  # half-section windows
+        result = matrix_profile(song.chroma, m=m, mode="FP64")
+        choruses = song.occurrences("chorus")
+        probe = choruses[0].start + 4
+        match = int(result.index[probe, 5])
+        others = [c.start + 4 for c in choruses[1:]]
+        assert any(abs(match - o) <= song.frames_per_bar for o in others)

@@ -1,0 +1,55 @@
+"""Example-script hygiene: every example imports cleanly, has a main(),
+a module docstring with a Run line, and only uses the public API."""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # imports only; main() is guarded
+    return module
+
+
+class TestExampleScripts:
+    def test_at_least_eight_examples(self):
+        assert len(EXAMPLES) >= 8
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_cleanly_and_has_main(self, path):
+        module = _load(path)
+        assert hasattr(module, "main"), f"{path.name} lacks main()"
+        assert callable(module.main)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_docstring_with_run_line(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc and "Run:" in doc, f"{path.name} docstring must show how to run"
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_guarded_entry_point(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source, path.name
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_no_private_imports(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    for alias in node.names:
+                        assert not alias.name.startswith("_"), (
+                            f"{path.name} imports private {alias.name} "
+                            f"from {node.module}"
+                        )
+
+    def test_quickstart_exists(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names

@@ -1,0 +1,40 @@
+"""Unit tests for the experiment registry."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, list_experiments, results_path
+
+
+class TestRegistry:
+    def test_every_paper_item_covered(self):
+        items = {e.paper_item for e in EXPERIMENTS}
+        for required in ("Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+                         "Fig. 7", "Fig. 10", "Table I", "Figs. 11-12",
+                         "Figs. 8-9"):
+            assert required in items, f"missing {required}"
+
+    def test_ids_unique(self):
+        ids = [e.exp_id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_bench_files_exist(self):
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        for e in EXPERIMENTS:
+            assert (bench_dir / e.bench).exists(), e.bench
+
+    def test_kinds_valid(self):
+        assert all(e.kind in ("executed", "modelled", "both") for e in EXPERIMENTS)
+
+    def test_results_path(self):
+        path = results_path("fig2")
+        assert path.name == "fig2_numerical_accuracy.txt"
+        assert path.parent.name == "results"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            results_path("fig99")
+
+    def test_list_returns_all(self):
+        assert list_experiments() == EXPERIMENTS

@@ -1,0 +1,71 @@
+"""Unit tests for the multi-node scaling extension."""
+
+import pytest
+
+from repro.extensions.multinode import ClusterSpec, model_multi_node
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        c = ClusterSpec(4)
+        assert c.total_gpus == 16
+        assert c.device_spec.name == "A100"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0)
+
+
+class TestModelMultiNode:
+    N, D, M = 2**16, 64, 64
+
+    def test_single_node_matches_gpu_only_plus_overheads(self):
+        r = model_multi_node(self.N, self.D, self.M, ClusterSpec(1))
+        assert r.broadcast_time == 0.0  # no peers to broadcast to
+        assert r.gather_time == 0.0
+        assert r.gpu_makespan > 0
+        assert r.total_time > r.gpu_makespan  # merge still happens
+
+    def test_every_node_gets_tiles(self):
+        r = model_multi_node(self.N, self.D, self.M, ClusterSpec(4))
+        assert len(r.nodes) == 4
+        assert all(n.n_tiles > 0 for n in r.nodes)
+        assert sum(n.n_tiles for n in r.nodes) == 4 * ClusterSpec(4).total_gpus
+
+    def test_two_nodes_speed_up(self):
+        t1 = model_multi_node(self.N, self.D, self.M, ClusterSpec(1)).total_time
+        t2 = model_multi_node(self.N, self.D, self.M, ClusterSpec(2)).total_time
+        assert t2 < t1
+
+    def test_efficiency_decreases_with_nodes(self):
+        base = model_multi_node(self.N, self.D, self.M, ClusterSpec(1))
+        effs = [
+            model_multi_node(self.N, self.D, self.M, ClusterSpec(nn)).efficiency_vs(base)
+            for nn in (2, 4, 8)
+        ]
+        assert effs[0] > effs[2]  # strong scaling saturates
+
+    def test_bigger_problems_scale_better(self):
+        # The paper's claim that the workload is not communication-bound:
+        # at 4x the problem area the 8-node efficiency must improve.
+        small_base = model_multi_node(2**14, self.D, self.M, ClusterSpec(1))
+        small = model_multi_node(2**14, self.D, self.M, ClusterSpec(8))
+        big_base = model_multi_node(2**16, self.D, self.M, ClusterSpec(1))
+        big = model_multi_node(2**16, self.D, self.M, ClusterSpec(8))
+        assert big.efficiency_vs(big_base) > small.efficiency_vs(small_base)
+
+    def test_communication_grows_with_nodes(self):
+        r2 = model_multi_node(self.N, self.D, self.M, ClusterSpec(2))
+        r8 = model_multi_node(self.N, self.D, self.M, ClusterSpec(8))
+        assert r8.broadcast_time > r2.broadcast_time
+        assert r8.gather_time > r2.gather_time
+
+    def test_reduced_precision_cheaper_transfers(self):
+        r64 = model_multi_node(self.N, self.D, self.M, ClusterSpec(4), mode="FP64")
+        r16 = model_multi_node(self.N, self.D, self.M, ClusterSpec(4), mode="FP16")
+        assert r16.broadcast_time < r64.broadcast_time
+        assert r16.total_time < r64.total_time
+
+    def test_explicit_tile_count(self):
+        r = model_multi_node(self.N, self.D, self.M, ClusterSpec(2), n_tiles=64)
+        assert sum(n.n_tiles for n in r.nodes) == 64

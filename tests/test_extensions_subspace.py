@@ -1,0 +1,83 @@
+"""Unit tests for motif subspace recovery."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.extensions.subspace import (
+    motif_with_subspace,
+    recover_subspace,
+    segment_distances,
+)
+
+
+@pytest.fixture
+def planted(rng):
+    """Noise with one motif living in dimensions {1, 4}."""
+    n, d, m = 600, 6, 32
+    ref = rng.normal(size=(n, d))
+    qry = rng.normal(size=(n, d))
+    wave = 5.0 * np.sin(np.linspace(0, 4 * np.pi, m))
+    for dim in (1, 4):
+        ref[100 : 100 + m, dim] += wave
+        qry[400 : 400 + m, dim] += wave
+    return ref, qry, m
+
+
+class TestSegmentDistances:
+    def test_shape_and_nonnegative(self, planted):
+        ref, qry, m = planted
+        dists = segment_distances(ref, qry, 100, 400, m)
+        assert dists.shape == (6,)
+        assert np.all(dists >= 0)
+
+    def test_motif_dims_closest(self, planted):
+        ref, qry, m = planted
+        dists = segment_distances(ref, qry, 100, 400, m)
+        assert set(np.argsort(dists)[:2]) == {1, 4}
+
+    def test_identical_segments_zero(self, rng):
+        x = rng.normal(size=(100, 3))
+        dists = segment_distances(x, x, 10, 10, 16)
+        np.testing.assert_allclose(dists, 0.0, atol=1e-10)
+
+    def test_out_of_range(self, planted):
+        ref, qry, m = planted
+        with pytest.raises(ValueError):
+            segment_distances(ref, qry, 10_000, 0, m)
+
+
+class TestRecoverSubspace:
+    def test_recovers_planted_dims(self, planted):
+        ref, qry, m = planted
+        ss = recover_subspace(ref, qry, 100, 400, m, k=2)
+        assert set(ss.dimensions) == {1, 4}
+        assert ss.distances == tuple(sorted(ss.distances))
+
+    def test_k_validation(self, planted):
+        ref, qry, m = planted
+        with pytest.raises(ValueError):
+            recover_subspace(ref, qry, 100, 400, m, k=0)
+        with pytest.raises(ValueError):
+            recover_subspace(ref, qry, 100, 400, m, k=7)
+
+
+class TestMotifWithSubspace:
+    def test_full_pipeline(self, planted):
+        ref, qry, m = planted
+        result = matrix_profile(ref, qry, m=m, mode="FP64")
+        ss = motif_with_subspace(result, ref, qry, k=2)
+        assert set(ss.dimensions) == {1, 4}
+        # Found at (approximately) the planted location.
+        assert abs(ss.query_pos - 400) < m
+        assert abs(ss.ref_pos - 100) < m
+
+    def test_self_join_pipeline(self, rng):
+        n, m = 500, 32
+        x = rng.normal(size=(n, 4))
+        wave = 5.0 * np.sin(np.linspace(0, 4 * np.pi, m))
+        x[50 : 50 + m, 2] += wave
+        x[350 : 350 + m, 2] += wave
+        result = matrix_profile(x, m=m, mode="FP64")
+        ss = motif_with_subspace(result, x, None, k=1)
+        assert ss.dimensions == (2,)

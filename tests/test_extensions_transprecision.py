@@ -1,0 +1,122 @@
+"""Unit tests for the TF32/BFLOAT16 transprecision extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mstamp import mstamp
+from repro.extensions.transprecision import (
+    BF16,
+    SOFT_FP16,
+    TF32,
+    SoftFormat,
+    round_to_format,
+    transprecision_itemsize,
+    transprecision_matrix_profile,
+)
+
+
+class TestFormats:
+    def test_bf16_parameters(self):
+        assert BF16.precision == 8
+        assert BF16.eps == 2.0**-8
+        # bfloat16 max = 0x7F7F ~ 3.39e38
+        assert BF16.max_value == pytest.approx(3.3895e38, rel=1e-3)
+
+    def test_tf32_parameters(self):
+        assert TF32.precision == 11
+        assert TF32.eps == 2.0**-11
+        assert TF32.emax == 127  # float32 range, fp16 precision
+
+    def test_itemsize(self):
+        assert transprecision_itemsize(TF32) == 4
+        assert transprecision_itemsize(BF16) == 2
+        assert transprecision_itemsize(SOFT_FP16) == 2
+
+
+class TestRounding:
+    def test_soft_fp16_matches_native_normals(self, rng):
+        x = rng.normal(size=5000) * 100
+        soft = round_to_format(x, SOFT_FP16)
+        native = x.astype(np.float16).astype(np.float64)
+        # Identical on normal-range values (we flush subnormals; normals match).
+        normal = np.abs(native) >= 2.0**-14
+        assert np.array_equal(soft[normal], native[normal])
+
+    def test_fp16_overflow_to_inf(self):
+        assert np.isinf(round_to_format(np.array([1e5]), SOFT_FP16))[0]
+
+    def test_bf16_keeps_float32_range(self):
+        out = round_to_format(np.array([1e38]), BF16)
+        assert np.isfinite(out[0])
+
+    def test_bf16_coarse_mantissa(self):
+        # 1 + 2^-9 is below bf16 resolution (eps = 2^-8): rounds to 1.
+        assert round_to_format(np.array([1.0 + 2.0**-9]), BF16)[0] == 1.0
+        # ...but within TF32 resolution.
+        assert round_to_format(np.array([1.0 + 2.0**-9]), TF32)[0] != 1.0
+
+    def test_round_to_nearest(self):
+        # Halfway between two bf16 values rounds to even.
+        x = np.array([1.0 + 2.0**-8 / 2.0])
+        assert round_to_format(x, BF16)[0] == 1.0
+
+    def test_zero_and_nan(self):
+        out = round_to_format(np.array([0.0, np.nan, np.inf]), BF16)
+        assert out[0] == 0.0
+        assert np.isnan(out[1])
+        assert np.isinf(out[2])
+
+    def test_underflow_flushes(self):
+        assert round_to_format(np.array([1e-40]), SOFT_FP16)[0] == 0.0
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=200)
+        once = round_to_format(x, TF32)
+        np.testing.assert_array_equal(once, round_to_format(once, TF32))
+
+
+class TestTransprecisionProfile:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(3)
+        ref = rng.normal(size=(200, 3))
+        qry = rng.normal(size=(180, 3))
+        return ref, qry, 16
+
+    def test_tf32_high_recall(self, data):
+        ref, qry, m = data
+        p64, i64 = mstamp(ref, qry, m)
+        p, i = transprecision_matrix_profile(ref, qry, m, TF32)
+        assert np.mean(i == i64) > 0.95
+        assert np.mean(np.abs(p - p64) / p64) < 0.01
+
+    def test_bf16_worse_than_tf32(self, data):
+        # TF32 has 3 more significand bits: it must track FP64 better.
+        ref, qry, m = data
+        p64, _ = mstamp(ref, qry, m)
+        p_tf, _ = transprecision_matrix_profile(ref, qry, m, TF32)
+        p_bf, _ = transprecision_matrix_profile(ref, qry, m, BF16)
+        err_tf = np.mean(np.abs(p_tf - p64) / p64)
+        err_bf = np.mean(np.abs(p_bf - p64) / p64)
+        assert err_tf < err_bf
+
+    def test_self_join(self, data):
+        ref, _, m = data
+        p, i = transprecision_matrix_profile(ref, None, m, TF32)
+        pos = np.arange(p.shape[0])
+        valid = i[:, 0] >= 0
+        assert np.all(np.abs(i[valid, 0] - pos[valid]) > m // 4)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            transprecision_matrix_profile(
+                rng.normal(size=(50, 2)), rng.normal(size=(50, 3)), 8, BF16
+            )
+
+    def test_custom_format(self, data):
+        # An 18-bit format should land between TF32 and FP64.
+        ref, qry, m = data
+        fmt = SoftFormat(name="FP18ish", precision=18, emax=127, emin=-126)
+        p64, i64 = mstamp(ref, qry, m)
+        p, i = transprecision_matrix_profile(ref, qry, m, fmt)
+        assert np.mean(i == i64) > 0.99

@@ -1,0 +1,90 @@
+"""Failure-injection tests: device out-of-memory and how tiling solves it.
+
+The tiling scheme's first purpose (Section III-B) is processing problems
+larger than device memory.  These tests shrink the simulated device until
+an untiled run *fails* with the allocator's OOM error, then verify that
+the planner-recommended tiling makes the same problem succeed — the
+end-to-end version of the paper's claim.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.multi_tile import compute_multi_tile
+from repro.core.planner import plan_tiles
+from repro.core.single_tile import compute_single_tile
+from repro.gpu.device import A100
+from repro.gpu.memory import DeviceOutOfMemoryError
+
+
+@pytest.fixture
+def tiny_device():
+    """An A100 shrunk to 64 KiB of device memory."""
+    return replace(A100, name="A100", mem_capacity=64 * 1024)
+
+
+@pytest.fixture
+def series(rng):
+    return rng.normal(size=(900, 4)), rng.normal(size=(900, 4))
+
+
+class TestOOMInjection:
+    def test_untiled_run_oom(self, tiny_device, series):
+        ref, qry = series
+        # 900 samples x 4 dims x 8 B x 2 series ~ 57.6 KiB of inputs plus
+        # the precalc vectors: exceeds the 64 KiB device.
+        with pytest.raises(DeviceOutOfMemoryError):
+            compute_single_tile(ref, qry, 32, RunConfig(device=tiny_device))
+
+    def test_tiled_run_succeeds(self, tiny_device, series):
+        ref, qry = series
+        result = compute_multi_tile(
+            ref, qry, 32, RunConfig(device=tiny_device, n_tiles=64)
+        )
+        assert np.all(np.isfinite(result.profile))
+
+    def test_tiled_matches_untiled_results(self, tiny_device, series):
+        ref, qry = series
+        on_tiny = compute_multi_tile(
+            ref, qry, 32, RunConfig(device=tiny_device, n_tiles=64)
+        )
+        on_big = compute_single_tile(ref, qry, 32, RunConfig(device="A100"))
+        np.testing.assert_allclose(on_tiny.profile, on_big.profile, atol=1e-10)
+        np.testing.assert_array_equal(on_tiny.index, on_big.index)
+
+    def test_planner_avoids_oom(self, tiny_device, series):
+        ref, qry = series
+        n_seg = ref.shape[0] - 32 + 1
+        plan = plan_tiles(
+            n_seg, n_seg, 4, 32, mode="FP64", device=tiny_device,
+            concurrent_tiles_per_gpu=1,
+        )
+        assert plan.n_tiles > 1  # the planner knows one tile can't fit
+        result = compute_multi_tile(
+            ref, qry, 32, RunConfig(device=tiny_device, n_tiles=plan.n_tiles)
+        )
+        assert result.n_tiles == plan.n_tiles
+
+    def test_memory_freed_between_tiles(self, tiny_device, series):
+        # If per-tile allocations leaked, 64 sequential tiles could not
+        # all fit the 64 KiB device.
+        ref, qry = series
+        compute_multi_tile(ref, qry, 32, RunConfig(device=tiny_device, n_tiles=64))
+        # Running again on the same config must also work (no global state).
+        compute_multi_tile(ref, qry, 32, RunConfig(device=tiny_device, n_tiles=64))
+
+    def test_fp16_fits_where_fp64_does_not(self, series, rng):
+        # FP16's footprint is ~1/3 of FP64's (the profile index stays
+        # int64); 200 KiB sits between the two for this problem.
+        ref, qry = series
+        cap = 200 * 1024
+        device = replace(A100, name="A100", mem_capacity=cap)
+        with pytest.raises(DeviceOutOfMemoryError):
+            compute_single_tile(ref, qry, 32, RunConfig(device=device, mode="FP64"))
+        result = compute_single_tile(
+            ref, qry, 32, RunConfig(device=device, mode="FP16")
+        )
+        assert result.profile.shape[1] == 4

@@ -1,0 +1,76 @@
+"""Invariant checks on the calibration tables (guard against constant rot)."""
+
+import pytest
+
+from repro.gpu.calibration import (
+    CPU_CELL_TIME,
+    CPU_SORT_FACTOR,
+    DEVICE_EFFICIENCY_SCALE,
+    DRAM_EFFICIENCY,
+    L1_EFFICIENCY,
+    L2_EFFICIENCY,
+    MERGE_TIME_PER_ELEMENT,
+    SM_EFFICIENCY,
+    TILE_DISPATCH_OVERHEAD,
+    device_scale,
+    dram_efficiency,
+    l1_efficiency,
+)
+
+
+class TestEfficiencyTables:
+    def test_all_kernels_covered(self):
+        assert set(DRAM_EFFICIENCY) == {
+            "dist_calc",
+            "update_mat_prof",
+            "precalculation",
+            "sort_&_incl_scan",
+        }
+
+    def test_fractions_in_unit_interval(self):
+        for table in DRAM_EFFICIENCY.values():
+            for v in table.values():
+                assert 0 < v <= 1
+        for v in L1_EFFICIENCY.values():
+            assert 0 < v <= 1
+        assert 0 < L2_EFFICIENCY <= 1
+        assert 0 < SM_EFFICIENCY <= 1
+
+    def test_efficiency_decreases_with_narrower_dtype(self):
+        # Section V-C: achieved utilisation drops with the element width,
+        # which is what makes reduced-precision speedup sub-linear.
+        for name, table in DRAM_EFFICIENCY.items():
+            assert table[8] >= table[4] >= table[2], name
+        assert L1_EFFICIENCY[8] >= L1_EFFICIENCY[4] >= L1_EFFICIENCY[2]
+
+    def test_unknown_kernel_falls_back(self):
+        assert dram_efficiency("mystery_kernel", 8) == DRAM_EFFICIENCY[
+            "precalculation"
+        ][8]
+
+    def test_unknown_itemsize_falls_back_to_fp64(self):
+        assert dram_efficiency("dist_calc", 16) == DRAM_EFFICIENCY["dist_calc"][8]
+        assert l1_efficiency(16) == L1_EFFICIENCY[8]
+
+
+class TestScalarConstants:
+    def test_device_scales(self):
+        assert DEVICE_EFFICIENCY_SCALE["V100"] > 1.0  # mature arch saturates
+        assert DEVICE_EFFICIENCY_SCALE["A100"] < 1.0
+        assert device_scale("H100") == 1.0  # unknown device: neutral
+
+    def test_positive_time_constants(self):
+        for c in (CPU_CELL_TIME, MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD):
+            assert c > 0
+
+    def test_cpu_sort_factor_moderate(self):
+        assert 0 < CPU_SORT_FACTOR < 1
+
+    def test_headline_anchor_still_holds(self):
+        # The anchor the constants were fitted to; if someone retunes one
+        # constant they must retune the set (see calibration.py docstring).
+        from repro.gpu.perfmodel import cpu_baseline_time, single_tile_timing
+
+        t_cpu = cpu_baseline_time(2**16, 2**16, 2**6)
+        t_a100 = single_tile_timing(2**16, 2**16, 2**6, 2**6, "A100", 8).compute_total
+        assert t_cpu / t_a100 == pytest.approx(54.0, rel=0.15)

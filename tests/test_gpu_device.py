@@ -1,0 +1,60 @@
+"""Unit tests for repro.gpu.device."""
+
+import pytest
+
+from repro.gpu.device import A100, DEVICES, SKYLAKE16, V100, DeviceSpec, get_device
+
+
+class TestDeviceSpecs:
+    def test_v100_matches_paper_section_va(self):
+        # "8 NVIDIA Tesla V100 GPUs, each providing 7.8 TFLOP/s double-
+        # precision performance, 32 GB device memory capacity, 900 GB/s
+        # memory bandwidth and 80 Streaming Multiprocessors"
+        assert V100.peak_flops_fp64 == 7.8e12
+        assert V100.mem_capacity == 32 * 1024**3
+        assert V100.mem_bandwidth == 900e9
+        assert V100.n_sms == 80
+
+    def test_a100_matches_paper_section_va(self):
+        # "4 NVIDIA Tesla A100 GPUs, each providing 9.7 TFLOP/s ... 40 GB
+        # device memory, 1,555 GB/s memory bandwidth and 108 SMs"
+        assert A100.peak_flops_fp64 == 9.7e12
+        assert A100.mem_capacity == 40 * 1024**3
+        assert A100.mem_bandwidth == 1555e9
+        assert A100.n_sms == 108
+
+    def test_thread_capacity_matches_tuned_launches(self):
+        # Paper: 163,840 threads on V100, 221,184 on A100.
+        assert V100.max_threads == 163_840
+        assert A100.max_threads == 221_184
+
+    def test_peak_flops_by_itemsize(self):
+        assert A100.peak_flops(8) == A100.peak_flops_fp64
+        assert A100.peak_flops(4) == A100.peak_flops_fp32
+        assert A100.peak_flops(2) == A100.peak_flops_fp16
+
+    def test_cpu_is_host_resident(self):
+        assert SKYLAKE16.kind == "cpu"
+        assert SKYLAKE16.pcie_bandwidth == 0.0
+        assert SKYLAKE16.max_streams == 1
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            A100.n_sms = 1
+
+
+class TestGetDevice:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_device("a100") is A100
+        assert get_device("V100") is V100
+        assert get_device("skylake16") is SKYLAKE16
+
+    def test_passthrough(self):
+        assert get_device(A100) is A100
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("H100")
+
+    def test_registry_complete(self):
+        assert set(DEVICES) == {"v100", "a100", "skylake16"}

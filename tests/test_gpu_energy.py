@@ -1,0 +1,58 @@
+"""Unit tests for the energy model."""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, matrix_profile, model_multi_tile
+from repro.gpu.energy import POWER_SPECS, estimate_energy
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        rng = np.random.default_rng(4)
+        return matrix_profile(rng.normal(size=(400, 4)), m=16, n_tiles=4)
+
+    def test_positive_components(self, result):
+        est = estimate_energy(result)
+        assert est.busy_energy > 0
+        assert est.total_energy >= est.busy_energy
+        assert est.kilojoules == est.total_energy / 1e3
+
+    def test_average_power_between_idle_and_tdp(self, result):
+        est = estimate_energy(result)
+        spec = POWER_SPECS[est.device]
+        assert spec.idle * 0.5 < est.average_power <= spec.tdp
+
+    def test_reduced_precision_saves_energy(self):
+        # Paper-scale projection: FP16-family time saving carries to joules.
+        e = {}
+        for mode in ("FP64", "FP16"):
+            r = model_multi_tile(2**14, 64, 64, RunConfig(mode=mode))
+            e[mode] = estimate_energy(r, "A100").total_energy
+        assert e["FP16"] < e["FP64"]
+        assert e["FP64"] / e["FP16"] > 1.2
+
+    def test_multi_gpu_idle_accounting(self):
+        # Odd GPU counts idle more (load imbalance) => worse energy per
+        # unit of work than the balanced count.
+        r3 = model_multi_tile(2**14, 64, 64, RunConfig(n_tiles=16, n_gpus=3))
+        r4 = model_multi_tile(2**14, 64, 64, RunConfig(n_tiles=16, n_gpus=4))
+        e3 = estimate_energy(r3, "A100")
+        e4 = estimate_energy(r4, "A100")
+        assert e3.idle_energy > e4.idle_energy
+
+    def test_explicit_device(self, result):
+        v = estimate_energy(result, "V100")
+        a = estimate_energy(result, "A100")
+        assert v.device == "V100"
+        assert a.device == "A100"
+
+    def test_unknown_device_raises(self, result):
+        from dataclasses import replace
+
+        from repro.gpu.device import A100
+
+        ghost = replace(A100, name="H100")
+        with pytest.raises(ValueError, match="no power spec"):
+            estimate_energy(result, ghost)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.gpu.memory."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100
+from repro.gpu.memory import DeviceMemory, DeviceOutOfMemoryError
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(A100)
+
+
+class TestAllocation:
+    def test_alloc_zeroed(self, mem):
+        h = mem.alloc((4, 8), np.float32, label="x")
+        assert h.array.shape == (4, 8)
+        assert h.array.dtype == np.float32
+        assert np.all(h.array == 0)
+
+    def test_accounting(self, mem):
+        h = mem.alloc((1024,), np.float64)
+        assert mem.in_use == 8192
+        assert mem.high_water == 8192
+        h.free()
+        assert mem.in_use == 0
+        assert mem.high_water == 8192  # high water persists
+
+    def test_free_idempotent(self, mem):
+        h = mem.alloc(16, np.float16)
+        h.free()
+        h.free()
+        assert mem.in_use == 0
+
+    def test_scalar_shape(self, mem):
+        h = mem.alloc(7, np.float64)
+        assert h.array.shape == (7,)
+
+    def test_oom_raises(self, mem):
+        with pytest.raises(DeviceOutOfMemoryError) as err:
+            mem.alloc((1 << 40,), np.float64)  # 8 TiB > 40 GB
+        assert err.value.device == "A100"
+        assert err.value.requested == (1 << 40) * 8
+
+    def test_oom_leaves_state_clean(self, mem):
+        before = mem.in_use
+        with pytest.raises(DeviceOutOfMemoryError):
+            mem.alloc((1 << 40,), np.float64)
+        assert mem.in_use == before
+
+    def test_capacity_exact_fit(self):
+        # A shrunken device so the test doesn't allocate real gigabytes.
+        from dataclasses import replace
+
+        tiny = replace(A100, name="tinyA100", mem_capacity=1024)
+        m = DeviceMemory(tiny)
+        h = m.alloc((128,), np.float64)
+        assert m.in_use == m.capacity
+        with pytest.raises(DeviceOutOfMemoryError):
+            m.alloc(1, np.float16)
+        h.free()
+
+
+class TestUpload:
+    def test_upload_copies(self, mem):
+        host = np.arange(12, dtype=np.float64).reshape(3, 4)
+        h = mem.upload(host)
+        host[0, 0] = 99
+        assert h.array[0, 0] == 0.0
+
+    def test_upload_converts_dtype(self, mem):
+        host = np.linspace(0, 1, 10)
+        h = mem.upload(host, dtype=np.float16)
+        assert h.array.dtype == np.float16
+
+    def test_free_all(self, mem):
+        mem.alloc(10, np.float64)
+        mem.alloc(20, np.float64)
+        assert mem.in_use > 0
+        mem.free_all()
+        assert mem.in_use == 0
+        assert len(list(mem.live_allocations)) == 0
+
+    def test_report(self, mem):
+        mem.alloc(10, np.float64)
+        rpt = mem.report()
+        assert rpt["in_use"] == 80
+        assert rpt["n_live"] == 1
+        assert rpt["capacity"] == A100.mem_capacity

@@ -1,0 +1,82 @@
+"""Unit tests for the SM occupancy model."""
+
+import pytest
+
+from repro.gpu.device import A100, V100
+from repro.gpu.occupancy import (
+    SM_RESOURCES,
+    best_block_size,
+    launch_for_full_occupancy,
+    occupancy,
+)
+
+
+class TestOccupancy:
+    def test_full_occupancy_baseline(self):
+        # 256-thread blocks at 32 regs/thread: 8 blocks x 8 warps = 64
+        # warps — full occupancy on both architectures.
+        for dev in ("V100", "A100"):
+            r = occupancy(dev, 256, registers_per_thread=32)
+            assert r.full
+            assert r.warps_per_sm == 64
+
+    def test_register_limited(self):
+        # 128 regs/thread: 65536 / (128*32*aligned) ~ 16 warps/SM max.
+        r = occupancy("V100", 256, registers_per_thread=128)
+        assert r.limiter == "registers"
+        assert r.occupancy < 0.5
+
+    def test_shared_memory_limited(self):
+        # 48 KiB/block on V100 (96 KiB SM budget) => 2 blocks.
+        r = occupancy("V100", 128, shared_memory_per_block=48 * 1024)
+        assert r.limiter == "shared_memory"
+        assert r.blocks_per_sm == 2
+
+    def test_a100_more_shared_memory(self):
+        v = occupancy("V100", 128, shared_memory_per_block=32 * 1024)
+        a = occupancy("A100", 128, shared_memory_per_block=32 * 1024)
+        assert a.blocks_per_sm > v.blocks_per_sm
+
+    def test_block_count_limited_small_blocks(self):
+        # 32-thread blocks: 32-block cap -> 32 warps -> 50% occupancy.
+        r = occupancy("A100", 32, registers_per_thread=16)
+        assert r.limiter in ("blocks", "threads")
+        assert r.occupancy == 0.5
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            occupancy("A100", 2048)
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError):
+            occupancy("Skylake16", 128)
+
+
+class TestBestBlockSize:
+    def test_prefers_larger_among_full(self):
+        size, result = best_block_size("A100", registers_per_thread=32)
+        assert result.full
+        assert size == 1024  # largest candidate with full occupancy
+
+    def test_adapts_to_register_pressure(self):
+        size_lo, res_lo = best_block_size("A100", registers_per_thread=32)
+        size_hi, res_hi = best_block_size("A100", registers_per_thread=255)
+        assert res_hi.occupancy <= res_lo.occupancy
+
+
+class TestLaunchForFullOccupancy:
+    def test_reproduces_paper_totals(self):
+        # With a lean kernel the derived launch covers every warp slot:
+        # 163,840 threads on V100 and 221,184 on A100 (Section V-A).
+        v = launch_for_full_occupancy("V100", registers_per_thread=32)
+        a = launch_for_full_occupancy("A100", registers_per_thread=32)
+        assert v.total_threads == V100.max_threads == 163_840
+        assert a.total_threads == A100.max_threads == 221_184
+
+    def test_resource_hungry_kernel_fewer_threads(self):
+        lean = launch_for_full_occupancy("A100", registers_per_thread=32)
+        fat = launch_for_full_occupancy("A100", registers_per_thread=200)
+        assert fat.total_threads < lean.total_threads
+
+    def test_tables_exist(self):
+        assert set(SM_RESOURCES) == {"V100", "A100"}

@@ -1,0 +1,199 @@
+"""Unit tests for the calibrated roofline performance model.
+
+Includes the calibration-anchor assertions: the modelled numbers must land
+on the paper's published ratios (Figs. 4-6) within stated tolerances.
+"""
+
+import pytest
+
+from repro.gpu.device import A100, SKYLAKE16, V100
+from repro.gpu.kernel import KernelCost, LaunchConfig
+from repro.gpu.perfmodel import (
+    cpu_baseline_time,
+    kernel_time,
+    single_tile_costs,
+    single_tile_timing,
+    sort_stage_count,
+    transfer_time,
+)
+
+
+class TestSortStageCount:
+    @pytest.mark.parametrize(
+        "d,expected",
+        [
+            (1, (0, 0)),
+            (2, (1, 1)),
+            (4, (3, 2)),
+            (8, (6, 3)),
+            (16, (10, 4)),
+            (64, (21, 6)),
+            (3, (3, 2)),  # padded to 4
+        ],
+    )
+    def test_stage_counts(self, d, expected):
+        assert sort_stage_count(d) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sort_stage_count(0)
+
+
+class TestKernelTime:
+    def test_memory_bound_kernel(self):
+        # One second of DRAM traffic at the achieved bandwidth:
+        # 0.8 (FP64 dist_calc efficiency) * 0.9 (A100 device scale) * peak.
+        cost = KernelCost(name="dist_calc", bytes_dram=0.8 * 0.9 * A100.mem_bandwidth)
+        t = kernel_time(cost, A100, itemsize=8)
+        assert t.busy == pytest.approx(1.0, rel=1e-6)
+
+    def test_overhead_separate(self):
+        cost = KernelCost(name="dist_calc", syncs=100, launches=10)
+        t = kernel_time(cost, A100, itemsize=8)
+        assert t.busy == 0.0
+        assert t.overhead == pytest.approx(
+            100 * A100.sync_latency + 10 * A100.kernel_launch_overhead
+        )
+
+    def test_l2_residency_bonus(self):
+        # The bonus applies only when the working set fits a quarter of L2
+        # (concurrent tiles share the cache).
+        cost = KernelCost(name="dist_calc", bytes_dram=1e9)
+        slow = kernel_time(cost, A100, 8, working_set=A100.l2_capacity / 2)
+        fast = kernel_time(cost, A100, 8, working_set=A100.l2_capacity / 8)
+        assert fast.busy < slow.busy
+
+    def test_narrower_dtype_lower_efficiency(self):
+        # Same byte count moves slower in FP16 (Section V-C utilisation).
+        cost = KernelCost(name="dist_calc", bytes_dram=1e9)
+        t64 = kernel_time(cost, A100, 8)
+        t16 = kernel_time(cost, A100, 2)
+        assert t16.busy > t64.busy
+
+
+class TestAnalyticCosts:
+    def test_dist_calc_traffic_formula(self):
+        cfg = LaunchConfig(64, 3456)
+        costs = single_tile_costs(100, 80, 8, 16, 8, cfg)
+        dist = costs["dist_calc"]
+        # 3 planes * n_q*d elements * itemsize * n_r rows.
+        assert dist.bytes_dram == 3.0 * 80 * 8 * 8 * 100
+        assert dist.launches == 100
+
+    def test_sort_syncs_scale_with_stages(self):
+        cfg = LaunchConfig(64, 3456)
+        costs8 = single_tile_costs(10, 10, 8, 16, 8, cfg)
+        costs64 = single_tile_costs(10, 10, 64, 16, 8, cfg)
+        assert costs8["sort_&_incl_scan"].syncs == (6 + 3) * 10
+        assert costs64["sort_&_incl_scan"].syncs == (21 + 6) * 10
+
+    def test_compensated_quadruples_precalc_flops(self):
+        cfg = LaunchConfig(64, 3456)
+        plain = single_tile_costs(50, 50, 4, 16, 2, cfg, precalc_itemsize=4)
+        comp = single_tile_costs(
+            50, 50, 4, 16, 2, cfg, precalc_itemsize=4, compensated=True
+        )
+        assert comp["precalculation"].flops == 4 * plain["precalculation"].flops
+
+    def test_invalid_sizes(self):
+        cfg = LaunchConfig(64, 3456)
+        with pytest.raises(ValueError):
+            single_tile_costs(0, 10, 4, 16, 8, cfg)
+
+
+class TestCalibrationAnchors:
+    """The modelled times must land on the paper's published anchors."""
+
+    N = 2**16
+    D = 2**6
+    M = 2**6
+
+    def _total(self, device):
+        timing = single_tile_timing(self.N, self.N, self.D, self.M, device, 8)
+        return timing.compute_total
+
+    def test_a100_fp64_near_fig4(self):
+        # Fig. 4: ~15 s of kernels at n=2^16, d=2^6 (we allow 12-22 s).
+        total = self._total(A100)
+        assert 12.0 < total < 22.0
+
+    def test_cpu_speedup_54x_on_a100(self):
+        # Fig. 6 headline: 54.0x on A100.
+        speedup = cpu_baseline_time(self.N, self.N, self.D) / self._total(A100)
+        assert speedup == pytest.approx(54.0, rel=0.15)
+
+    def test_cpu_speedup_41x_on_v100(self):
+        # Fig. 6 headline: 41.6x on V100.
+        speedup = cpu_baseline_time(self.N, self.N, self.D) / self._total(V100)
+        assert speedup == pytest.approx(41.6, rel=0.15)
+
+    def test_reduced_precision_speedup_about_1_4x(self):
+        # Section I: "an additional advantage of a factor of 1.4x".
+        t64 = self._total(A100)
+        t16 = single_tile_timing(
+            self.N, self.N, self.D, self.M, A100, 2, precalc_itemsize=4
+        ).compute_total
+        assert 1.25 < t64 / t16 < 1.7
+
+    def test_fp32_between_fp64_and_fp16(self):
+        t64 = self._total(A100)
+        t32 = single_tile_timing(self.N, self.N, self.D, self.M, A100, 4).compute_total
+        t16 = single_tile_timing(self.N, self.N, self.D, self.M, A100, 2).compute_total
+        assert t16 < t32 < t64
+
+    def test_sort_dominant_at_large_d_dist_at_small_d(self):
+        # Fig. 4: dimensionality decides the dominant kernel.
+        big_d = single_tile_timing(2**14, 2**14, 64, 64, A100, 8)
+        small_d = single_tile_timing(2**14, 2**14, 8, 64, A100, 8)
+        assert (
+            big_d.kernels["sort_&_incl_scan"].total
+            > big_d.kernels["dist_calc"].total
+        )
+        assert (
+            small_d.kernels["dist_calc"].total
+            > small_d.kernels["sort_&_incl_scan"].total
+        )
+
+    def test_sort_nearly_precision_independent(self):
+        # Section V-C: sort gains are "minimal" in reduced precision.
+        t64 = single_tile_timing(self.N, self.N, self.D, self.M, A100, 8)
+        t16 = single_tile_timing(self.N, self.N, self.D, self.M, A100, 2)
+        ratio = (
+            t64.kernels["sort_&_incl_scan"].total
+            / t16.kernels["sort_&_incl_scan"].total
+        )
+        assert ratio < 1.5  # far from the 4x a pure-bandwidth kernel would get
+
+    def test_m_independence(self):
+        # Fig. 6: execution time is independent of segment length m.
+        t_small_m = single_tile_timing(self.N, self.N, self.D, 8, A100, 8)
+        t_large_m = single_tile_timing(self.N, self.N, self.D, 64, A100, 8)
+        assert t_small_m.compute_total == pytest.approx(
+            t_large_m.compute_total, rel=0.05
+        )
+
+    def test_quadratic_in_n(self):
+        # Large-n regime: per-row launch/sync overheads are amortised and
+        # the quadratic roofline terms dominate (the Fig. 6 slope).
+        t1 = single_tile_timing(2**15, 2**15, self.D, self.M, A100, 8).compute_total
+        t2 = single_tile_timing(2**16, 2**16, self.D, self.M, A100, 8).compute_total
+        assert t2 / t1 == pytest.approx(4.0, rel=0.15)
+
+
+class TestCpuBaseline:
+    def test_quadratic_in_n(self):
+        assert cpu_baseline_time(2000, 2000, 8) / cpu_baseline_time(
+            1000, 1000, 8
+        ) == pytest.approx(4.0)
+
+    def test_linear_in_d_with_log_factor(self):
+        r = cpu_baseline_time(1000, 1000, 16) / cpu_baseline_time(1000, 1000, 8)
+        assert 2.0 < r < 2.5
+
+
+class TestTransferTime:
+    def test_pcie(self):
+        assert transfer_time(A100.pcie_bandwidth, A100) == pytest.approx(1.0)
+
+    def test_host_resident_free(self):
+        assert transfer_time(1e9, SKYLAKE16) == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for the profiling report generator."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.gpu.profiler import profile_result, render_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(2)
+    ref = rng.normal(size=(400, 8))
+    return matrix_profile(ref, None, m=32, mode="FP64")
+
+
+class TestProfileResult:
+    def test_all_kernels_present(self, result):
+        names = {p.name for p in profile_result(result)}
+        assert names == {
+            "precalculation",
+            "dist_calc",
+            "sort_&_incl_scan",
+            "update_mat_prof",
+        }
+
+    def test_sorted_by_time(self, result):
+        times = [p.time for p in profile_result(result)]
+        assert times == sorted(times, reverse=True)
+
+    def test_shares_sum_to_one(self, result):
+        shares = [p.share for p in profile_result(result)]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_achieved_bw_below_peak(self, result):
+        from repro.gpu.device import A100
+
+        for p in profile_result(result, "A100"):
+            if p.time > 0:
+                # Achieved bandwidth (incl. overhead in time) stays below
+                # the device's theoretical peak.
+                assert p.achieved_dram_bw <= A100.mem_bandwidth
+
+    def test_memory_bound_kernels(self, result):
+        for p in profile_result(result):
+            assert p.bound_by in ("DRAM", "L2", "L1/TEX", "SM")
+            if p.name == "dist_calc":
+                assert p.bound_by != "SM"  # the paper: memory-bound
+
+    def test_low_arithmetic_intensity(self, result):
+        # Matrix profile kernels do a handful of flops per byte — far
+        # below the ~10 flops/byte ridge of an A100 roofline.
+        for p in profile_result(result):
+            if p.name != "precalculation":
+                assert p.arithmetic_intensity < 2.0
+
+    def test_modeled_only_result_rejected(self):
+        from repro import RunConfig, model_multi_tile
+
+        modelled = model_multi_tile(1024, 8, 32, RunConfig())
+        with pytest.raises(ValueError, match="no kernel costs"):
+            profile_result(modelled)
+
+
+class TestRenderReport:
+    def test_render_contains_kernels_and_device(self, result):
+        text = render_report(result, "A100")
+        assert "dist_calc" in text
+        assert "A100" in text
+        assert "GB/s" in text
+
+    def test_render_v100(self, result):
+        text = render_report(result, "V100")
+        assert "900 GB/s" in text  # V100 peak quoted in the footer

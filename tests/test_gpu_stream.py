@@ -1,0 +1,106 @@
+"""Unit tests for repro.gpu.stream (discrete-event stream scheduler)."""
+
+import pytest
+
+from repro.gpu.stream import DeviceQueues, Stream, Timeline
+
+
+@pytest.fixture
+def device():
+    return DeviceQueues(name="A100", index=0)
+
+
+@pytest.fixture
+def timeline():
+    return Timeline()
+
+
+class TestSingleStream:
+    def test_sequential_ops(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        s.h2d("in", 1.0, timeline)
+        s.kernel("k", 2.0, timeline)
+        s.d2h("out", 0.5, timeline)
+        assert timeline.makespan == 3.5
+        assert [op.start for op in timeline.ops] == [0.0, 1.0, 3.0]
+
+    def test_overhead_extends_stream_not_engine(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        s.kernel("k1", 1.0, timeline, overhead=0.5)
+        # The stream waits for the overhead...
+        assert s.ready == 1.5
+        # ...but the compute engine frees up after the busy part.
+        assert device.engine_ready["compute"] == 1.0
+
+    def test_negative_duration_raises(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        with pytest.raises(ValueError):
+            s.kernel("bad", -1.0, timeline)
+
+    def test_unknown_engine_raises(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        with pytest.raises(ValueError, match="unknown engine"):
+            device.schedule(s, "dma3", "x", 1.0, timeline)
+
+
+class TestConcurrency:
+    def test_transfers_overlap_compute(self, device, timeline):
+        # Stream 0 computes while stream 1 uploads: copy engine != SMs.
+        s0 = Stream(device=device, stream_id=0)
+        s1 = Stream(device=device, stream_id=1)
+        s0.kernel("k0", 5.0, timeline)
+        s1.h2d("in1", 3.0, timeline)
+        assert timeline.makespan == 5.0  # upload hidden under compute
+
+    def test_compute_serialises_across_streams(self, device, timeline):
+        s0 = Stream(device=device, stream_id=0)
+        s1 = Stream(device=device, stream_id=1)
+        s0.kernel("k0", 5.0, timeline)
+        s1.kernel("k1", 5.0, timeline)
+        assert timeline.makespan == 10.0  # SMs are exclusive
+
+    def test_overhead_hidden_under_concurrency(self, device, timeline):
+        # The Fig. 7 effect: launch/sync gaps of one stream are filled by
+        # another stream's kernels.
+        s0 = Stream(device=device, stream_id=0)
+        s1 = Stream(device=device, stream_id=1)
+        s0.kernel("k0a", 1.0, timeline, overhead=1.0)
+        s1.kernel("k1a", 1.0, timeline, overhead=1.0)
+        s0.kernel("k0b", 1.0, timeline, overhead=1.0)
+        s1.kernel("k1b", 1.0, timeline, overhead=1.0)
+        # Busy time is 4.0; with a single stream the makespan would be 8.0.
+        assert timeline.makespan < 8.0
+
+    def test_single_stream_pays_overhead(self, device, timeline):
+        s0 = Stream(device=device, stream_id=0)
+        s0.kernel("a", 1.0, timeline, overhead=1.0)
+        s0.kernel("b", 1.0, timeline, overhead=1.0)
+        assert timeline.makespan == 4.0
+
+
+class TestTimeline:
+    def test_kernel_breakdown_groups_by_prefix(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        s.kernel("dist_calc:tile0", 1.0, timeline)
+        s.kernel("dist_calc:tile1", 2.0, timeline)
+        s.kernel("sort_&_incl_scan:tile0", 4.0, timeline)
+        bd = timeline.kernel_breakdown()
+        assert bd["dist_calc"] == 3.0
+        assert bd["sort_&_incl_scan"] == 4.0
+
+    def test_breakdown_excludes_transfers(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        s.h2d("h2d:tile0", 9.0, timeline)
+        s.kernel("k:tile0", 1.0, timeline)
+        assert "h2d" not in timeline.kernel_breakdown()
+        assert timeline.transfer_time() == 9.0
+
+    def test_device_busy_time(self, device, timeline):
+        s = Stream(device=device, stream_id=0)
+        s.kernel("k", 2.0, timeline)
+        s.kernel("k2", 3.0, timeline)
+        assert timeline.device_busy_time(0) == 5.0
+        assert timeline.device_busy_time(1) == 0.0
+
+    def test_empty_makespan_zero(self, timeline):
+        assert timeline.makespan == 0.0

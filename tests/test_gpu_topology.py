@@ -1,0 +1,91 @@
+"""Unit tests for the NVLink topology models."""
+
+import networkx as nx
+import pytest
+
+from repro.gpu.topology import (
+    NVLINK2_BW,
+    best_broadcast_time,
+    dgx1_topology,
+    nvlink_broadcast_time,
+    nvswitch_topology,
+    pcie_broadcast_time,
+)
+
+
+class TestDGX1Graph:
+    def test_eight_gpus(self):
+        g = dgx1_topology()
+        assert g.number_of_nodes() == 8
+
+    def test_six_nvlink_ports_per_gpu(self):
+        # Each V100 has 6 NVLink bricks: the sum of `links` on its edges.
+        g = dgx1_topology()
+        for node in g.nodes:
+            ports = sum(g.edges[node, nbr]["links"] for nbr in g.neighbors(node))
+            assert ports == 6, f"GPU {node} has {ports} bricks"
+
+    def test_connected_and_not_complete(self):
+        g = dgx1_topology()
+        assert nx.is_connected(g)
+        assert g.number_of_edges() < 28  # not a full crossbar
+
+    def test_quad_edges_doubled(self):
+        g = dgx1_topology()
+        assert g.edges[0, 1]["links"] == 2
+        assert g.edges[0, 3]["links"] == 1
+
+    def test_cross_quad_links(self):
+        g = dgx1_topology()
+        for u in range(4):
+            assert any(v >= 4 for v in g.neighbors(u))
+
+
+class TestNVSwitch:
+    def test_all_to_all(self):
+        g = nvswitch_topology(4)
+        assert g.number_of_edges() == 6
+        assert nx.is_connected(g)
+
+    def test_uniform_bandwidth(self):
+        g = nvswitch_topology(4)
+        bws = {g.edges[e]["bandwidth"] for e in g.edges}
+        assert len(bws) == 1
+
+
+class TestBroadcastTimes:
+    NBYTES = 1 << 30  # 1 GiB payload
+
+    def test_pcie_scales_with_gpus(self):
+        t4 = pcie_broadcast_time(self.NBYTES, 4, "V100")
+        t8 = pcie_broadcast_time(self.NBYTES, 8, "V100")
+        assert t8 == pytest.approx(2 * t4)
+
+    def test_nvlink_beats_pcie_for_large_payload_on_8_gpus(self):
+        t_nv = nvlink_broadcast_time(self.NBYTES, dgx1_topology(), "V100")
+        t_pcie = pcie_broadcast_time(self.NBYTES, 8, "V100")
+        assert t_nv < t_pcie
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            nvlink_broadcast_time(1.0, dgx1_topology(), "V100", root=99)
+
+    def test_best_strategy_switches(self):
+        big, strat_big = best_broadcast_time(self.NBYTES, 8, "V100")
+        assert strat_big == "nvlink"
+        tiny, strat_tiny = best_broadcast_time(4096, 2, "V100")
+        assert strat_tiny in ("pcie", "nvlink")
+        assert tiny < big
+
+    def test_cpu_device_free_transfers(self):
+        assert pcie_broadcast_time(self.NBYTES, 4, "Skylake16") == 0.0
+
+    def test_broadcast_monotone_in_payload(self):
+        g = dgx1_topology()
+        t1 = nvlink_broadcast_time(1e6, g, "V100")
+        t2 = nvlink_broadcast_time(1e9, g, "V100")
+        assert t2 > t1
+
+    def test_single_gpu_subgraph(self):
+        t, strategy = best_broadcast_time(self.NBYTES, 1, "V100")
+        assert t > 0

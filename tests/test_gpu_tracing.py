@@ -1,0 +1,68 @@
+"""Unit tests for the chrome-trace exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.gpu.tracing import export_chrome_trace, timeline_to_trace_events
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(3)
+    ref = rng.normal(size=(300, 4))
+    return matrix_profile(ref, None, m=16, n_tiles=4, n_gpus=2)
+
+
+class TestTraceEvents:
+    def test_complete_events_for_every_op(self, result):
+        events = timeline_to_trace_events(result.timeline)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(result.timeline.ops)
+
+    def test_metadata_per_device(self, result):
+        events = timeline_to_trace_events(result.timeline)
+        proc_names = [e for e in events if e.get("name") == "process_name"]
+        assert len(proc_names) == 2  # two GPUs
+
+    def test_timestamps_microseconds(self, result):
+        events = timeline_to_trace_events(result.timeline)
+        op = result.timeline.ops[0]
+        match = next(e for e in events if e["ph"] == "X" and e["name"] == op.label)
+        assert match["ts"] == pytest.approx(op.start * 1e6)
+        assert match["dur"] == pytest.approx(op.duration * 1e6)
+
+    def test_kernel_arg_groups_by_family(self, result):
+        events = timeline_to_trace_events(result.timeline)
+        kernels = {
+            e["args"]["kernel"]
+            for e in events
+            if e["ph"] == "X" and e["cat"] == "compute"
+        }
+        assert "dist_calc" in kernels
+        assert "sort_&_incl_scan" in kernels
+
+
+class TestExport:
+    def test_valid_json_written(self, result, tmp_path):
+        path = export_chrome_trace(result, tmp_path / "trace")
+        assert path.suffix == ".json"
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+        assert len(data["traceEvents"]) > 0
+
+    def test_merge_event_appended(self, result, tmp_path):
+        path = export_chrome_trace(result, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        merge = [e for e in data["traceEvents"] if e.get("name") == "merge_tiles"]
+        assert len(merge) == 1
+        assert merge[0]["args"]["tiles"] == 4
+        # The merge starts after the GPU makespan.
+        assert merge[0]["ts"] == pytest.approx(result.timeline.makespan * 1e6)
+
+    def test_raw_timeline_export(self, result, tmp_path):
+        path = export_chrome_trace(result.timeline, tmp_path / "raw")
+        data = json.loads(path.read_text())
+        assert all(e.get("name") != "merge_tiles" for e in data["traceEvents"])

@@ -1,0 +1,61 @@
+"""Unit tests for result persistence."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_profile
+from repro.io import load_result, save_result
+from repro.precision.modes import PrecisionMode
+
+
+class TestSaveLoad:
+    @pytest.fixture
+    def result(self, rng):
+        ref = rng.normal(size=(150, 3))
+        qry = rng.normal(size=(120, 3))
+        return matrix_profile(ref, qry, m=16, mode="Mixed", n_tiles=4, n_gpus=2)
+
+    def test_roundtrip_arrays(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run")
+        loaded = load_result(path)
+        np.testing.assert_array_equal(loaded.profile, result.profile)
+        np.testing.assert_array_equal(loaded.index, result.index)
+
+    def test_roundtrip_metadata(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "run.npz"))
+        assert loaded.mode is PrecisionMode.MIXED
+        assert loaded.m == result.m
+        assert loaded.n_tiles == 4
+        assert loaded.n_gpus == 2
+        assert loaded.merge_time == result.merge_time
+
+    def test_roundtrip_timeline(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "run"))
+        assert loaded.timeline.makespan == pytest.approx(result.timeline.makespan)
+        assert loaded.modeled_time == pytest.approx(result.modeled_time)
+        assert loaded.kernel_breakdown().keys() == result.kernel_breakdown().keys()
+
+    def test_roundtrip_costs(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "run"))
+        for name, cost in result.costs.items():
+            assert loaded.costs[name].bytes_dram == cost.bytes_dram
+            assert loaded.costs[name].syncs == cost.syncs
+
+    def test_suffix_appended(self, result, tmp_path):
+        path = save_result(result, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_version_check(self, result, tmp_path):
+        import json
+
+        path = save_result(result, tmp_path / "run")
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"].tobytes()).decode())
+            arrays = {k: data[k] for k in data.files if k != "header"}
+        header["format_version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported result format"):
+            load_result(path)

@@ -1,0 +1,52 @@
+"""Unit tests for repro.kernels.layout (dimension-wise data layout)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.layout import to_device_layout, to_host_layout, validate_series
+
+
+class TestValidateSeries:
+    def test_1d_becomes_column(self, rng):
+        x = rng.normal(size=50)
+        out = validate_series(x)
+        assert out.shape == (50, 1)
+
+    def test_2d_passthrough(self, rng):
+        x = rng.normal(size=(50, 3))
+        assert validate_series(x).shape == (50, 3)
+
+    def test_int_input_converted_to_float(self):
+        out = validate_series(np.arange(10))
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="1-d or 2-d"):
+            validate_series(np.zeros((2, 2, 2)))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 samples"):
+            validate_series(np.zeros(1))
+
+
+class TestDeviceLayout:
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(40, 5))
+        dev = to_device_layout(x, np.float64)
+        back = to_host_layout(dev)
+        np.testing.assert_array_equal(back, x)
+
+    def test_device_layout_is_dimension_major_contiguous(self, rng):
+        x = rng.normal(size=(40, 5))
+        dev = to_device_layout(x, np.float64)
+        assert dev.shape == (5, 40)
+        assert dev.flags["C_CONTIGUOUS"]
+
+    def test_dtype_conversion(self, rng):
+        x = rng.normal(size=(40, 2))
+        dev = to_device_layout(x, np.float16)
+        assert dev.dtype == np.float16
+
+    def test_host_layout_rejects_1d(self):
+        with pytest.raises(ValueError):
+            to_host_layout(np.zeros(5))

@@ -1,0 +1,89 @@
+"""Unit tests for the update_mat_prof kernel (running min/argmin merge)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.kernel import LaunchConfig
+from repro.kernels.update import INDEX_DTYPE, UpdateKernel
+from repro.precision.modes import policy_for
+
+CFG = LaunchConfig(grid=2, block=32)
+
+
+def _kernel(mode="FP64", d=3, n=10):
+    k = UpdateKernel(config=CFG, policy=policy_for(mode))
+    k.allocate(d, n)
+    return k
+
+
+class TestAllocate:
+    def test_initial_state(self):
+        k = _kernel()
+        assert k.profile.shape == (3, 10)
+        assert np.all(k.indices == -1)
+        assert np.all(k.profile == np.finfo(np.float64).max)
+
+    def test_fp16_initialises_to_half_max(self):
+        k = _kernel("FP16")
+        assert k.profile.dtype == np.float16
+        assert np.all(k.profile == np.float16(65504.0))
+
+
+class TestMerge:
+    def test_min_semantics(self, rng):
+        k = _kernel()
+        a = np.abs(rng.normal(size=(3, 10)))
+        b = np.abs(rng.normal(size=(3, 10)))
+        k.run(a, 0)
+        k.run(b, 1)
+        np.testing.assert_array_equal(k.profile, np.minimum(a, b))
+        np.testing.assert_array_equal(k.indices, np.where(b < a, 1, 0))
+
+    def test_ties_keep_first_row(self):
+        k = _kernel(d=1, n=3)
+        plane = np.ones((1, 3))
+        k.run(plane, 0)
+        k.run(plane.copy(), 1)
+        assert np.all(k.indices == 0)
+
+    def test_row_offset_recorded_globally(self, rng):
+        k = _kernel()
+        k.run(np.abs(rng.normal(size=(3, 10))), 2, row_offset=100)
+        assert np.all(k.indices == 102)
+
+    def test_shape_mismatch_raises(self):
+        k = _kernel()
+        with pytest.raises(ValueError, match="plane shape"):
+            k.run(np.zeros((3, 5)), 0)
+
+    def test_index_dtype(self):
+        assert INDEX_DTYPE == np.int64
+
+
+class TestMaskedMerge:
+    def test_excluded_columns_never_update(self, rng):
+        k = _kernel(d=2, n=6)
+        plane = np.full((2, 6), 0.5)
+        mask = np.zeros((1, 6), dtype=bool)
+        mask[0, 2:4] = True
+        k.masked_run(plane, 0, mask)
+        assert np.all(k.indices[:, 2:4] == -1)
+        assert np.all(k.indices[:, :2] == 0)
+
+    def test_mask_per_row(self, rng):
+        k = _kernel(d=1, n=4)
+        k.masked_run(np.full((1, 4), 3.0), 0, np.array([[True, False, False, False]]))
+        k.masked_run(np.full((1, 4), 2.0), 1, np.array([[False, True, False, False]]))
+        # col 0: only row 1 allowed; col 1: only row 0; cols 2-3: row 1 wins.
+        np.testing.assert_array_equal(k.indices[0], [1, 0, 1, 1])
+        np.testing.assert_array_equal(k.profile[0], [2.0, 3.0, 2.0, 2.0])
+
+
+class TestUpdateCost:
+    def test_accounting(self, rng):
+        k = _kernel()
+        plane = np.abs(rng.normal(size=(3, 10)))
+        k.run(plane, 0)
+        k.run(plane, 1)
+        assert k.cost.launches == 2
+        assert k.cost.bytes_dram == pytest.approx(2 * 2.0 * plane.size * 8)

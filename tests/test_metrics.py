@@ -1,0 +1,136 @@
+"""Unit tests for the accuracy metrics (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    macro_f_score,
+    precision_recall_f1,
+)
+from repro.metrics.numerical import recall_rate, relative_accuracy, relative_error
+from repro.metrics.practical import detection_hits, embedded_motif_recall, relaxed_recall
+
+
+class TestRecallRate:
+    def test_perfect(self):
+        i = np.arange(12).reshape(6, 2)
+        assert recall_rate(i, i) == 100.0
+
+    def test_half(self):
+        ref = np.zeros((4, 1), dtype=int)
+        test = np.array([[0], [0], [1], [1]])
+        assert recall_rate(test, ref) == 50.0
+
+    def test_ignores_excluded(self):
+        ref = np.array([[0], [-1], [2]])
+        test = np.array([[0], [5], [2]])
+        assert recall_rate(test, ref) == 100.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            recall_rate(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestRelativeAccuracy:
+    def test_identical_is_100(self, rng):
+        p = np.abs(rng.normal(size=(10, 2)))
+        assert relative_accuracy(p, p) == 100.0
+
+    def test_error_clamps_at_zero_accuracy(self, rng):
+        p = np.abs(rng.normal(size=(10, 2)))
+        assert relative_accuracy(p * 10, p) == 0.0
+
+    def test_small_perturbation(self, rng):
+        p = 1.0 + np.abs(rng.normal(size=(50, 2)))
+        a = relative_accuracy(p * 1.01, p)
+        assert 98.0 < a < 100.0
+
+    def test_near_zero_reference_handled(self):
+        ref = np.array([[1e-30], [1.0]])
+        test = np.array([[0.5], [1.0]])
+        e = relative_error(test, ref)
+        assert np.isfinite(e)
+
+    def test_nonfinite_test_values_penalised(self):
+        ref = np.ones((4, 1))
+        test = np.array([[1.0], [np.inf], [1.0], [1.0]])
+        assert relative_error(test, ref) > 0.2
+
+
+class TestDetectionHits:
+    def test_exact_hit(self):
+        index = np.zeros((100, 1), dtype=int)
+        index[50, 0] = 30
+        assert detection_hits(index, [50], [30], m=16)[0]
+
+    def test_one_sample_tolerance(self):
+        index = np.full((100, 1), 31)
+        assert detection_hits(index, [50], [30], m=16)[0]
+
+    def test_miss(self):
+        index = np.full((100, 1), 90)
+        assert not detection_hits(index, [50], [30], m=16)[0]
+
+    def test_relaxation_widens_tolerance(self):
+        index = np.full((100, 1), 36)  # 6 samples off
+        assert not detection_hits(index, [50], [30], m=16)[0]
+        assert detection_hits(index, [50], [30], m=16, relaxation=0.5)[0]
+
+    def test_neighbourhood_alignment(self):
+        # The probe's neighbours point to correspondingly shifted targets.
+        index = np.zeros((100, 1), dtype=int)
+        for j in range(100):
+            index[j, 0] = j + 17  # perfect alignment at shift 17
+        assert detection_hits(index, [40], [57], m=16)[0]
+
+    def test_1d_index_rejected(self):
+        with pytest.raises(ValueError):
+            detection_hits(np.zeros(10, dtype=int), [1], [2], m=4)
+
+
+class TestEmbeddedRecall:
+    def test_empty_motifs_is_100(self):
+        assert embedded_motif_recall(np.zeros((10, 1), dtype=int), []) == 100.0
+
+    def test_relaxed_recall_empty(self):
+        assert relaxed_recall(np.zeros((10, 1), dtype=int), [], [], m=8) == 100.0
+
+    def test_relaxed_recall_counts(self):
+        index = np.zeros((100, 1), dtype=int)
+        index[50, 0] = 30
+        index[70, 0] = 500  # miss
+        r = relaxed_recall(index, [50, 70], [30, 10], m=16, relaxation=0.05)
+        assert r == 50.0
+
+
+class TestClassification:
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], n_classes=2)
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_precision_recall_f1(self):
+        p, r, f = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1], n_classes=2)
+        assert p[0] == 1.0 and r[0] == 0.5
+        assert p[1] == pytest.approx(2 / 3)
+        assert f[1] == pytest.approx(0.8)
+
+    def test_macro_f_ignores_absent_classes(self):
+        # Class 2 never occurs in y_true: excluded from the average.
+        f = macro_f_score([0, 1], [0, 1], n_classes=3)
+        assert f == 1.0
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1, 0])
+        assert macro_f_score(y, y) == 1.0
+        assert accuracy(y, y) == 1.0
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_zero_division_safe(self):
+        # A predicted class that never occurs: precision 0, no NaN.
+        p, r, f = precision_recall_f1([0, 0], [1, 1], n_classes=2)
+        assert not np.any(np.isnan(f))
+        assert f[0] == 0.0

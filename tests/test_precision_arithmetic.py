@@ -1,0 +1,109 @@
+"""Unit tests for repro.precision.arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.precision.arithmetic import (
+    quantize,
+    rp_add,
+    rp_div,
+    rp_fma,
+    rp_mul,
+    rp_sqrt,
+    rp_sub,
+    saturate_cast,
+    ulp_distance,
+)
+
+
+class TestQuantize:
+    def test_fp16_rounding(self):
+        # 1 + 2^-11 is not representable in binary16; rounds to 1.
+        assert quantize(1.0 + 2.0**-11, np.float16) == np.float16(1.0)
+
+    def test_fp16_overflow_to_inf(self):
+        assert np.isinf(quantize(1e6, np.float16))
+
+    def test_idempotent(self):
+        x = np.linspace(-3, 3, 17)
+        once = quantize(x, np.float16)
+        twice = quantize(once, np.float16)
+        assert np.array_equal(once, twice)
+
+    def test_fp64_exact(self):
+        x = np.array([1.23456789e-100, 9.87654321e100])
+        assert np.array_equal(quantize(x, np.float64), x)
+
+
+class TestSaturateCast:
+    def test_saturates_instead_of_inf(self):
+        out = saturate_cast(np.array([1e6, -1e6]), np.float16)
+        assert out[0] == np.float16(65504.0)
+        assert out[1] == np.float16(-65504.0)
+
+    def test_propagates_nan(self):
+        assert np.isnan(saturate_cast(np.array([np.nan]), np.float16))[0]
+
+    def test_in_range_unchanged(self):
+        assert saturate_cast(2.5, np.float16) == np.float16(2.5)
+
+
+class TestRoundedOps:
+    def test_add_rounds(self):
+        # 2048 + 1 is not representable in fp16 (spacing is 2 there).
+        assert rp_add(2048.0, 1.0, np.float16) == np.float16(2048.0)
+
+    def test_sub(self):
+        assert rp_sub(3.0, 1.0, np.float16) == np.float16(2.0)
+
+    def test_mul_overflow(self):
+        assert np.isinf(rp_mul(300.0, 300.0, np.float16))
+
+    def test_div_by_zero_inf(self):
+        with np.errstate(divide="ignore"):
+            assert np.isinf(rp_div(1.0, 0.0, np.float16))
+
+    def test_sqrt_negative_nan(self):
+        assert np.isnan(rp_sqrt(-1.0, np.float32))
+
+    def test_ops_return_requested_dtype(self):
+        for op in (rp_add, rp_sub, rp_mul, rp_div):
+            assert op(1.5, 2.5, np.float32).dtype == np.float32
+
+
+class TestFma:
+    def test_fma_single_rounding_differs_from_two(self):
+        # Choose values where (a*b) rounds in fp16 but the fused result
+        # differs: a*b = 1.0009765625^2 exact product needs 21 bits.
+        a = np.float16(1.0 + 2.0**-10)
+        two_step = rp_add(rp_mul(a, a, np.float16), np.float16(-1.0), np.float16)
+        fused = rp_fma(a, a, np.float16(-1.0), np.float16)
+        exact = float(a) * float(a) - 1.0
+        # The fused result must be at least as accurate as the two-step.
+        assert abs(float(fused) - exact) <= abs(float(two_step) - exact)
+
+    def test_fma_fp64_matches_plain(self):
+        a, b, c = 1.1, 2.2, 3.3
+        assert rp_fma(a, b, c, np.float64) == a * b + c
+
+    def test_fma_broadcasts(self):
+        out = rp_fma(np.ones((2, 1)), np.ones((1, 3)), np.zeros((2, 3)), np.float32)
+        assert out.shape == (2, 3)
+        assert out.dtype == np.float32
+
+
+class TestUlpDistance:
+    def test_zero_for_equal(self):
+        x = np.array([1.0, -2.0, 0.0])
+        assert np.all(ulp_distance(x, x, np.float32) == 0)
+
+    def test_one_ulp(self):
+        x = np.float32(1.0)
+        y = np.nextafter(x, np.float32(2.0), dtype=np.float32)
+        assert ulp_distance(x, y, np.float32) == pytest.approx(1.0)
+
+    def test_scales_with_magnitude(self):
+        # Same absolute difference is fewer ulps at larger magnitude.
+        d_small = ulp_distance(1.0, 1.0 + 1e-6, np.float32)
+        d_big = ulp_distance(1000.0, 1000.0 + 1e-6, np.float32)
+        assert d_small > d_big

@@ -1,0 +1,133 @@
+"""Unit tests for repro.precision.errors (Section V-B error analysis)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.precision.errors import (
+    ErrorBudget,
+    correlation_condition_number,
+    dot_product_error_bound,
+    estimate_error_budget,
+    flat_region_fraction,
+    overflow_risk_fraction,
+    streaming_qt_error_bound,
+    tile_edge_for_target_error,
+)
+from repro.precision.modes import PrecisionMode
+
+
+class TestDotProductBound:
+    def test_proportional_to_n_eps(self):
+        # e ~ n*eps in the small-n regime (paper: e ∝ n × ε).
+        eps = 2.0**-23
+        assert dot_product_error_bound(100, eps) == pytest.approx(100 * eps, rel=1e-3)
+
+    def test_monotone_in_n(self):
+        eps = 2.0**-10
+        bounds = [dot_product_error_bound(n, eps) for n in (10, 100, 500)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_infinite_when_n_eps_exceeds_one(self):
+        assert math.isinf(dot_product_error_bound(2048, 2.0**-10))
+
+    def test_zero_length(self):
+        assert dot_product_error_bound(0, 2.0**-10) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            dot_product_error_bound(-1, 2.0**-10)
+
+
+class TestStreamingBound:
+    def test_fp16_worse_than_fp32(self):
+        b16 = streaming_qt_error_bound(100, 32, "FP16")
+        b32 = streaming_qt_error_bound(100, 32, "FP32")
+        assert b16 > b32
+
+    def test_mixed_better_than_fp16(self):
+        # Mixed lifts the m-length precalc part to FP32.
+        b16 = streaming_qt_error_bound(50, 256, "FP16")
+        bmx = streaming_qt_error_bound(50, 256, "Mixed")
+        assert bmx < b16
+
+    def test_fp16c_beats_mixed_precalc_term(self):
+        bc = streaming_qt_error_bound(1, 4096, "FP16C")
+        bm = streaming_qt_error_bound(1, 4096, "Mixed")
+        assert bc <= bm
+
+    def test_grows_with_rows(self):
+        a = streaming_qt_error_bound(10, 32, "FP16")
+        b = streaming_qt_error_bound(200, 32, "FP16")
+        assert b > a
+
+
+class TestTileEdge:
+    def test_inverts_bound(self):
+        target = 0.05
+        edge = tile_edge_for_target_error(target, 32, "FP16")
+        assert streaming_qt_error_bound(edge, 32, "FP16") < target
+        assert streaming_qt_error_bound(edge + 1, 32, "FP16") >= target
+
+    def test_fp64_allows_huge_tiles(self):
+        assert tile_edge_for_target_error(1e-6, 32, "FP64") > 1e9
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            tile_edge_for_target_error(0.0, 32, "FP16")
+
+    def test_minimum_is_one(self):
+        # Even an impossible target yields a valid tile edge of 1.
+        assert tile_edge_for_target_error(1e-12, 4096, "FP16") == 1
+
+
+class TestConditionNumber:
+    def test_diverges_near_perfect_correlation(self):
+        kappa = correlation_condition_number(np.array([0.0, 0.9, 0.999999]))
+        assert kappa[0] == 0.0
+        assert kappa[2] > kappa[1] > kappa[0]
+
+    def test_infinite_at_one(self):
+        assert np.isinf(correlation_condition_number(np.array([1.0]))[0])
+
+
+class TestDataDiagnostics:
+    def test_overflow_fraction_zero_for_normalised(self, rng):
+        x = rng.uniform(0, 1, size=(300, 2))
+        assert overflow_risk_fraction(x, 16, np.float16) == 0.0
+
+    def test_overflow_fraction_positive_for_huge(self, rng):
+        x = rng.uniform(0, 1, size=(300, 1)) * 1e4
+        assert overflow_risk_fraction(x, 64, np.float16) > 0.0
+
+    def test_flat_fraction_detects_constants(self):
+        x = np.ones((200, 1))
+        x[:50, 0] = np.linspace(0, 10, 50)
+        frac = flat_region_fraction(x, 16)
+        assert frac > 0.5
+
+    def test_flat_fraction_zero_for_noise(self, rng):
+        x = rng.normal(size=(300, 1))
+        assert flat_region_fraction(x, 16) == 0.0
+
+
+class TestErrorBudget:
+    def test_budget_fields(self, rng):
+        x = rng.uniform(0, 1, size=(300, 2))
+        budget = estimate_error_budget(x, 16, "FP16", tile_rows=64)
+        assert isinstance(budget, ErrorBudget)
+        assert budget.mode is PrecisionMode.FP16
+        assert budget.tile_rows == 64
+        assert budget.overflow_fraction == 0.0
+
+    def test_usable_flag(self, rng):
+        x = rng.uniform(0, 1, size=(300, 2))
+        good = estimate_error_budget(x, 16, "FP64")
+        assert good.usable
+        bad = estimate_error_budget(x, 16, "FP16", tile_rows=10_000)
+        assert not bad.usable
+
+    def test_too_short_raises(self, rng):
+        with pytest.raises(ValueError):
+            estimate_error_budget(rng.normal(size=(10, 1)), 16, "FP64")

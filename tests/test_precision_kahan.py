@@ -1,0 +1,116 @@
+"""Unit tests for repro.precision.kahan (compensated summation)."""
+
+import numpy as np
+import pytest
+
+from repro.precision.kahan import (
+    kahan_cumsum,
+    kahan_dot,
+    kahan_sum,
+    naive_cumsum,
+    naive_sum,
+    neumaier_sum,
+)
+
+F16 = np.dtype(np.float16)
+F32 = np.dtype(np.float32)
+F64 = np.dtype(np.float64)
+
+
+def _error(values, result):
+    exact = np.sum(np.asarray(values, dtype=np.float64))
+    return abs(float(result) - exact)
+
+
+class TestNaiveSum:
+    def test_matches_exact_in_fp64(self, rng):
+        x = rng.normal(size=257)
+        assert naive_sum(x, F64) == pytest.approx(x.sum(), rel=1e-12)
+
+    def test_accumulates_error_in_fp16(self, rng):
+        # Summing 4096 ones then tiny values: naive fp16 stalls at 2048
+        # (spacing 2 swallows +1 contributions beyond 2048? no: spacing at
+        # 2048 is 2, so adding 1.0 rounds to nearest even -> stalls).
+        x = np.ones(4096, dtype=np.float16)
+        s = naive_sum(x, F16)
+        assert float(s) < 4096  # stalled before the true sum
+
+    def test_axis_handling(self, rng):
+        x = rng.normal(size=(3, 50))
+        out = naive_sum(x, F64, axis=1)
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, x.sum(axis=1), rtol=1e-12)
+
+
+class TestKahanSum:
+    def test_beats_naive_in_fp16(self, rng):
+        x = rng.uniform(0.01, 1.0, size=2000)
+        naive_err = _error(x, naive_sum(x, F16))
+        kahan_err = _error(x, kahan_sum(x, F16))
+        assert kahan_err <= naive_err
+
+    def test_classic_stall_case(self):
+        # 2048 + many 1.0s: naive fp16 stalls, Kahan tracks the lost bits.
+        x = np.concatenate([[2048.0], np.ones(512)])
+        naive = float(naive_sum(x, F16))
+        kahan = float(kahan_sum(x, F16))
+        assert naive == 2048.0
+        assert kahan == pytest.approx(2560.0, rel=0.01)
+
+    def test_matches_exact_in_fp64(self, rng):
+        x = rng.normal(size=1000)
+        assert float(kahan_sum(x, F64)) == pytest.approx(x.sum(), rel=1e-12)
+
+    def test_vectorised_over_rows(self, rng):
+        x = rng.normal(size=(4, 300))
+        out = kahan_sum(x, F64, axis=-1)
+        np.testing.assert_allclose(out, x.sum(axis=-1), rtol=1e-12)
+
+
+class TestKahanCumsum:
+    def test_matches_cumsum_fp64(self, rng):
+        x = rng.normal(size=(2, 100))
+        np.testing.assert_allclose(
+            kahan_cumsum(x, F64, axis=1), np.cumsum(x, axis=1), rtol=1e-12
+        )
+
+    def test_final_element_beats_naive_fp16(self, rng):
+        x = rng.uniform(0.01, 1.0, size=3000)
+        exact = np.cumsum(x)[-1]
+        naive_last = float(naive_cumsum(x, F16)[-1])
+        kahan_last = float(kahan_cumsum(x, F16)[-1])
+        assert abs(kahan_last - exact) <= abs(naive_last - exact)
+
+    def test_axis_roundtrip_shape(self, rng):
+        x = rng.normal(size=(3, 5, 7))
+        assert kahan_cumsum(x, F64, axis=1).shape == x.shape
+
+
+class TestKahanDot:
+    def test_matches_dot_fp64(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        assert float(kahan_dot(a, b, F64)) == pytest.approx(a @ b, rel=1e-12)
+
+    def test_better_than_naive_products_fp16(self, rng):
+        a = rng.uniform(0.5, 1.0, size=1000)
+        b = rng.uniform(0.5, 1.0, size=1000)
+        exact = float(np.dot(a, b))
+        prod = (a.astype(np.float16) * b.astype(np.float16)).astype(np.float16)
+        naive = float(naive_sum(prod, F16))
+        kahan = float(kahan_dot(a, b, F16))
+        assert abs(kahan - exact) <= abs(naive - exact)
+
+
+class TestNeumaier:
+    def test_handles_large_then_small(self):
+        # Kahan's weakness: first addend huge, rest small.
+        x = np.concatenate([[30000.0], np.full(100, 0.25)])
+        neu = float(neumaier_sum(x, F16))
+        exact = 30025.0
+        naive = float(naive_sum(x, F16))
+        assert abs(neu - exact) <= abs(naive - exact)
+
+    def test_matches_exact_fp64(self, rng):
+        x = rng.normal(size=500)
+        assert float(neumaier_sum(x, F64)) == pytest.approx(x.sum(), rel=1e-12)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.precision.modes."""
+
+import numpy as np
+import pytest
+
+from repro.precision.modes import (
+    DTYPE_MAX,
+    MACHINE_EPS,
+    POLICIES,
+    PrecisionMode,
+    PrecisionPolicy,
+    policy_for,
+)
+
+
+class TestPrecisionMode:
+    def test_five_modes_exist(self):
+        assert {m.value for m in PrecisionMode} == {
+            "FP64",
+            "FP32",
+            "FP16",
+            "Mixed",
+            "FP16C",
+        }
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("fp64", PrecisionMode.FP64),
+            ("FP32", PrecisionMode.FP32),
+            ("mixed", PrecisionMode.MIXED),
+            ("Mixed", PrecisionMode.MIXED),
+            ("fp16c", PrecisionMode.FP16C),
+        ],
+    )
+    def test_parse_strings(self, text, expected):
+        assert PrecisionMode.parse(text) is expected
+
+    def test_parse_passthrough(self):
+        assert PrecisionMode.parse(PrecisionMode.FP16) is PrecisionMode.FP16
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown precision mode"):
+            PrecisionMode.parse("bf16")
+
+    def test_str(self):
+        assert str(PrecisionMode.FP16C) == "FP16C"
+
+
+class TestPolicies:
+    def test_every_mode_has_a_policy(self):
+        assert set(POLICIES) == set(PrecisionMode)
+
+    def test_fp64_policy(self):
+        p = policy_for("FP64")
+        assert p.storage == np.float64
+        assert p.compute == np.float64
+        assert p.precalc == np.float64
+        assert not p.compensated
+
+    def test_fp16_policy_is_half_everywhere(self):
+        p = policy_for("FP16")
+        assert p.storage == np.float16 == p.compute == p.precalc
+        assert not p.compensated
+
+    def test_mixed_lifts_precalc_to_fp32(self):
+        p = policy_for("Mixed")
+        assert p.storage == np.float16
+        assert p.compute == np.float16
+        assert p.precalc == np.float32
+        assert not p.compensated
+
+    def test_fp16c_is_mixed_plus_kahan(self):
+        p = policy_for("FP16C")
+        assert p.precalc == np.float32
+        assert p.compensated
+
+    def test_eps_values_match_paper(self):
+        # Section V-B: eps64 = 2^-52, eps32 = 2^-23, eps16 = 2^-10.
+        assert policy_for("FP64").eps == 2.0**-52
+        assert policy_for("FP32").eps == 2.0**-23
+        assert policy_for("FP16").eps == 2.0**-10
+
+    def test_half_max_is_65504(self):
+        assert policy_for("FP16").max_value == 65504.0
+
+    def test_itemsize_drives_storage_bytes(self):
+        assert policy_for("FP64").itemsize == 8
+        assert policy_for("FP32").itemsize == 4
+        assert policy_for("Mixed").itemsize == 2
+
+    def test_precalc_eps_differs_for_mixed(self):
+        p = policy_for("Mixed")
+        assert p.precalc_eps == 2.0**-23
+        assert p.eps == 2.0**-10
+
+    def test_policy_rejects_non_float(self):
+        with pytest.raises(TypeError):
+            PrecisionPolicy(
+                mode=PrecisionMode.FP64,
+                storage=np.dtype(np.int32),
+                compute=np.dtype(np.float64),
+                precalc=np.dtype(np.float64),
+                compensated=False,
+            )
+
+    def test_tables_cover_three_formats(self):
+        assert len(MACHINE_EPS) == 3
+        assert len(DTYPE_MAX) == 3

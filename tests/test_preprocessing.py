@@ -1,0 +1,153 @@
+"""Unit tests for the preprocessing module."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing import (
+    PreflightReport,
+    denoise_moving_average,
+    detrend,
+    minmax_normalize,
+    preflight_check,
+    prepare_for_mode,
+    zscore_normalize,
+)
+
+
+class TestMinMax:
+    def test_range(self, rng):
+        x = rng.normal(size=(200, 3)) * 1000
+        out = minmax_normalize(x)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_per_dimension(self, rng):
+        x = np.stack([rng.normal(size=100), 100 + rng.normal(size=100)], axis=1)
+        out = minmax_normalize(x)
+        for k in range(2):
+            assert out[:, k].min() == pytest.approx(0.0)
+            assert out[:, k].max() == pytest.approx(1.0)
+
+    def test_custom_range(self, rng):
+        out = minmax_normalize(rng.normal(size=(50, 1)), feature_range=(-1, 1))
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_dim_maps_to_midpoint(self):
+        x = np.ones((50, 1)) * 7
+        out = minmax_normalize(x)
+        assert np.all(out == 0.5)
+
+    def test_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            minmax_normalize(rng.normal(size=(50, 1)), feature_range=(1, 0))
+
+    def test_profile_invariance(self, rng):
+        # Z-normalised matrix profile unchanged by min-max scaling.
+        from repro.baselines import mstamp
+
+        x = rng.normal(size=(150, 2)).cumsum(axis=0)
+        p1, i1 = mstamp(x, None, 16)
+        p2, i2 = mstamp(minmax_normalize(x), None, 16)
+        mask = np.isfinite(p1)
+        np.testing.assert_allclose(p1[mask], p2[mask], atol=1e-7)
+        assert np.mean(i1 == i2) > 0.999
+
+
+class TestZScore:
+    def test_moments(self, rng):
+        out = zscore_normalize(rng.normal(3, 5, size=(500, 2)))
+        np.testing.assert_allclose(out.mean(axis=0), 0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=0), 1, atol=1e-12)
+
+    def test_constant_dim(self):
+        out = zscore_normalize(np.full((50, 1), 3.0))
+        assert np.all(out == 0.0)
+
+
+class TestDetrend:
+    def test_removes_linear_trend(self):
+        t = np.arange(300, dtype=np.float64)
+        x = (5.0 + 0.3 * t)[:, None]
+        out = detrend(x)
+        np.testing.assert_allclose(out, 0.0, atol=1e-8)
+
+    def test_preserves_oscillation(self):
+        t = np.arange(300, dtype=np.float64)
+        wave = np.sin(2 * np.pi * t / 25)
+        x = (wave + 0.5 * t)[:, None]
+        out = detrend(x)[:, 0]
+        # The wave survives detrending (correlation stays high).
+        assert np.corrcoef(out, wave)[0, 1] > 0.99
+
+
+class TestDenoise:
+    def test_identity_window_one(self, rng):
+        x = rng.normal(size=(50, 2))
+        np.testing.assert_array_equal(denoise_moving_average(x, 1), x)
+
+    def test_constant_preserved(self):
+        x = np.full((40, 1), 2.5)
+        np.testing.assert_allclose(denoise_moving_average(x, 5), 2.5)
+
+    def test_reduces_noise_variance(self, rng):
+        x = rng.normal(size=(2000, 1))
+        out = denoise_moving_average(x, 5)
+        assert out.std() < x.std() * 0.6
+
+    def test_invalid_window(self, rng):
+        with pytest.raises(ValueError):
+            denoise_moving_average(rng.normal(size=(10, 1)), 0)
+
+    def test_mean_preserved(self, rng):
+        x = rng.normal(size=(500, 2)) + 3.0
+        out = denoise_moving_average(x, 7)
+        assert out.mean() == pytest.approx(x.mean(), rel=0.01)
+
+
+class TestPreflight:
+    def test_clean_data_ok(self, rng):
+        report = preflight_check(rng.uniform(0, 1, size=(300, 2)), 16, "FP16")
+        assert isinstance(report, PreflightReport)
+        assert report.ok
+        assert report.overflow_fraction == 0.0
+
+    def test_overflow_flagged(self, rng):
+        big = rng.uniform(0, 1, size=(300, 1)) * 1e4
+        report = preflight_check(big, 64, "FP16")
+        assert not report.ok
+        assert any("min-max" in r for r in report.recommendations)
+
+    def test_fp64_never_overflows(self, rng):
+        big = rng.uniform(0, 1, size=(300, 1)) * 1e4
+        assert preflight_check(big, 64, "FP64").ok
+
+    def test_flat_regions_advised(self):
+        x = np.ones((300, 1))
+        x[:60, 0] = np.linspace(0, 5, 60)
+        report = preflight_check(x, 16, "FP16")
+        assert any("flat" in r for r in report.recommendations)
+
+
+class TestPrepareForMode:
+    def test_passthrough_when_safe(self, rng):
+        x = rng.uniform(0, 1, size=(200, 2))
+        out, report = prepare_for_mode(x, 16, "FP16")
+        np.testing.assert_array_equal(out, x)
+        assert report.ok
+
+    def test_normalises_when_needed(self, rng):
+        x = rng.uniform(0, 1, size=(300, 1)) * 1e4
+        out, report = prepare_for_mode(x, 64, "FP16")
+        assert out.max() <= 1.0
+        assert report.overflow_fraction == 0.0
+        assert report.ok
+
+    def test_end_to_end_fp16_mining_after_prepare(self, rng):
+        from repro import matrix_profile
+
+        x = rng.normal(size=(400, 2)).cumsum(axis=0) * 100  # overflow bait
+        prepared, report = prepare_for_mode(x, 16, "FP16")
+        assert report.ok
+        r = matrix_profile(prepared, m=16, mode="FP16")
+        assert np.all(np.isfinite(r.profile))

@@ -1,0 +1,48 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.reporting import banner, format_seconds, format_table, print_table
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(2.5e-6) == "2.5 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0123) == "12.3 ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.14159) == "3.14 s"
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [10, 20]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert out.splitlines()[1] == "="
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_print_helpers(self, capsys):
+        print_table(["h"], [[1]])
+        banner("hello")
+        captured = capsys.readouterr().out
+        assert "h" in captured
+        assert "# hello #" in captured

@@ -1,0 +1,50 @@
+"""Unit tests for the cross-implementation validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.validation import Agreement, validate_implementations
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rng = np.random.default_rng(17)
+        ref = rng.normal(size=(180, 3)).cumsum(axis=0)
+        qry = rng.normal(size=(160, 3)).cumsum(axis=0)
+        return validate_implementations(ref, qry, 16)
+
+    def test_five_implementations(self, report):
+        assert set(report.implementations) == {
+            "brute-force",
+            "mstamp",
+            "gpu-single",
+            "gpu-tiled",
+            "anytime",
+        }
+
+    def test_all_pairs_compared(self, report):
+        assert len(report.agreements) == 10  # C(5, 2)
+
+    def test_everything_agrees(self, report):
+        assert report.all_ok, report.to_table()
+
+    def test_worst_pair_still_tiny(self, report):
+        assert report.worst().max_profile_diff < 1e-7
+
+    def test_table_renders(self, report):
+        text = report.to_table()
+        assert "ok" in text
+        assert "MISMATCH" not in text
+
+    def test_self_join(self):
+        rng = np.random.default_rng(23)
+        ref = rng.normal(size=(150, 2)).cumsum(axis=0)
+        report = validate_implementations(ref, None, 12)
+        assert report.all_ok, report.to_table()
+
+    def test_agreement_ok_thresholds(self):
+        good = Agreement("a", "b", 1e-12, 1.0)
+        bad = Agreement("a", "b", 1.0, 0.4)
+        assert good.ok()
+        assert not bad.ok()
