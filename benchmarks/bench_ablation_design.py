@@ -20,7 +20,7 @@ import pytest
 
 from repro import RunConfig, model_multi_tile
 from repro.gpu import A100
-from repro.gpu.perfmodel import single_tile_timing, sort_stage_count
+from repro.gpu.perfmodel import single_tile_timing
 from repro.reporting import format_table
 
 from _harness import emit

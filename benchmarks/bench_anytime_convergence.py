@@ -8,7 +8,6 @@ profile entries already within 5% of their final value — the convergence
 curve must dominate the linear diagonal.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.anytime import convergence_curve

@@ -11,7 +11,7 @@ import pytest
 from repro.extensions.multinode import ClusterSpec, model_multi_node
 from repro.reporting import format_table
 
-from _harness import MODES, emit
+from _harness import emit
 
 N, D, M = 2**17, 2**6, 2**6
 NODES = (1, 2, 4, 8, 16)

@@ -5,7 +5,6 @@ formats inserted between FP32 and FP16, plus modelled A100 times (TF32
 moves FP32-sized data; BF16 moves FP16-sized data).
 """
 
-import numpy as np
 import pytest
 
 from repro import matrix_profile

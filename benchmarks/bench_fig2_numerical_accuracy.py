@@ -8,7 +8,6 @@ function of stream length x machine epsilon, so the ordering and trends
 reproduce).
 """
 
-import numpy as np
 import pytest
 
 from repro import matrix_profile

@@ -6,7 +6,6 @@ two patterns (P2, P3 in the paper's numbering) under the FP16-family
 modes.  We embed each pattern several times and report per-pattern recall.
 """
 
-import numpy as np
 import pytest
 
 from repro import matrix_profile

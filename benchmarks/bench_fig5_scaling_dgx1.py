@@ -10,7 +10,6 @@ counts because 16 tiles don't divide evenly.
 import pytest
 
 from repro import RunConfig, model_multi_tile
-from repro.precision import policy_for
 from repro.reporting import format_table
 
 from _harness import MODES, emit

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.core.config import RunConfig
-from repro.core.multi_tile import compute_multi_tile
 from repro.core.planner import tile_memory_bytes
 from repro.gpu import A100
 from repro.gpu.simulator import GPUSimulator

@@ -1,0 +1,127 @@
+"""Service bench — cache-driven throughput and precision-aware load shedding.
+
+Two claims about the `repro.service` job service:
+
+1. **Cache throughput** — on a repeated-query workload (few distinct
+   series, many submissions) the content-addressed result cache lifts
+   job throughput by at least 2x over the same service with caching
+   disabled.
+2. **Graceful degradation** — under a synthetic overload burst the
+   admission controller walks jobs down the FP64 -> FP32 -> Mixed ->
+   FP16 ladder instead of missing deadlines: zero jobs are dropped or
+   cut short, and the downgrades appear in the `ServiceMetrics`
+   snapshot.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.reporting import format_table, render_service_metrics
+from repro.service import JobRequest, JobStatus, LoadEstimator, MatrixProfileService
+
+from _harness import emit
+
+N, D, M = 512, 3, 32
+DISTINCT = 3
+REPEATS = 5  # submissions per distinct series
+
+
+def _series_pool(seed=11):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(N, D)).cumsum(axis=0) for _ in range(DISTINCT)]
+
+
+def _run_workload(use_cache):
+    pool = _series_pool()
+    service = MatrixProfileService(
+        device="A100", n_gpus=2, n_workers=1, use_cache=use_cache,
+        estimator=LoadEstimator("A100", seconds_per_cell=1e-12, learn=False),
+    )
+    start = time.perf_counter()
+    jobs = [
+        service.submit(JobRequest(reference=pool[i % DISTINCT], m=M))
+        for i in range(DISTINCT * REPEATS)
+    ]
+    service.process_all()
+    elapsed = time.perf_counter() - start
+    assert all(j.outcome.status is JobStatus.COMPLETED for j in jobs)
+    return service, len(jobs) / elapsed
+
+
+@pytest.mark.benchmark(group="service")
+def test_cache_doubles_repeated_query_throughput(benchmark):
+    cold, cold_tput = _run_workload(use_cache=False)
+    warm, warm_tput = _run_workload(use_cache=True)
+    speedup = warm_tput / cold_tput
+
+    snap = warm.metrics.snapshot()
+    table = format_table(
+        ["configuration", "jobs/s", "cache hit rate"],
+        [
+            ["cache disabled", f"{cold_tput:.1f}", "-"],
+            ["cache enabled", f"{warm_tput:.1f}", f"{snap.cache_hit_rate:.0%}"],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+        f"Repeated-query workload ({DISTINCT} series x {REPEATS} submissions, "
+        f"n={N}, d={D}, m={M})",
+    )
+    emit("service_cache_throughput", table)
+
+    benchmark.pedantic(
+        lambda: _run_workload(use_cache=True), rounds=1, iterations=1
+    )
+
+    # Each distinct series computes once; every repeat is a cache hit.
+    assert snap.cache_hits == DISTINCT * (REPEATS - 1)
+    assert speedup >= 2.0, f"cache speedup only {speedup:.2f}x"
+
+
+@pytest.mark.benchmark(group="service")
+def test_overload_burst_downgrades_instead_of_dropping(benchmark):
+    pool = _series_pool(seed=23)
+    # A pessimistic, non-learning estimator makes the backlog arithmetic
+    # deterministic: estimates overrun the deadline budget while the real
+    # (fast) compute still finishes every job in full.
+    service = MatrixProfileService(
+        device="A100", n_gpus=2, n_workers=1, use_cache=False,
+        estimator=LoadEstimator("A100", seconds_per_cell=2e-6, learn=False),
+    )
+    jobs = [
+        service.submit(
+            JobRequest(reference=pool[i % DISTINCT], m=M, deadline=5.0)
+        )
+        for i in range(12)
+    ]
+    service.process_all()
+
+    outcomes = [j.outcome for j in jobs]
+    snap = service.metrics.snapshot()
+    mode_rows = [
+        [j.job_id, o.requested_mode.value, o.effective_mode.value,
+         o.downgrade_steps, str(o.status)]
+        for j, o in zip(jobs, outcomes)
+    ]
+    table = format_table(
+        ["job", "requested", "ran", "steps shed", "status"],
+        mode_rows,
+        "Overload burst (12 jobs, 5 s deadlines, pessimistic estimator)",
+    )
+    emit(
+        "service_overload_degradation",
+        table + "\n\n" + render_service_metrics(snap),
+    )
+
+    benchmark.pedantic(service.metrics.snapshot, rounds=1, iterations=1)
+
+    # Nothing dropped, nothing cut short...
+    assert snap.jobs_failed == 0
+    assert snap.jobs_partial == 0
+    assert all(o.status is JobStatus.COMPLETED for o in outcomes)
+    # ...the first job ran at full precision, later ones shed it...
+    assert outcomes[0].effective_mode.value == "FP64"
+    assert any(o.degraded for o in outcomes)
+    # ...and the shedding is visible in the metrics snapshot.
+    assert snap.precision_downgrades > 0
+    assert snap.downgraded_jobs > 0

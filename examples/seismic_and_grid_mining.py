@@ -15,7 +15,6 @@ both workflows end-to-end on synthetic stand-ins:
 Run:  python examples/seismic_and_grid_mining.py
 """
 
-import numpy as np
 
 from repro import matrix_profile
 from repro.apps import top_motifs

@@ -30,6 +30,7 @@ from .core import (
 )
 from .gpu import A100, SKYLAKE16, V100, GPUSimulator, get_device
 from .precision import PrecisionMode, policy_for
+from .service import JobRequest, JobStatus, MatrixProfileService
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,9 @@ __all__ = [
     "policy_for",
     "GPUSimulator",
     "get_device",
+    "MatrixProfileService",
+    "JobRequest",
+    "JobStatus",
     "A100",
     "V100",
     "SKYLAKE16",

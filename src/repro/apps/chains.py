@@ -24,7 +24,6 @@ from ..kernels.layout import to_device_layout, validate_series
 from ..kernels.precalc import PrecalcKernel
 from ..kernels.sort_scan import SortScanKernel
 from ..kernels.update import INDEX_DTYPE, UpdateKernel
-from ..precision.modes import DTYPE_MAX
 
 __all__ = ["LeftRightProfile", "left_right_profile", "anchored_chain", "unanchored_chain"]
 

@@ -6,6 +6,8 @@ Gives downstream users a zero-code path to the main workflows:
 * ``demo``      — run the synthetic quickstart (motif discovery)
 * ``model``     — print modelled execution times for a problem size
 * ``devices``   — list the simulated devices and their specs
+* ``serve``     — drive a synthetic workload through the job service
+* ``submit``    — run one CSV job through the service (deadline-aware)
 """
 
 from __future__ import annotations
@@ -76,6 +78,48 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("-d", "--dims", type=int, default=3)
     v.add_argument("-m", "--window", type=int, default=16)
     v.add_argument("--seed", type=int, default=0)
+
+    sv = sub.add_parser(
+        "serve", help="drive a synthetic multi-tenant workload through the "
+        "job service and print the metrics snapshot"
+    )
+    sv.add_argument("--jobs", type=int, default=12, help="jobs to submit")
+    sv.add_argument("-n", type=int, default=512, help="samples per series")
+    sv.add_argument("-d", "--dims", type=int, default=3)
+    sv.add_argument("-m", "--window", type=int, default=32)
+    sv.add_argument("--mode", default="FP64", help="requested precision mode")
+    sv.add_argument("--device", default="A100")
+    sv.add_argument("--gpus", type=int, default=2)
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-job deadline in seconds (enables precision downgrades)",
+    )
+    sv.add_argument(
+        "--distinct", type=int, default=4,
+        help="distinct series in the workload (repeats hit the cache)",
+    )
+    sv.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--show-ladder", action="store_true",
+        help="also print the precision ladder's relative-cost factors",
+    )
+
+    su = sub.add_parser(
+        "submit", help="run one CSV job through the service"
+    )
+    su.add_argument("csv", help="input file; one row per sample, one column per dim")
+    su.add_argument("--query", help="optional second CSV for an AB-join")
+    su.add_argument("-m", "--window", type=int, required=True, help="segment length")
+    su.add_argument("--mode", default="FP64", help="requested precision mode")
+    su.add_argument("--device", default="A100")
+    su.add_argument("--gpus", type=int, default=1)
+    su.add_argument(
+        "--deadline", type=float, default=None,
+        help="latency budget in seconds (None = best effort)",
+    )
+    su.add_argument("--priority", type=int, default=0, help="lower runs first")
 
     pl = sub.add_parser("plan", help="plan the tile count for a problem")
     pl.add_argument("-n", type=int, required=True, help="segments per axis")
@@ -236,6 +280,85 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.all_ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .reporting import render_service_metrics
+    from .service import JobRequest, MatrixProfileService
+
+    rng = np.random.default_rng(args.seed)
+    distinct = max(1, min(args.distinct, args.jobs))
+    pool = [rng.normal(size=(args.n, args.dims)).cumsum(axis=0)
+            for _ in range(distinct)]
+    service = MatrixProfileService(
+        device=args.device,
+        n_gpus=args.gpus,
+        n_workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+    if args.show_ladder:
+        from .service import DOWNGRADE_LADDER
+
+        rows = [
+            [mode.value, f"{service.estimator.mode_factor(mode):.3f}"]
+            for mode in DOWNGRADE_LADDER
+        ]
+        print_table(["mode", "cost vs FP64"], rows, title="downgrade ladder")
+    jobs = [
+        service.submit(
+            JobRequest(
+                reference=pool[i % distinct],
+                m=args.window,
+                mode=args.mode,
+                deadline=args.deadline,
+                priority=i % 3,
+            )
+        )
+        for i in range(args.jobs)
+    ]
+    with service:
+        pass  # workers drain the queue, then stop
+    for job in jobs:
+        out = job.outcome
+        note = " cache" if out.cache_hit else ""
+        if out.degraded:
+            note += f" downgraded {out.requested_mode}->{out.effective_mode}"
+        print(f"job {job.job_id}: {out.status} {out.effective_mode} "
+              f"{out.latency * 1e3:.1f} ms{note}")
+    print()
+    print(render_service_metrics(service.metrics.snapshot()))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import JobRequest, MatrixProfileService
+
+    data = np.loadtxt(args.csv, delimiter=",", ndmin=2)
+    query = np.loadtxt(args.query, delimiter=",", ndmin=2) if args.query else None
+    service = MatrixProfileService(device=args.device, n_gpus=args.gpus, n_workers=1)
+    outcome = service.submit_and_wait(
+        JobRequest(
+            reference=data,
+            query=query,
+            m=args.window,
+            mode=args.mode,
+            deadline=args.deadline,
+            priority=args.priority,
+        )
+    )
+    result = outcome.result
+    print(f"status: {outcome.status} (requested {outcome.requested_mode}, "
+          f"ran {outcome.effective_mode})")
+    if result is not None:
+        print(f"profile: {result.profile.shape[0]} segments x {result.d} dims "
+              f"({result.n_tiles} tiles)")
+        print(f"service latency: {format_seconds(outcome.latency)}; "
+              f"modelled device time: {format_seconds(result.modeled_time)}")
+    if outcome.partial_state is not None:
+        print(f"partial coverage: {outcome.completed_fraction:.0%} of tiles")
+    if outcome.error:
+        print(f"error: {outcome.error}")
+    return 0 if outcome.status in ("completed", "partial") else 1
+
+
 _COMMANDS = {
     "profile": _cmd_profile,
     "demo": _cmd_demo,
@@ -244,6 +367,8 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "plan": _cmd_plan,
     "validate": _cmd_validate,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -13,14 +13,14 @@ and still return a valid upper-bound profile.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..kernels.layout import to_device_layout, validate_series
 from ..kernels.precalc import PrecalcKernel
 from ..kernels.sort_scan import SortScanKernel
-from ..kernels.update import INDEX_DTYPE, UpdateKernel
+from ..kernels.update import UpdateKernel
 from ..precision.modes import DTYPE_MAX
 from .config import RunConfig, default_exclusion_zone
 from .result import MatrixProfileResult

@@ -7,6 +7,8 @@ join semantics.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, replace
 
@@ -72,3 +74,43 @@ class RunConfig:
     def with_(self, **changes) -> "RunConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of every numerics-relevant knob.
+
+        The device is stored *by name* (custom :class:`DeviceSpec`
+        instances round-trip only if registered with ``get_device``); the
+        launch configuration is stored explicitly so a config tuned for
+        one device reconstructs identically.
+        """
+        return {
+            "mode": self.mode.value,
+            "device": self.device.name,
+            "launch": {"grid": self.launch.grid, "block": self.launch.block},
+            "n_tiles": self.n_tiles,
+            "n_gpus": self.n_gpus,
+            "n_streams": self.n_streams,
+            "exclusion_zone": self.exclusion_zone,
+            "sort_strategy": self.sort_strategy,
+            "fast_path_1d": self.fast_path_1d,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Reconstruct a config from :meth:`to_dict` output."""
+        data = dict(data)
+        launch = data.get("launch")
+        if isinstance(launch, dict):
+            data["launch"] = LaunchConfig(**launch)
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Stable digest of the configuration, for content-addressed caches.
+
+        Two configs share a key iff :meth:`to_dict` agrees field-for-field
+        — which covers everything that changes the numerics (mode, tile
+        count, exclusion zone, sort strategy, 1-d fast path) as well as
+        the performance-model knobs.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]

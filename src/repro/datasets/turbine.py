@@ -17,7 +17,6 @@ relaxed-recall metric of Fig. 12.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -102,6 +102,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "traversal", "Sec. II-A", "Ablation: row-order vs diagonal-order anytime convergence",
         "bench_ablation_traversal.py", "ablation_traversal", "executed",
     ),
+    Experiment(
+        "service", "Sec. VII", "Service: cache throughput + precision-aware load shedding",
+        "bench_service_throughput.py", "service_cache_throughput", "executed",
+    ),
 )
 
 

@@ -16,12 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.config import RunConfig
 from ..core.tiling import compute_tile_list
 from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
 from ..gpu.device import DeviceSpec, get_device
 from ..gpu.kernel import LaunchConfig
-from ..gpu.perfmodel import single_tile_timing, transfer_time
+from ..gpu.perfmodel import single_tile_timing
 from ..gpu.simulator import GPUSimulator, schedule_tile_timing
 from ..precision.modes import PrecisionMode, policy_for
 

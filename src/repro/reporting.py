@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "print_table", "format_seconds", "banner"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "format_seconds",
+    "banner",
+    "render_service_metrics",
+]
 
 
 def format_seconds(value: float) -> str:
@@ -56,6 +62,16 @@ def print_table(
 ) -> None:
     print(format_table(headers, rows, title))
     print()
+
+
+def render_service_metrics(snapshot) -> str:
+    """Render a :class:`repro.service.MetricsSnapshot` as a metrics table.
+
+    Accepts any object with the snapshot's ``to_rows()`` contract, so the
+    reporting layer stays import-independent of the service subsystem.
+    """
+    return format_table(["metric", "value"], snapshot.to_rows(),
+                        title="service metrics")
 
 
 def banner(text: str) -> None:

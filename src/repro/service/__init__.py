@@ -1,0 +1,63 @@
+"""Multi-tenant matrix-profile job service with precision-aware load shedding.
+
+The serving layer over the library's one-shot compute path:
+:class:`MatrixProfileService` queues :class:`JobRequest` objects by
+priority, runs admission control that downgrades precision along the
+FP64 -> FP32 -> Mixed -> FP16 ladder (:data:`DOWNGRADE_LADDER`) when the
+backlog threatens deadlines, decomposes each job into its tile DAG,
+dispatches the tiles across a pool of simulated GPUs with per-tile retry
+around transient device failures, caches results content-addressed in a
+:class:`ResultCache`, merges anytime-style partials on deadline expiry,
+and reports everything through :class:`ServiceMetrics`.
+
+Quick start::
+
+    from repro.service import MatrixProfileService, JobRequest
+
+    service = MatrixProfileService(device="A100", n_gpus=2)
+    outcome = service.submit_and_wait(
+        JobRequest(reference=series, m=64, mode="FP32", deadline=5.0)
+    )
+    print(outcome.status, outcome.effective_mode, outcome.result.profile)
+"""
+
+from __future__ import annotations
+
+from .admission import (
+    DOWNGRADE_LADDER,
+    AdmissionController,
+    AdmissionDecision,
+    LoadEstimator,
+)
+from .cache import ResultCache, cache_key
+from .job import Job, JobOutcome, JobRequest, JobStatus, series_digest
+from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from .scheduler import (
+    JobExecution,
+    TileRetryExhaustedError,
+    TileScheduler,
+    TransientDeviceError,
+)
+from .service import MatrixProfileService
+
+__all__ = [
+    "MatrixProfileService",
+    "JobRequest",
+    "Job",
+    "JobStatus",
+    "JobOutcome",
+    "series_digest",
+    "ResultCache",
+    "cache_key",
+    "AdmissionController",
+    "AdmissionDecision",
+    "LoadEstimator",
+    "DOWNGRADE_LADDER",
+    "ServiceMetrics",
+    "MetricsSnapshot",
+    "percentile",
+    "TileScheduler",
+    "JobExecution",
+    "TransientDeviceError",
+    "TileRetryExhaustedError",
+]

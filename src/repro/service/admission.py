@@ -1,0 +1,256 @@
+"""Admission control: precision-aware load shedding.
+
+The paper's five precision modes form an accuracy/throughput ladder
+(Fig. 1 + Fig. 4): halving the storage width roughly doubles the
+memory-bound kernel throughput at a bounded, tiling-controlled accuracy
+cost.  That is exactly the knob a serving layer wants for graceful
+degradation — instead of queueing past deadlines or dropping work, the
+admission controller walks a job down the
+
+    FP64 -> FP32 -> Mixed -> FP16
+
+ladder until the estimated backlog plus the job's own estimated runtime
+fits inside its deadline budget.  (FP16C enters the ladder at the Mixed
+rung: both store half-precision planes with a widened precalculation.)
+
+Runtime estimates come from two sources composed together:
+
+* **relative** mode speed from the roofline model
+  (:func:`repro.gpu.perfmodel.single_tile_timing` ratios on a canonical
+  tile) — the simulated-hardware ground truth for how much a downgrade
+  buys;
+* **absolute** wall-seconds-per-cell, learned online from completed jobs
+  with an exponential moving average (the host actually executes numpy,
+  so absolute speed is a property of the machine, not the model).
+
+Soft transprecision formats (TF32/BFLOAT16,
+:mod:`repro.extensions.transprecision`) are not executable service modes
+— numpy has no native kernels for them — but
+:meth:`LoadEstimator.soft_format_factor` prices them on the same scale so
+capacity planning can preview where a tensor-core deployment would land.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..extensions.transprecision import SoftFormat, transprecision_itemsize
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.perfmodel import single_tile_timing
+from ..precision.modes import PrecisionMode, policy_for
+
+__all__ = ["DOWNGRADE_LADDER", "LoadEstimator", "AdmissionController", "AdmissionDecision"]
+
+#: The degradation ladder, slowest/most-accurate first (Section III-C
+#: order by throughput).
+DOWNGRADE_LADDER: tuple[PrecisionMode, ...] = (
+    PrecisionMode.FP64,
+    PrecisionMode.FP32,
+    PrecisionMode.MIXED,
+    PrecisionMode.FP16,
+)
+
+#: Ladder entry position per mode; FP16C degrades like Mixed (same
+#: storage width and widened precalculation).
+_LADDER_POSITION: dict[PrecisionMode, int] = {
+    PrecisionMode.FP64: 0,
+    PrecisionMode.FP32: 1,
+    PrecisionMode.MIXED: 2,
+    PrecisionMode.FP16C: 2,
+    PrecisionMode.FP16: 3,
+}
+
+#: Canonical tile used to derive relative mode speeds from the roofline
+#: model (the absolute value cancels in the ratio).
+_CANONICAL_TILE = (512, 512, 8, 64)  # n_r_seg, n_q_seg, d, m
+
+
+class LoadEstimator:
+    """Wall-clock runtime estimator for service jobs.
+
+    ``seconds_per_cell`` is the estimated FP64 wall time per distance-
+    matrix cell (one ``n_r_seg x n_q_seg x d`` element).  It starts from a
+    deliberately conservative prior and, when ``learn=True``, tracks the
+    machine with an EMA over observed job runtimes.
+    """
+
+    def __init__(
+        self,
+        device: "DeviceSpec | str" = "A100",
+        seconds_per_cell: float = 2e-7,
+        learn: bool = True,
+        ema_weight: float = 0.3,
+    ):
+        if seconds_per_cell <= 0:
+            raise ValueError(f"seconds_per_cell must be > 0, got {seconds_per_cell}")
+        if not 0.0 < ema_weight <= 1.0:
+            raise ValueError(f"ema_weight must be in (0, 1], got {ema_weight}")
+        self.device = get_device(device)
+        self.seconds_per_cell = seconds_per_cell
+        self.learn = learn
+        self.ema_weight = ema_weight
+        self._mode_factors = self._derive_mode_factors(self.device)
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _derive_mode_factors(device: DeviceSpec) -> dict[PrecisionMode, float]:
+        """Per-mode modelled busy-time ratio vs FP64 on the canonical tile.
+
+        Busy time only: the fixed per-kernel launch overheads do not
+        scale with problem size, so they cancel out of the per-cell cost
+        a downgrade is meant to shrink.
+        """
+        n_r, n_q, d, m = _CANONICAL_TILE
+        totals = {}
+        for mode in PrecisionMode:
+            policy = policy_for(mode)
+            timing = single_tile_timing(
+                n_r, n_q, d, m, device, policy.itemsize,
+                precalc_itemsize=policy.precalc.itemsize,
+                compensated=policy.compensated,
+            )
+            totals[mode] = sum(kt.busy for kt in timing.kernels.values())
+        fp64 = totals[PrecisionMode.FP64]
+        return {mode: total / fp64 for mode, total in totals.items()}
+
+    def mode_factor(self, mode: "PrecisionMode | str") -> float:
+        """Relative cost of ``mode`` vs FP64 (< 1 for the reduced modes)."""
+        return self._mode_factors[PrecisionMode.parse(mode)]
+
+    def soft_format_factor(self, fmt: SoftFormat) -> float:
+        """Price a TF32/BF16 soft format on the same relative scale.
+
+        Uses the format's storage width through the same roofline model
+        the native modes use — a capacity-planning preview, since the
+        soft formats are not executable service modes.
+        """
+        n_r, n_q, d, m = _CANONICAL_TILE
+        itemsize = transprecision_itemsize(fmt)
+        timing = single_tile_timing(n_r, n_q, d, m, self.device, itemsize)
+        fp64 = single_tile_timing(n_r, n_q, d, m, self.device, 8)
+        busy = sum(kt.busy for kt in timing.kernels.values())
+        busy64 = sum(kt.busy for kt in fp64.kernels.values())
+        return busy / busy64
+
+    def estimate(
+        self, n_r_seg: int, n_q_seg: int, d: int, mode: "PrecisionMode | str"
+    ) -> float:
+        """Estimated wall seconds for one job at ``mode``."""
+        cells = float(n_r_seg) * float(n_q_seg) * float(d)
+        return cells * self.seconds_per_cell * self.mode_factor(mode)
+
+    def observe(
+        self, n_r_seg: int, n_q_seg: int, d: int,
+        mode: "PrecisionMode | str", elapsed: float,
+    ) -> None:
+        """Fold one completed job's measured runtime into the estimator."""
+        if not self.learn or elapsed <= 0:
+            return
+        cells = float(n_r_seg) * float(n_q_seg) * float(d)
+        if cells <= 0:
+            return
+        observed = elapsed / (cells * self.mode_factor(mode))
+        with self._lock:
+            self.seconds_per_cell += self.ema_weight * (
+                observed - self.seconds_per_cell
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What the controller decided for one job at submission."""
+
+    requested: PrecisionMode
+    effective: PrecisionMode
+    downgrade_steps: int
+    estimated_seconds: float
+    backlog_seconds: float
+
+    @property
+    def degraded(self) -> bool:
+        return self.downgrade_steps > 0
+
+
+class AdmissionController:
+    """Backlog tracking + the precision-downgrade decision.
+
+    The controller keeps the estimated runtime of every admitted-but-
+    unfinished job.  A new job with a deadline is admitted at the first
+    ladder rung (starting from its requested mode) whose estimate fits
+
+        backlog / parallelism + estimate(mode) <= deadline slack
+
+    and at the fastest rung when none fits — the service degrades
+    precision rather than shedding jobs, recording every downgrade.
+    """
+
+    def __init__(self, estimator: LoadEstimator, parallelism: int = 1):
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.estimator = estimator
+        self.parallelism = parallelism
+        self.downgraded_jobs = 0
+        self.downgrade_steps = 0
+        self._pending: dict[int, float] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def backlog_seconds(self) -> float:
+        """Estimated wall seconds of admitted-but-unfinished work."""
+        with self._lock:
+            return sum(self._pending.values())
+
+    def admit(
+        self,
+        job_id: int,
+        n_r_seg: int,
+        n_q_seg: int,
+        d: int,
+        mode: "PrecisionMode | str",
+        slack: float | None,
+    ) -> AdmissionDecision:
+        """Decide the effective mode for a job and register its load.
+
+        ``slack`` is the wall-seconds budget until the deadline (``None``
+        for best-effort jobs, which are never downgraded).
+        """
+        requested = PrecisionMode.parse(mode)
+        backlog = self.backlog_seconds() / self.parallelism
+        start = _LADDER_POSITION[requested]
+        if requested in DOWNGRADE_LADDER:
+            ladder = DOWNGRADE_LADDER[start:]
+        else:  # FP16C sits between the Mixed and FP16 rungs
+            ladder = (requested,) + DOWNGRADE_LADDER[start + 1 :]
+        effective = requested
+        if slack is not None and ladder:
+            for candidate in ladder:
+                effective = candidate
+                if backlog + self.estimator.estimate(
+                    n_r_seg, n_q_seg, d, candidate
+                ) <= slack:
+                    break
+        steps = max(
+            _LADDER_POSITION[effective] - _LADDER_POSITION[requested], 0
+        )
+        estimate = self.estimator.estimate(n_r_seg, n_q_seg, d, effective)
+        with self._lock:
+            self._pending[job_id] = estimate
+            if steps > 0:
+                self.downgraded_jobs += 1
+                self.downgrade_steps += steps
+        return AdmissionDecision(
+            requested=requested,
+            effective=effective,
+            downgrade_steps=steps,
+            estimated_seconds=estimate,
+            backlog_seconds=backlog,
+        )
+
+    def complete(self, job_id: int) -> None:
+        """Drop a finished (or failed) job from the backlog."""
+        with self._lock:
+            self._pending.pop(job_id, None)

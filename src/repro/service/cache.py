@@ -1,0 +1,122 @@
+"""Content-addressed result cache with LRU eviction.
+
+A cache entry is keyed by *what was computed*: the content digests of the
+input series plus the :meth:`RunConfig.cache_key` of the **effective**
+run configuration.  Keying on the effective (post-admission) config is
+deliberate: in the reduced-precision modes the tile count changes the
+numerics (each tile restarts the Eq. (1) recurrence), so two runs of the
+same series at different tilings or modes are different results and must
+not alias.
+
+Eviction is least-recently-used, bounded both by entry count and by the
+total payload bytes (profile + index arrays), and hit/miss/eviction
+counters feed :class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..core.config import RunConfig
+from ..core.result import MatrixProfileResult
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(
+    reference_digest: str, query_digest: str | None, m: int, config: RunConfig
+) -> str:
+    """Stable content-addressed key for one computed profile."""
+    return f"{reference_digest}:{query_digest or 'self'}:{m}:{config.cache_key()}"
+
+
+class ResultCache:
+    """Thread-safe LRU cache of :class:`MatrixProfileResult` objects.
+
+    Parameters
+    ----------
+    max_entries:
+        Hard cap on the number of cached results.
+    max_bytes:
+        Cap on the summed profile+index payload bytes.  Oldest entries
+        are evicted first when either bound is exceeded.
+    """
+
+    def __init__(self, max_entries: int = 128, max_bytes: int = 256 * 1024 * 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, MatrixProfileResult] = OrderedDict()
+
+    @staticmethod
+    def _entry_bytes(result: MatrixProfileResult) -> int:
+        return int(result.profile.nbytes + result.index.nbytes)
+
+    def get(self, key: str) -> MatrixProfileResult | None:
+        """Look up ``key``; counts a hit (and refreshes recency) or a miss."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: str, result: MatrixProfileResult) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries as needed."""
+        nbytes = self._entry_bytes(result)
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= self._entry_bytes(self._entries.pop(key))
+            self._entries[key] = result
+            self._bytes += nbytes
+            while self._entries and (
+                len(self._entries) > self.max_entries or self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._entry_bytes(evicted)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def payload_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int | float]:
+        """Counter snapshot for metrics/reporting."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "payload_bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }

@@ -1,0 +1,183 @@
+"""Job model of the matrix-profile service.
+
+A :class:`JobRequest` is what a tenant submits: the series pair, the
+window, the *requested* precision mode, an optional deadline and a
+priority.  The service wraps it in a :class:`Job` handle (identity,
+timestamps, completion event) and fulfils it with a :class:`JobOutcome`
+that records not just the profile but *how* it was produced: the
+effective precision after admission-control downgrades, whether the
+result came from the cache, how many tile retries the failure machinery
+absorbed, and — for deadline-expired jobs — the anytime-style partial
+merge state.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.anytime import AnytimeState
+from ..core.result import MatrixProfileResult
+from ..precision.modes import PrecisionMode
+
+__all__ = ["JobStatus", "JobRequest", "Job", "JobOutcome", "series_digest"]
+
+
+def series_digest(series: np.ndarray) -> str:
+    """Content digest of a time series (shape + dtype + raw bytes).
+
+    The digest is the series half of the service cache key: two requests
+    over byte-identical data share it regardless of the array object.
+    """
+    arr = np.ascontiguousarray(series)
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle of a service job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    PARTIAL = "partial"  # deadline expired; anytime-style partial merge
+    FAILED = "failed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class JobRequest:
+    """One tenant request for a matrix profile.
+
+    Parameters
+    ----------
+    reference, query:
+        Host time series, ``(n, d)`` time-major (``query=None`` for a
+        self-join, as in :func:`repro.matrix_profile`).
+    m:
+        Segment length.
+    mode:
+        *Requested* precision mode.  The admission controller may
+        downgrade it along the FP64 -> FP32 -> Mixed -> FP16 ladder when
+        the backlog threatens the deadline.
+    deadline:
+        Latency budget in wall seconds from submission, or ``None`` for
+        best-effort (never downgraded, never cut short).
+    priority:
+        Lower values dequeue first (ties are FIFO).
+    n_tiles:
+        Minimum tile count; the planner may raise it to fit device
+        memory.  ``None`` lets the planner choose alone.
+    exclusion_zone:
+        Self-join trivial-match radius override (see ``RunConfig``).
+    """
+
+    reference: np.ndarray
+    m: int
+    query: np.ndarray | None = None
+    mode: "PrecisionMode | str" = PrecisionMode.FP64
+    deadline: float | None = None
+    priority: int = 0
+    n_tiles: int | None = None
+    exclusion_zone: int | None = None
+
+    def __post_init__(self) -> None:
+        self.mode = PrecisionMode.parse(self.mode)
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.m < 2:
+            raise ValueError(f"m must be >= 2, got {self.m}")
+
+
+@dataclass
+class JobOutcome:
+    """Everything the service records about one finished job."""
+
+    status: JobStatus
+    result: MatrixProfileResult | None
+    requested_mode: PrecisionMode
+    effective_mode: PrecisionMode
+    downgrade_steps: int = 0
+    cache_hit: bool = False
+    latency: float = 0.0  # wall seconds, submission -> completion
+    tiles_total: int = 0
+    tiles_completed: int = 0
+    tile_retries: int = 0
+    deadline_missed: bool = False
+    error: str | None = None
+    #: For PARTIAL jobs: the anytime-style merge state (completed tiles
+    #: merged, remaining columns at the dtype limit — a valid upper bound,
+    #: exactly the :mod:`repro.core.anytime` contract).
+    partial_state: AnytimeState | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.downgrade_steps > 0
+
+    @property
+    def completed_fraction(self) -> float:
+        if self.tiles_total == 0:
+            return 1.0 if self.status is JobStatus.COMPLETED else 0.0
+        return self.tiles_completed / self.tiles_total
+
+
+_job_ids = itertools.count(1)
+
+
+class Job:
+    """Handle to a submitted request: identity, timestamps, completion."""
+
+    def __init__(self, request: JobRequest, submitted_at: float):
+        self.request = request
+        self.job_id = next(_job_ids)
+        self.submitted_at = submitted_at
+        self.deadline_at = (
+            None if request.deadline is None else submitted_at + request.deadline
+        )
+        self.status = JobStatus.PENDING
+        self.outcome: JobOutcome | None = None
+        # Filled in by the service at submission: the validated (n, d)
+        # series and the admission-control decision for this job.
+        self.reference: np.ndarray | None = None
+        self.query: np.ndarray | None = None
+        self.decision = None
+        self._done = threading.Event()
+
+    def finish(self, outcome: JobOutcome) -> None:
+        """Record the outcome and release any waiters."""
+        self.outcome = outcome
+        self.status = outcome.status
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> JobOutcome | None:
+        """Block until the job finishes; returns the outcome (or ``None``
+        on wait timeout)."""
+        if not self._done.wait(timeout):
+            return None
+        return self.outcome
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job(id={self.job_id}, status={self.status})"
+
+
+@dataclass(order=True)
+class QueuedJob:
+    """Priority-queue entry: (priority, submission sequence) ordering."""
+
+    priority: int
+    sequence: int
+    job: Job = field(compare=False)

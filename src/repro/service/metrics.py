@@ -1,0 +1,171 @@
+"""Service observability: counters, latency percentiles, throughput.
+
+:class:`ServiceMetrics` is the single thread-safe sink every service
+component reports into; :meth:`ServiceMetrics.snapshot` freezes it into a
+plain :class:`MetricsSnapshot` whose ``to_rows()`` feeds
+:func:`repro.reporting.format_table` (and the ``repro serve`` CLI).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["MetricsSnapshot", "ServiceMetrics", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty list).
+
+    ``q`` in [0, 100].  Nearest-rank keeps the number an actually
+    observed latency, the convention service dashboards use.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen view of the service counters at one instant."""
+
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_partial: int
+    jobs_failed: int
+    jobs_in_flight: int
+    jobs_per_second: float
+    latency_p50: float
+    latency_p95: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    precision_downgrades: int
+    downgraded_jobs: int
+    tile_retries: int
+    tiles_executed: int
+    deadline_misses: int
+    elapsed: float
+
+    def to_rows(self) -> list[list[object]]:
+        """(metric, value) rows for :func:`repro.reporting.format_table`."""
+        return [
+            ["jobs submitted", self.jobs_submitted],
+            ["jobs completed", self.jobs_completed],
+            ["jobs partial (deadline)", self.jobs_partial],
+            ["jobs failed", self.jobs_failed],
+            ["jobs in flight", self.jobs_in_flight],
+            ["throughput (jobs/s)", f"{self.jobs_per_second:.2f}"],
+            ["latency p50 (s)", f"{self.latency_p50:.4f}"],
+            ["latency p95 (s)", f"{self.latency_p95:.4f}"],
+            ["cache hits / misses", f"{self.cache_hits} / {self.cache_misses}"],
+            ["cache hit rate", f"{self.cache_hit_rate:.1%}"],
+            ["precision downgrades (steps)", self.precision_downgrades],
+            ["downgraded jobs", self.downgraded_jobs],
+            ["tile retries", self.tile_retries],
+            ["tiles executed", self.tiles_executed],
+            ["deadline misses", self.deadline_misses],
+            ["window (s)", f"{self.elapsed:.2f}"],
+        ]
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator of service-level counters."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at: float | None = None
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_partial = 0
+        self.jobs_failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.precision_downgrades = 0
+        self.downgraded_jobs = 0
+        self.tile_retries = 0
+        self.tiles_executed = 0
+        self.deadline_misses = 0
+        self._latencies: list[float] = []
+
+    def record_submission(self) -> None:
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+            self.jobs_submitted += 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_downgrade(self, steps: int) -> None:
+        if steps <= 0:
+            return
+        with self._lock:
+            self.downgraded_jobs += 1
+            self.precision_downgrades += steps
+
+    def record_completion(
+        self,
+        latency: float,
+        partial: bool = False,
+        tiles: int = 0,
+        retries: int = 0,
+        deadline_missed: bool = False,
+    ) -> None:
+        with self._lock:
+            if partial:
+                self.jobs_partial += 1
+            else:
+                self.jobs_completed += 1
+            self._latencies.append(latency)
+            self.tiles_executed += tiles
+            self.tile_retries += retries
+            if deadline_missed:
+                self.deadline_misses += 1
+
+    def record_failure(self, latency: float, retries: int = 0) -> None:
+        with self._lock:
+            self.jobs_failed += 1
+            self._latencies.append(latency)
+            self.tile_retries += retries
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the counters into a :class:`MetricsSnapshot`."""
+        with self._lock:
+            elapsed = (
+                self._clock() - self._started_at if self._started_at else 0.0
+            )
+            finished = self.jobs_completed + self.jobs_partial
+            lookups = self.cache_hits + self.cache_misses
+            return MetricsSnapshot(
+                jobs_submitted=self.jobs_submitted,
+                jobs_completed=self.jobs_completed,
+                jobs_partial=self.jobs_partial,
+                jobs_failed=self.jobs_failed,
+                jobs_in_flight=self.jobs_submitted
+                - finished
+                - self.jobs_failed,
+                jobs_per_second=finished / elapsed if elapsed > 0 else 0.0,
+                latency_p50=percentile(self._latencies, 50),
+                latency_p95=percentile(self._latencies, 95),
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_hit_rate=self.cache_hits / lookups if lookups else 0.0,
+                precision_downgrades=self.precision_downgrades,
+                downgraded_jobs=self.downgraded_jobs,
+                tile_retries=self.tile_retries,
+                tiles_executed=self.tiles_executed,
+                deadline_misses=self.deadline_misses,
+                elapsed=elapsed,
+            )

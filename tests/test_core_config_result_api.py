@@ -42,6 +42,57 @@ class TestRunConfig:
         assert default_exclusion_zone(10) == 3
 
 
+class TestRunConfigSerialisation:
+    def test_to_dict_round_trip(self):
+        cfg = RunConfig(
+            mode="FP16", device="V100", n_tiles=8, n_gpus=2, n_streams=4,
+            exclusion_zone=7, sort_strategy="batch", fast_path_1d=False,
+        )
+        restored = RunConfig.from_dict(cfg.to_dict())
+        assert restored == cfg
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        payload = json.dumps(RunConfig().to_dict(), sort_keys=True)
+        assert json.loads(payload)["mode"] == "FP64"
+
+    def test_round_trip_preserves_tuned_launch(self):
+        # A config carrying V100-tuned launch parameters must reconstruct
+        # them explicitly, not re-derive them for the default device.
+        cfg = RunConfig(device="V100")
+        restored = RunConfig.from_dict(cfg.to_dict())
+        assert restored.launch == cfg.launch
+        assert restored.launch.block == 2560
+
+    def test_cache_key_stable_across_equal_configs(self):
+        a = RunConfig(mode="Mixed", n_tiles=4)
+        b = RunConfig(mode="Mixed", n_tiles=4)
+        assert a is not b
+        assert a.cache_key() == b.cache_key()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"mode": "FP32"},
+            {"n_tiles": 2},
+            {"exclusion_zone": 3},
+            {"sort_strategy": "batch"},
+            {"fast_path_1d": False},
+            {"device": "V100"},
+        ],
+    )
+    def test_cache_key_sensitive_to_numerics_knobs(self, changes):
+        # Every knob that can change the computed numbers must change the
+        # key — in reduced precision even the tile count alters results.
+        base = RunConfig()
+        assert base.with_(**changes).cache_key() != base.cache_key()
+
+    def test_cache_key_round_trips_through_dict(self):
+        cfg = RunConfig(mode="FP16", n_tiles=16)
+        assert RunConfig.from_dict(cfg.to_dict()).cache_key() == cfg.cache_key()
+
+
 class TestMatrixProfileResult:
     def _result(self, rng):
         p = np.abs(rng.normal(size=(20, 3)))

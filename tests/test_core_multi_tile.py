@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.config import RunConfig
-from repro.core.multi_tile import compute_multi_tile, model_multi_tile
+from repro.core.multi_tile import compute_multi_tile, merge_tile_outputs, model_multi_tile
 from repro.core.single_tile import compute_single_tile
+from repro.core.tiling import Tile
 
 
 class TestTiledEqualsSingleInFP64:
@@ -35,6 +36,79 @@ class TestTiledEqualsSingleInFP64:
         tiled = compute_multi_tile(ref, None, m, RunConfig(mode="FP64", n_tiles=4))
         np.testing.assert_allclose(tiled.profile, single.profile, atol=1e-10)
         np.testing.assert_array_equal(tiled.index, single.index)
+
+
+class TestMergeTieBreaking:
+    """Regression: merge_tile_outputs uses strict ``<``, so on exactly
+    tied distances the earliest-merged tile — the lowest reference rows,
+    in row-major tile order — keeps the index."""
+
+    @staticmethod
+    def _tile(tile_id, row_start, row_stop, col_start, col_stop):
+        return Tile(
+            tile_id=tile_id,
+            row_start=row_start, row_stop=row_stop,
+            col_start=col_start, col_stop=col_stop,
+        )
+
+    def test_tied_distance_keeps_earliest_reference_row(self):
+        d, n_q = 2, 6
+        profile = np.full((d, n_q), np.inf)
+        index = np.full((d, n_q), -1, dtype=np.int64)
+        # Two row-bands of the same query columns, merged in row-major
+        # order, reporting *identical* distances for every column.
+        lo = self._tile(0, 0, 4, 0, n_q)
+        hi = self._tile(1, 4, 8, 0, n_q)
+        tied = np.full((d, n_q), 1.25)
+        lo_idx = np.tile(np.arange(n_q, dtype=np.int64), (d, 1))  # rows 0..3
+        hi_idx = lo_idx + 4  # rows 4..7
+        merge_tile_outputs(profile, index, lo, tied, lo_idx)
+        merge_tile_outputs(profile, index, hi, tied.copy(), hi_idx)
+        np.testing.assert_array_equal(profile, tied)
+        # The later (higher-row) tile must NOT have overwritten the tie.
+        np.testing.assert_array_equal(index, lo_idx)
+
+    def test_strictly_better_distance_does_overwrite(self):
+        d, n_q = 1, 4
+        profile = np.full((d, n_q), 2.0)
+        index = np.zeros((d, n_q), dtype=np.int64)
+        tile = self._tile(1, 4, 8, 0, n_q)
+        better = np.full((d, n_q), 1.0)
+        new_idx = np.full((d, n_q), 7, dtype=np.int64)
+        merge_tile_outputs(profile, index, tile, better, new_idx)
+        np.testing.assert_array_equal(profile, better)
+        np.testing.assert_array_equal(index, new_idx)
+
+    def test_merge_only_touches_tile_columns(self):
+        d, n_q = 1, 8
+        profile = np.full((d, n_q), np.inf)
+        index = np.full((d, n_q), -1, dtype=np.int64)
+        tile = self._tile(0, 0, 4, 2, 5)  # columns [2, 5) only
+        merge_tile_outputs(
+            profile, index, tile,
+            np.zeros((d, 3)), np.ones((d, 3), dtype=np.int64),
+        )
+        assert np.all(np.isinf(profile[:, :2])) and np.all(np.isinf(profile[:, 5:]))
+        np.testing.assert_array_equal(profile[:, 2:5], 0.0)
+
+    def test_three_band_merge_mixes_ties_and_improvements(self):
+        # Row bands merged in order report, per column: (tie, tie, better).
+        # Only the strictly better band may displace the first one.
+        d, n_q = 1, 3
+        profile = np.full((d, n_q), np.inf)
+        index = np.full((d, n_q), -1, dtype=np.int64)
+        bands = [self._tile(k, 4 * k, 4 * (k + 1), 0, n_q) for k in range(3)]
+        dists = [
+            np.array([[2.0, 2.0, 2.0]]),
+            np.array([[2.0, 1.0, 2.0]]),  # improves column 1 only
+            np.array([[2.0, 2.0, 0.5]]),  # improves column 2 only
+        ]
+        for band, dist in zip(bands, dists):
+            idx = np.full((d, n_q), band.row_start, dtype=np.int64)
+            merge_tile_outputs(profile, index, band, dist, idx)
+        np.testing.assert_array_equal(profile, [[2.0, 1.0, 0.5]])
+        # Column 0 stayed tied throughout: earliest band (row 0) wins.
+        np.testing.assert_array_equal(index, [[0, 4, 8]])
 
 
 class TestTilingBoundsError:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.genome import ENCODING, encode_bases, make_genome_dataset
+from repro.datasets.genome import encode_bases, make_genome_dataset
 from repro.datasets.hpcoda import (
     APPLICATION_CLASSES,
     SENSOR_NAMES,

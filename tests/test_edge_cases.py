@@ -5,7 +5,6 @@ import pytest
 
 from repro import matrix_profile
 from repro.baselines.mstamp import mstamp
-from repro.core.config import RunConfig
 
 
 class TestInputValidation:

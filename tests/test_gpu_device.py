@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.device import A100, DEVICES, SKYLAKE16, V100, DeviceSpec, get_device
+from repro.gpu.device import A100, DEVICES, SKYLAKE16, V100, get_device
 
 
 class TestDeviceSpecs:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.stream import DeviceQueues, Stream, Timeline
+from repro.gpu.stream import DeviceQueues, Stream, Timeline, flush_streams
 
 
 @pytest.fixture
@@ -76,6 +76,73 @@ class TestConcurrency:
         s0.kernel("a", 1.0, timeline, overhead=1.0)
         s0.kernel("b", 1.0, timeline, overhead=1.0)
         assert timeline.makespan == 4.0
+
+
+class TestManyStreamEngineExclusivity:
+    """The paper's 16-non-blocking-stream regime: engines stay exclusive
+    no matter how many streams contend, while the copy engines overlap
+    the SMs."""
+
+    N_STREAMS = 16
+
+    @pytest.fixture
+    def flushed(self, device, timeline):
+        # 16 streams, each enqueueing a full tile pipeline
+        # (h2d -> 2 kernels -> d2h), placed by the event-driven scheduler.
+        streams = [Stream(device=device, stream_id=s) for s in range(self.N_STREAMS)]
+        for s in streams:
+            s.enqueue("h2d", f"h2d:t{s.stream_id}", 0.3)
+            s.enqueue("compute", f"dist:t{s.stream_id}", 1.0, overhead=0.2)
+            s.enqueue("compute", f"update:t{s.stream_id}", 0.5, overhead=0.1)
+            s.enqueue("d2h", f"d2h:t{s.stream_id}", 0.2)
+        flush_streams(streams, timeline)
+        return timeline
+
+    @pytest.mark.parametrize("engine", ["compute", "h2d", "d2h"])
+    def test_no_two_ops_overlap_on_one_engine(self, flushed, engine):
+        # The engine-exclusive window is [start, start + busy]; the
+        # trailing overhead only delays the issuing stream, not the engine.
+        ops = sorted(
+            (op for op in flushed.ops if op.engine == engine),
+            key=lambda op: op.start,
+        )
+        assert len(ops) >= self.N_STREAMS
+        for prev, nxt in zip(ops, ops[1:]):
+            assert nxt.start >= prev.start + prev.busy, (
+                f"{nxt.label} starts at {nxt.start} inside "
+                f"{prev.label}'s busy window"
+            )
+
+    def test_transfers_overlap_compute_across_streams(self, flushed):
+        # Some h2d/d2h op must run strictly inside some kernel's busy
+        # window — the overlap that motivates non-blocking streams.
+        kernels = [op for op in flushed.ops if op.engine == "compute"]
+        copies = [op for op in flushed.ops if op.engine != "compute"]
+        assert any(
+            k.start < c.start and c.start + c.busy <= k.start + k.busy
+            for k in kernels
+            for c in copies
+        )
+
+    def test_concurrency_beats_serial_execution(self, flushed):
+        # All three engines working: the makespan must be well under the
+        # sum of all op durations (the single-engine serial bound).
+        serial = sum(op.duration for op in flushed.ops)
+        assert flushed.makespan < serial
+
+    def test_makespan_bounded_below_by_busiest_engine(self, flushed):
+        for engine in ("compute", "h2d", "d2h"):
+            busy = sum(op.busy for op in flushed.ops if op.engine == engine)
+            assert flushed.makespan >= busy
+
+    def test_every_stream_ran_in_order(self, flushed):
+        # Per-stream op order must match submission order (in-order streams).
+        for sid in range(self.N_STREAMS):
+            ops = [op for op in flushed.ops if op.stream == sid]
+            labels = [op.label.split(":", 1)[0] for op in ops]
+            assert labels == ["h2d", "dist", "update", "d2h"]
+            starts = [op.start for op in ops]
+            assert starts == sorted(starts)
 
 
 class TestTimeline:

@@ -4,7 +4,6 @@ import networkx as nx
 import pytest
 
 from repro.gpu.topology import (
-    NVLINK2_BW,
     best_broadcast_time,
     dgx1_topology,
     nvlink_broadcast_time,

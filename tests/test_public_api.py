@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.apps",
     "repro.extensions",
+    "repro.service",
 ]
 
 MODULES = PACKAGES + [
