@@ -1,0 +1,83 @@
+"""Engine bench — the unified runtime reproduces the golden numerics.
+
+Two claims about the `repro.engine` execution layer:
+
+1. **Bit-exact parity** — the engine-backed single-tile and multi-tile
+   paths reproduce the pre-refactor golden profiles/indices
+   (`tests/golden/engine_parity.npz`) bit for bit in all five precision
+   modes, self-join and AB-join.
+2. **Shared diagonal uploads** — self-join diagonal tiles upload their
+   identical row/col slice once; the saved H2D traffic is reported on
+   the result and shrinks the modelled transfer time.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.multi_tile import compute_multi_tile
+from repro.core.single_tile import compute_single_tile
+from repro.reporting import format_table
+
+from _harness import MODES, emit
+
+GOLDEN = Path(__file__).parent.parent / "tests" / "golden" / "engine_parity.npz"
+N_TILES, N_GPUS = 4, 2
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_paths_match_golden_bit_for_bit(benchmark):
+    golden = np.load(GOLDEN)
+    ref, qry, m = golden["reference"], golden["query"], int(golden["m"])
+
+    rows = []
+    start = time.perf_counter()
+    for mode in MODES:
+        for join, query in (("self", None), ("ab", qry)):
+            single = compute_single_tile(ref, query, m, RunConfig(mode=mode))
+            multi = compute_multi_tile(
+                ref, query, m,
+                RunConfig(mode=mode, n_tiles=N_TILES, n_gpus=N_GPUS),
+            )
+            key = f"{mode}_{join}"
+            single_ok = np.array_equal(
+                single.profile, golden[f"single_{key}_profile"]
+            ) and np.array_equal(single.index, golden[f"single_{key}_index"])
+            multi_ok = np.array_equal(
+                multi.profile, golden[f"multi_{key}_profile"]
+            ) and np.array_equal(multi.index, golden[f"multi_{key}_index"])
+            rows.append([
+                mode, join,
+                "bit-exact" if single_ok else "MISMATCH",
+                "bit-exact" if multi_ok else "MISMATCH",
+                f"{multi.h2d_saved_bytes / 1024:.1f} KiB",
+            ])
+            assert single_ok, f"single-tile {key} diverged from golden"
+            assert multi_ok, f"multi-tile {key} diverged from golden"
+    elapsed = time.perf_counter() - start
+
+    table = format_table(
+        ["mode", "join", "single tile", "multi tile", "h2d saved"],
+        rows,
+        f"Engine parity vs pre-refactor golden ({len(rows)} configs, "
+        f"{elapsed:.1f}s)",
+    )
+    emit("engine_parity", table)
+
+    benchmark.pedantic(
+        lambda: compute_multi_tile(
+            ref, None, m, RunConfig(n_tiles=N_TILES, n_gpus=N_GPUS)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Self-joins saved H2D traffic on every diagonal tile; AB-joins never.
+    saved = {
+        (row[0], row[1]): row[4] for row in rows
+    }
+    assert all(saved[(mode, "ab")] == "0.0 KiB" for mode in MODES)
+    assert all(saved[(mode, "self")] != "0.0 KiB" for mode in MODES)

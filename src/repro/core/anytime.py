@@ -17,12 +17,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..kernels.layout import to_device_layout, validate_series
+from ..engine.plan import JobSpec
 from ..kernels.precalc import PrecalcKernel
 from ..kernels.sort_scan import SortScanKernel
 from ..kernels.update import UpdateKernel
 from ..precision.modes import DTYPE_MAX
-from .config import RunConfig, default_exclusion_zone
+from .config import RunConfig
 from .result import MatrixProfileResult
 
 __all__ = ["AnytimeState", "anytime_matrix_profile", "convergence_curve"]
@@ -63,15 +63,11 @@ def anytime_matrix_profile(
     policy = config.policy
     dtype = policy.compute
 
-    reference = validate_series(reference, "reference")
-    self_join = query is None
-    query_arr = reference if self_join else validate_series(query, "query")
-    zone = config.exclusion_zone
-    if self_join and zone is None:
-        zone = default_exclusion_zone(m)
-
-    tr = to_device_layout(reference, policy.storage)
-    tq = to_device_layout(query_arr, policy.storage)
+    # Shared engine-level validation: same ValueError family (d-mismatch,
+    # window-too-long) and exclusion-zone defaulting as the tiled paths.
+    spec = JobSpec.from_arrays(reference, query, m, config)
+    zone = spec.exclusion_zone
+    tr, tq = spec.layouts()
     pre = PrecalcKernel(config=config.launch, policy=policy).run(tr, tq, m)
     d, n_r_seg, n_q_seg = pre.d, pre.n_r_seg, pre.n_q_seg
 

@@ -6,55 +6,37 @@ crucial property that **each tile restarts the precalculation**, bounding
 the streaming-error propagation of Eq. (1) — and the per-tile profiles are
 merged on the CPU with min/argmin.
 
-Two entry points:
+Both entry points are thin adapters over the execution engine
+(:mod:`repro.engine`): the spec/plan layer owns validation and tiling,
+:func:`~repro.engine.dispatch.execute_plan` runs the loop, and the
+:class:`~repro.engine.accumulate.ProfileAccumulator` owns the merge.
 
-* :func:`compute_multi_tile` — executes the tiles numerically and builds
-  the modelled timeline from the recorded kernel costs (accuracy + shape
-  experiments at feasible scales).
-* :func:`model_multi_tile` — analytic-only: schedules per-tile timings
-  from the roofline cost model without touching data, enabling paper-scale
-  projections (n = 2^16 and beyond) for Figs. 4–7 and 10.
+* :func:`compute_multi_tile` — executes the tiles numerically
+  (:class:`~repro.engine.backends.NumericBackend`) and builds the
+  modelled timeline from the recorded kernel costs (accuracy + shape
+  experiments at feasible scales).  Self-join diagonal tiles share one
+  upload for their identical row/col slices; the saved H2D traffic is
+  reported on the result.
+* :func:`model_multi_tile` — analytic-only
+  (:class:`~repro.engine.backends.AnalyticBackend`): schedules per-tile
+  timings from the roofline cost model without touching data, enabling
+  paper-scale projections (n = 2^16 and beyond) for Figs. 4–7 and 10.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
-from ..gpu.kernel import KernelCost
-from ..gpu.perfmodel import single_tile_timing
-from ..gpu.simulator import GPUSimulator, schedule_tile_timing
-from ..kernels.layout import to_device_layout, validate_series
+from ..engine.accumulate import ProfileAccumulator, merge_tile_outputs
+from ..engine.backends import AnalyticBackend, NumericBackend
+from ..engine.dispatch import execute_plan
+from ..engine.plan import JobSpec
+from ..gpu.simulator import GPUSimulator
 from ..kernels.update import INDEX_DTYPE
-from ..precision.modes import DTYPE_MAX
-from .config import RunConfig, default_exclusion_zone
+from .config import RunConfig
 from .result import MatrixProfileResult
-from .single_tile import _workspace_bytes, run_tile, schedule_tile
-from .tiling import Tile, assign_tiles, compute_tile_list
 
 __all__ = ["compute_multi_tile", "model_multi_tile", "merge_tile_outputs"]
-
-
-def merge_tile_outputs(
-    profile: np.ndarray,
-    index: np.ndarray,
-    tile: Tile,
-    tile_profile: np.ndarray,
-    tile_index: np.ndarray,
-) -> None:
-    """CPU-side min/argmin merge of one tile into the global profile.
-
-    ``profile``/``index`` are global (d, n_q_seg) accumulators; the tile
-    contributes its query-column slice.  Strict ``<`` keeps the earliest
-    reference row on ties (tiles are merged in row-major tile order, so
-    this matches the sequential single-tile iteration order).
-    """
-    sl = slice(tile.col_start, tile.col_stop)
-    target_p = profile[:, sl]
-    target_i = index[:, sl]
-    improved = tile_profile < target_p
-    np.copyto(target_p, tile_profile, where=improved)
-    np.copyto(target_i, tile_index, where=improved)
 
 
 def compute_multi_tile(
@@ -68,95 +50,27 @@ def compute_multi_tile(
     ``query=None`` requests a self-join with the default exclusion zone.
     """
     config = config or RunConfig()
-    policy = config.policy
-
-    reference = validate_series(reference, "reference")
-    self_join = query is None
-    query_arr = reference if self_join else validate_series(query, "query")
-    if query_arr.shape[1] != reference.shape[1]:
-        raise ValueError(
-            f"reference has d={reference.shape[1]} but query d={query_arr.shape[1]}"
-        )
-    zone = config.exclusion_zone
-    if self_join and zone is None:
-        zone = default_exclusion_zone(m)
-
-    d = reference.shape[1]
-    n_r_seg = reference.shape[0] - m + 1
-    n_q_seg = query_arr.shape[0] - m + 1
-    if n_r_seg < 1 or n_q_seg < 1:
-        raise ValueError(f"m={m} too long for the input series")
-
-    tiles = compute_tile_list(n_r_seg, n_q_seg, config.n_tiles)
-    assignment = assign_tiles(tiles, config.n_gpus)
+    spec = JobSpec.from_arrays(reference, query, m, config)
+    plan = spec.plan()
     sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
-
-    tr_layout = to_device_layout(reference, policy.storage)
-    tq_layout = (
-        tr_layout if self_join else to_device_layout(query_arr, policy.storage)
-    )
-
-    limit = policy.storage.type(DTYPE_MAX[policy.storage])
-    profile = np.full((d, n_q_seg), limit, dtype=policy.storage)
-    index = np.full((d, n_q_seg), -1, dtype=INDEX_DTYPE)
-    total_costs: dict[str, KernelCost] = {}
-    merge_elements = 0
-
-    for tile, gpu_id in zip(tiles, assignment):
-        gpu = sim.gpus[gpu_id]
-        r0, r1 = tile.sample_range_rows(m)
-        c0, c1 = tile.sample_range_cols(m)
-        tr_alloc = gpu.memory.upload(
-            np.ascontiguousarray(tr_layout[:, r0:r1]), label=f"Tr{tile.tile_id}"
-        )
-        tq_alloc = gpu.memory.upload(
-            np.ascontiguousarray(tq_layout[:, c0:c1]), label=f"Tq{tile.tile_id}"
-        )
-        workspace = gpu.memory.reserve(
-            _workspace_bytes(tile.n_rows, tile.n_cols, d, policy),
-            label=f"ws{tile.tile_id}",
-        )
-        output = run_tile(
-            tr_alloc.array,
-            tq_alloc.array,
-            m,
-            policy,
-            config.launch,
-            row_offset=tile.row_start,
-            col_offset=tile.col_start,
-            exclusion_zone=zone,
-            sort_strategy=config.sort_strategy,
-            fast_path_1d=config.fast_path_1d,
-        )
-        stream = gpu.next_stream()
-        schedule_tile(
-            gpu, stream, sim.timeline, output, policy, label=f"tile{tile.tile_id}"
-        )
-        merge_tile_outputs(profile, index, tile, output.profile, output.indices)
-        merge_elements += output.profile.size
-        for name, cost in output.costs.items():
-            total_costs[name] = (
-                cost if name not in total_costs else total_costs[name] + cost
-            )
-        workspace.free()
-        tr_alloc.free()
-        tq_alloc.free()
-
-    sim.flush()
-    merge_time = (
-        merge_elements * MERGE_TIME_PER_ELEMENT
-        + len(tiles) * TILE_DISPATCH_OVERHEAD
+    accumulator = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+    execute_plan(
+        plan,
+        NumericBackend(discount_shared_h2d=True),
+        sim,
+        accumulator=accumulator,
     )
     return MatrixProfileResult(
-        profile=np.ascontiguousarray(profile.T.astype(np.float64)),
-        index=np.ascontiguousarray(index.T),
-        mode=policy.mode,
+        profile=accumulator.host_profile(),
+        index=accumulator.host_index(),
+        mode=spec.policy.mode,
         m=m,
-        n_tiles=len(tiles),
+        n_tiles=plan.n_tiles,
         n_gpus=config.n_gpus,
         timeline=sim.timeline,
-        merge_time=merge_time,
-        costs=total_costs,
+        merge_time=accumulator.merge_time(plan.n_tiles),
+        costs=accumulator.costs,
+        h2d_saved_bytes=accumulator.h2d_saved_bytes,
     )
 
 
@@ -176,45 +90,19 @@ def model_multi_tile(
     :attr:`~MatrixProfileResult.modeled_time`, timeline and breakdowns.
     """
     config = config or RunConfig()
-    policy = config.policy
     n_q_seg = n_q_seg if n_q_seg is not None else n_seg
-
-    tiles = compute_tile_list(n_seg, n_q_seg, config.n_tiles)
-    assignment = assign_tiles(tiles, config.n_gpus)
+    spec = JobSpec.modeled(n_seg, n_q_seg, d, m, config)
+    plan = spec.plan()
     sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
-
-    merge_elements = 0
-    for tile, gpu_id in zip(tiles, assignment):
-        gpu = sim.gpus[gpu_id]
-        timing = single_tile_timing(
-            tile.n_rows,
-            tile.n_cols,
-            d,
-            m,
-            gpu.spec,
-            policy.itemsize,
-            config=config.launch,
-            precalc_itemsize=policy.precalc.itemsize,
-            compensated=policy.compensated,
-        )
-        stream = gpu.next_stream()
-        schedule_tile_timing(
-            gpu, stream, sim.timeline, timing, label=f"tile{tile.tile_id}"
-        )
-        merge_elements += tile.n_cols * d
-
-    sim.flush()
-    merge_time = (
-        merge_elements * MERGE_TIME_PER_ELEMENT
-        + len(tiles) * TILE_DISPATCH_OVERHEAD
-    )
+    accumulator = ProfileAccumulator(d, n_q_seg, spec.policy, materialize=False)
+    execute_plan(plan, AnalyticBackend(), sim, accumulator=accumulator)
     return MatrixProfileResult(
         profile=np.empty((0, d)),
         index=np.empty((0, d), dtype=INDEX_DTYPE),
-        mode=policy.mode,
+        mode=spec.policy.mode,
         m=m,
-        n_tiles=len(tiles),
+        n_tiles=plan.n_tiles,
         n_gpus=config.n_gpus,
         timeline=sim.timeline,
-        merge_time=merge_time,
+        merge_time=accumulator.merge_time(plan.n_tiles),
     )

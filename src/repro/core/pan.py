@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.plan import JobSpec
 from .api import matrix_profile
 from .config import RunConfig
 from .result import MatrixProfileResult
@@ -101,6 +102,10 @@ def pan_matrix_profile(
     config = config or RunConfig()
     if windows is None:
         windows = geometric_window_range(m_min, m_max, n_windows)
+    # Validate once up front at the longest window (the same d-mismatch /
+    # window-too-long ValueErrors as the per-window compute paths) so a
+    # bad request fails before any layer is computed.
+    JobSpec.from_arrays(reference, query, max(windows), config)
     pan = PanMatrixProfile(windows=list(windows), k=k)
     for m in pan.windows:
         pan.results[m] = matrix_profile(

@@ -41,6 +41,9 @@ class MatrixProfileResult:
         included in :attr:`modeled_time`.
     costs:
         Aggregated per-kernel hardware cost counters.
+    h2d_saved_bytes:
+        Host-to-device traffic avoided by sharing one upload between the
+        identical row/col slices of self-join diagonal tiles.
     """
 
     profile: np.ndarray
@@ -52,6 +55,7 @@ class MatrixProfileResult:
     timeline: Timeline = field(default_factory=Timeline)
     merge_time: float = 0.0
     costs: dict[str, KernelCost] = field(default_factory=dict)
+    h2d_saved_bytes: float = 0.0
 
     @property
     def n_q_seg(self) -> int:

@@ -21,14 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.plan import JobSpec
 from ..gpu.kernel import LaunchConfig
-from ..kernels.layout import to_device_layout, validate_series
 from ..kernels.precalc import PrecalcKernel
 from ..kernels.sort_scan import bitonic_sort, fanin_inclusive_scan
 from ..kernels.update import INDEX_DTYPE
 from ..precision.arithmetic import rp_fma
 from ..precision.modes import DTYPE_MAX, PrecisionPolicy
-from .config import RunConfig, default_exclusion_zone
+from .config import RunConfig
 from .result import MatrixProfileResult
 
 __all__ = ["diagonal_matrix_profile", "diagonal_count"]
@@ -75,17 +75,11 @@ def diagonal_matrix_profile(
     policy: PrecisionPolicy = config.policy
     dtype = policy.compute
 
-    reference = validate_series(reference, "reference")
-    self_join = query is None
-    query_arr = reference if self_join else validate_series(query, "query")
-    if reference.shape[1] != query_arr.shape[1]:
-        raise ValueError("dimensionality mismatch")
-    zone = config.exclusion_zone
-    if self_join and zone is None:
-        zone = default_exclusion_zone(m)
-
-    tr = to_device_layout(reference, policy.storage)
-    tq = to_device_layout(query_arr, policy.storage)
+    # Shared engine-level validation: the same d-mismatch / window-too-long
+    # ValueErrors as every other entry point (previously a bespoke message).
+    spec = JobSpec.from_arrays(reference, query, m, config)
+    zone = spec.exclusion_zone
+    tr, tq = spec.layouts()
     launch: LaunchConfig = config.launch
     pre = PrecalcKernel(config=launch, policy=policy).run(tr, tq, m)
     d, n_r_seg, n_q_seg = pre.d, pre.n_r_seg, pre.n_q_seg

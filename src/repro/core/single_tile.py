@@ -5,26 +5,32 @@ The tile algorithm: asynchronously copy the inputs to the device, run the
 ``dist_calc`` -> ``sort_&_incl_scan`` -> ``update_mat_prof``, and copy the
 profile back.  The numerical work happens in the mode's precision; the
 simulated device/stream machinery produces the modelled timeline.
+
+The tile *primitive* (:func:`run_tile`, :class:`TileOutput`,
+:func:`schedule_tile`, :func:`tile_timing_from_output`) lives in
+:mod:`repro.engine.backends` now — this module re-exports it unchanged
+for backwards compatibility and keeps :func:`compute_single_tile`, the
+one-tile adapter over the engine's dispatch loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-
 import numpy as np
 
-from ..gpu.kernel import KernelCost, LaunchConfig
-from ..gpu.perfmodel import TileTiming, kernel_time
-from ..gpu.simulator import GPUSimulator, SimulatedGPU, schedule_tile_timing
-from ..gpu.stream import Stream, Timeline
-from ..kernels.dist_calc import DistCalcKernel
-from ..kernels.layout import to_device_layout, validate_series
-from ..kernels.precalc import PrecalcKernel
-from ..kernels.sort_scan import SortScanKernel
-from ..kernels.sort_scan_batch import BatchSortScanKernel
-from ..kernels.update import INDEX_DTYPE, UpdateKernel
-from ..precision.modes import PrecisionPolicy
-from .config import RunConfig, default_exclusion_zone
+from ..engine.backends import (  # noqa: F401 - re-exported API
+    KERNEL_ORDER,
+    _KERNEL_LABELS,
+    TileOutput,
+    NumericBackend,
+    run_tile,
+    schedule_tile,
+    tile_timing_from_output,
+    workspace_bytes,
+)
+from ..engine.dispatch import execute_plan
+from ..engine.plan import JobSpec
+from ..gpu.simulator import GPUSimulator
+from .config import RunConfig
 from .result import MatrixProfileResult
 
 __all__ = [
@@ -35,141 +41,8 @@ __all__ = [
     "compute_single_tile",
 ]
 
-KERNEL_ORDER = ("precalculation", "dist_calc", "sort_&_incl_scan", "update_mat_prof")
-
-
-def _workspace_bytes(n_r_seg: int, n_q_seg: int, d: int, policy: PrecisionPolicy) -> int:
-    """Device footprint of a tile's intermediates beyond the raw inputs:
-    the eight precalculated vectors, the QT and D row planes, and the
-    running P/I output planes (cf. ``core.planner.tile_memory_bytes``)."""
-    s = policy.itemsize
-    precalc = (4 * n_r_seg + 4 * n_q_seg) * d * s
-    planes = 2 * n_q_seg * d * s
-    outputs = n_q_seg * d * (s + INDEX_DTYPE.itemsize)
-    return int(precalc + planes + outputs)
-
-#: Maps kernel class cost names to the paper's kernel labels.
-_KERNEL_LABELS = {
-    "PrecalcKernel": "precalculation",
-    "DistCalcKernel": "dist_calc",
-    "SortScanKernel": "sort_&_incl_scan",
-    "BatchSortScanKernel": "sort_&_incl_scan",
-    "UpdateKernel": "update_mat_prof",
-}
-
-
-@dataclass
-class TileOutput:
-    """Numerical output + hardware costs of one executed tile."""
-
-    profile: np.ndarray  # (d, n_q_seg), storage dtype, dimension-wise layout
-    indices: np.ndarray  # (d, n_q_seg), int64, *global* reference positions
-    costs: dict[str, KernelCost] = field(default_factory=dict)
-    h2d_bytes: float = 0.0
-    d2h_bytes: float = 0.0
-
-
-def run_tile(
-    tr_dev: np.ndarray,
-    tq_dev: np.ndarray,
-    m: int,
-    policy: PrecisionPolicy,
-    launch: LaunchConfig,
-    row_offset: int = 0,
-    col_offset: int = 0,
-    exclusion_zone: int | None = None,
-    sort_strategy: str = "bitonic",
-    fast_path_1d: bool = True,
-) -> TileOutput:
-    """Execute the kernels of one tile; pure numerics + cost accounting.
-
-    ``tr_dev``/``tq_dev`` are (d, len) device-layout arrays in the storage
-    dtype.  ``row_offset``/``col_offset`` locate the tile inside the global
-    distance matrix (indices recorded in the output are global).
-    ``exclusion_zone`` (for self-joins) suppresses matches with
-    ``|global_row - global_col| <= zone``.  ``sort_strategy`` selects the
-    cooperative bitonic kernel or the batch-based ablation alternative;
-    ``fast_path_1d`` skips the sort/scan entirely for d == 1 (identity).
-    """
-    d = tr_dev.shape[0]
-    n_r_seg = tr_dev.shape[1] - m + 1
-    n_q_seg = tq_dev.shape[1] - m + 1
-    if n_r_seg < 1 or n_q_seg < 1:
-        raise ValueError(f"m={m} leaves no segments for tile of shape "
-                         f"{tr_dev.shape} x {tq_dev.shape}")
-
-    precalc = PrecalcKernel(config=launch, policy=policy)
-    dist = DistCalcKernel(config=launch, policy=policy)
-    if sort_strategy == "batch":
-        sort_scan = BatchSortScanKernel(config=launch, policy=policy)
-    else:
-        sort_scan = SortScanKernel(config=launch, policy=policy)
-    update = UpdateKernel(config=launch, policy=policy)
-    skip_sort = fast_path_1d and d == 1
-
-    pre = precalc.run(tr_dev, tq_dev, m)
-    dist.bind(pre)
-    update.allocate(d, n_q_seg)
-
-    cols_global = np.arange(n_q_seg) + col_offset
-    for i in range(n_r_seg):
-        plane = dist.run(i)
-        averaged = plane if skip_sort else sort_scan.run(plane)
-        if exclusion_zone is None:
-            update.run(averaged, i, row_offset=row_offset)
-        else:
-            mask = (np.abs(cols_global - (i + row_offset)) <= exclusion_zone)[None, :]
-            update.masked_run(averaged, i, mask, row_offset=row_offset)
-
-    itemsize = policy.itemsize
-    h2d_bytes = float((tr_dev.shape[1] + tq_dev.shape[1]) * d * itemsize)
-    d2h_bytes = float(n_q_seg * d * (itemsize + INDEX_DTYPE.itemsize))
-    costs = {
-        _KERNEL_LABELS[c.name]: replace(c, name=_KERNEL_LABELS[c.name])
-        for c in (precalc.cost, dist.cost, sort_scan.cost, update.cost)
-    }
-    return TileOutput(
-        profile=update.profile,
-        indices=update.indices,
-        costs=costs,
-        h2d_bytes=h2d_bytes,
-        d2h_bytes=d2h_bytes,
-    )
-
-
-def tile_timing_from_output(
-    output: TileOutput, policy: PrecisionPolicy, device
-) -> TileTiming:
-    """Convert an executed tile's recorded costs to modelled timings."""
-    d, n_q_seg = output.profile.shape
-    working_set = 6.0 * n_q_seg * d * policy.itemsize
-    timing = TileTiming(h2d_bytes=output.h2d_bytes, d2h_bytes=output.d2h_bytes)
-    for name in KERNEL_ORDER:
-        cost = output.costs[name]
-        itemsize = (
-            policy.precalc.itemsize if name == "precalculation" else policy.itemsize
-        )
-        timing.kernels[name] = kernel_time(
-            cost, device, itemsize, working_set=working_set
-        )
-    return timing
-
-
-def schedule_tile(
-    gpu: SimulatedGPU,
-    stream: Stream,
-    timeline: Timeline,
-    output: TileOutput,
-    policy: PrecisionPolicy,
-    label: str = "tile0",
-) -> None:
-    """Place one executed tile's operations on a simulated stream.
-
-    The four kernels are aggregated over rows: the engine-exclusive total
-    is identical to interleaved per-row scheduling.
-    """
-    timing = tile_timing_from_output(output, policy, gpu.spec)
-    schedule_tile_timing(gpu, stream, timeline, timing, label)
+#: Backwards-compatible alias (pre-engine name of the footprint helper).
+_workspace_bytes = workspace_bytes
 
 
 def compute_single_tile(
@@ -184,62 +57,15 @@ def compute_single_tile(
     Host series are (n, d) time-major; 1-d input means d=1.
     """
     config = config or RunConfig()
-    policy = config.policy
-
-    reference = validate_series(reference, "reference")
-    self_join = query is None
-    query_arr = reference if self_join else validate_series(query, "query")
-    if query_arr.shape[1] != reference.shape[1]:
-        raise ValueError(
-            f"reference has d={reference.shape[1]} but query d={query_arr.shape[1]}"
-        )
-    zone = config.exclusion_zone
-    if self_join and zone is None:
-        zone = default_exclusion_zone(m)
-    if not self_join and config.exclusion_zone is None:
-        zone = None
-
+    spec = JobSpec.from_arrays(reference, query, m, config)
+    plan = spec.plan(n_tiles=1, n_gpus=1)
     sim = GPUSimulator(config.device, n_gpus=1, n_streams=config.n_streams or 1)
-    gpu = sim.gpus[0]
-
-    tr_dev_alloc = gpu.memory.upload(
-        to_device_layout(reference, policy.storage), label="Tr"
-    )
-    tq_dev_alloc = (
-        tr_dev_alloc
-        if self_join
-        else gpu.memory.upload(to_device_layout(query_arr, policy.storage), label="Tq")
-    )
-    workspace = gpu.memory.reserve(
-        _workspace_bytes(
-            reference.shape[0] - m + 1, query_arr.shape[0] - m + 1,
-            reference.shape[1], policy,
-        ),
-        label="workspace",
-    )
-
-    output = run_tile(
-        tr_dev_alloc.array,
-        tq_dev_alloc.array,
-        m,
-        policy,
-        config.launch,
-        exclusion_zone=zone,
-        sort_strategy=config.sort_strategy,
-        fast_path_1d=config.fast_path_1d,
-    )
-    stream = gpu.next_stream()
-    schedule_tile(gpu, stream, sim.timeline, output, policy)
-    sim.flush()
-    workspace.free()
-    tr_dev_alloc.free()
-    if not self_join:
-        tq_dev_alloc.free()
-
+    report = execute_plan(plan, NumericBackend(), sim, keep_executions=True)
+    output = report.executions[0].output
     return MatrixProfileResult(
         profile=np.ascontiguousarray(output.profile.T.astype(np.float64)),
         index=np.ascontiguousarray(output.indices.T),
-        mode=policy.mode,
+        mode=spec.policy.mode,
         m=m,
         n_tiles=1,
         n_gpus=1,

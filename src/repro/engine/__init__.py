@@ -1,0 +1,74 @@
+"""The execution engine: one runtime layer for every tile-dispatch path.
+
+The paper's Pseudocode 2 is a single loop — partition into tiles, assign
+GPUs round-robin, execute each tile on a stream, min/argmin-merge on the
+CPU — and this package is that loop's one implementation:
+
+* :mod:`repro.engine.plan` — :class:`JobSpec` (validation, exclusion-zone
+  defaulting, device layouts) and :class:`ExecutionPlan` (tile list +
+  static GPU assignment);
+* :mod:`repro.engine.backends` — :class:`TileBackend` protocol with
+  :class:`NumericBackend` (real kernels via :func:`run_tile`) and
+  :class:`AnalyticBackend` (roofline timings only);
+* :mod:`repro.engine.dispatch` — :func:`execute_plan`, the loop itself:
+  pluggable placement, transient-failure retry, deadline cancellation,
+  per-tile observers;
+* :mod:`repro.engine.accumulate` — :class:`ProfileAccumulator` over
+  :func:`merge_tile_outputs` + cost and merge-time accounting.
+
+``compute_multi_tile``, ``model_multi_tile``, ``compute_single_tile``,
+the service ``TileScheduler`` and the multi-node model are all thin
+adapters over these four modules.
+"""
+
+from .accumulate import ProfileAccumulator, merge_tile_outputs
+from .backends import (
+    KERNEL_ORDER,
+    AnalyticBackend,
+    NumericBackend,
+    TileBackend,
+    TileExecution,
+    TileOutput,
+    run_tile,
+    schedule_tile,
+    tile_timing_from_output,
+    workspace_bytes,
+)
+from .dispatch import (
+    CallbackObserver,
+    DispatchReport,
+    RoundRobinPlacement,
+    StaticPlacement,
+    TileObserver,
+    TilePlacement,
+    TileRetryExhaustedError,
+    TransientDeviceError,
+    execute_plan,
+)
+from .plan import ExecutionPlan, JobSpec
+
+__all__ = [
+    "JobSpec",
+    "ExecutionPlan",
+    "TileBackend",
+    "NumericBackend",
+    "AnalyticBackend",
+    "TileExecution",
+    "TileOutput",
+    "run_tile",
+    "schedule_tile",
+    "tile_timing_from_output",
+    "workspace_bytes",
+    "KERNEL_ORDER",
+    "execute_plan",
+    "DispatchReport",
+    "StaticPlacement",
+    "RoundRobinPlacement",
+    "TilePlacement",
+    "TileObserver",
+    "CallbackObserver",
+    "TransientDeviceError",
+    "TileRetryExhaustedError",
+    "ProfileAccumulator",
+    "merge_tile_outputs",
+]

@@ -1,0 +1,121 @@
+"""CPU-side result accumulation: the merge node of the tile DAG.
+
+Pseudocode 2's second loop — min/argmin-merge every tile's profile into
+the global one — plus the bookkeeping every caller used to duplicate:
+kernel-cost aggregation, merge-element counting and the modelled CPU
+merge time.  :class:`ProfileAccumulator` is fed one
+:class:`~repro.engine.backends.TileExecution` at a time by the
+dispatcher, in plan order, so the strict-``<`` tie-breaking contract of
+:func:`merge_tile_outputs` (earliest reference row wins) is preserved
+exactly.
+
+For analytic runs (no numerical output) the accumulator still counts
+merge elements from the tile geometry, so :meth:`merge_time` models the
+same CPU cost the numeric path would pay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tiling import Tile
+from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
+from ..gpu.kernel import KernelCost
+from ..kernels.update import INDEX_DTYPE
+from ..precision.modes import DTYPE_MAX, PrecisionPolicy
+
+__all__ = ["merge_tile_outputs", "ProfileAccumulator"]
+
+
+def merge_tile_outputs(
+    profile: np.ndarray,
+    index: np.ndarray,
+    tile: Tile,
+    tile_profile: np.ndarray,
+    tile_index: np.ndarray,
+) -> None:
+    """CPU-side min/argmin merge of one tile into the global profile.
+
+    ``profile``/``index`` are global (d, n_q_seg) accumulators; the tile
+    contributes its query-column slice.  Strict ``<`` keeps the earliest
+    reference row on ties (tiles are merged in row-major tile order, so
+    this matches the sequential single-tile iteration order).
+    """
+    sl = slice(tile.col_start, tile.col_stop)
+    target_p = profile[:, sl]
+    target_i = index[:, sl]
+    improved = tile_profile < target_p
+    np.copyto(target_p, tile_profile, where=improved)
+    np.copyto(target_i, tile_index, where=improved)
+
+
+class ProfileAccumulator:
+    """Accumulates tile executions into the global profile + cost totals.
+
+    Parameters
+    ----------
+    d, n_q_seg:
+        Global profile shape (dimension-wise device layout).
+    policy:
+        Precision policy; the profile starts at the storage dtype's
+        distance limit with index -1, so untouched columns of a partial
+        (anytime/deadline) run remain a valid upper bound.
+    materialize:
+        ``False`` for analytic runs — no arrays are allocated, only the
+        merge-element and cost accounting is kept.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        n_q_seg: int,
+        policy: PrecisionPolicy,
+        materialize: bool = True,
+    ):
+        self.d = d
+        self.n_q_seg = n_q_seg
+        self.policy = policy
+        if materialize:
+            limit = policy.storage.type(DTYPE_MAX[policy.storage])
+            self.profile = np.full((d, n_q_seg), limit, dtype=policy.storage)
+            self.index = np.full((d, n_q_seg), -1, dtype=INDEX_DTYPE)
+        else:
+            self.profile = None
+            self.index = None
+        self.costs: dict[str, KernelCost] = {}
+        self.merge_elements = 0
+        self.h2d_saved_bytes = 0.0
+
+    def add(self, execution) -> None:
+        """Merge one completed tile (numeric or analytic)."""
+        self.h2d_saved_bytes += execution.h2d_saved_bytes
+        output = execution.output
+        if output is None:
+            # Analytic tile: the merge would touch n_cols columns x d dims.
+            self.merge_elements += execution.tile.n_cols * self.d
+            return
+        merge_tile_outputs(
+            self.profile, self.index, execution.tile,
+            output.profile, output.indices,
+        )
+        self.merge_elements += output.profile.size
+        for name, cost in output.costs.items():
+            self.costs[name] = (
+                cost if name not in self.costs else self.costs[name] + cost
+            )
+
+    def merge_time(self, dispatch_count: int) -> float:
+        """Modelled CPU merge time for ``dispatch_count`` dispatched tiles
+        (callers pass completed tiles for partial runs)."""
+        return (
+            self.merge_elements * MERGE_TIME_PER_ELEMENT
+            + dispatch_count * TILE_DISPATCH_OVERHEAD
+        )
+
+    def host_profile(self) -> np.ndarray:
+        """The (n_q_seg, d) float64 time-major profile for results."""
+        return np.ascontiguousarray(self.profile.T.astype(np.float64))
+
+    def host_index(self) -> np.ndarray:
+        """The (n_q_seg, d) int64 time-major index for results."""
+        return np.ascontiguousarray(self.index.T)

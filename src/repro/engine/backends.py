@@ -1,0 +1,325 @@
+"""Tile backends: how one tile actually gets executed.
+
+The dispatcher (:mod:`repro.engine.dispatch`) is backend-agnostic: it
+hands a :class:`~repro.engine.plan.ExecutionPlan` tile to a
+:class:`TileBackend` and gets back a :class:`TileExecution` carrying the
+modelled :class:`~repro.gpu.perfmodel.TileTiming` and (for numeric
+backends) the tile's :class:`TileOutput`.  Two backends exist:
+
+* :class:`NumericBackend` — Pseudocode 1 for real: slice + upload the
+  device layouts, reserve the workspace, run the four kernels via
+  :func:`run_tile`, and free everything afterwards.  Allocation cleanup
+  is context-managed, so an injected failure or OOM mid-tile can no
+  longer leak pool memory the way the old hand-rolled
+  ``alloc.free()`` choreography could.  For self-join *diagonal* tiles
+  (identical row/col sample ranges on a shared layout) the query slice
+  reuses the reference allocation — one upload instead of two — and the
+  saved H2D bytes are recorded on the execution.
+* :class:`AnalyticBackend` — no data at all: per-tile timings from the
+  roofline cost model (:func:`~repro.gpu.perfmodel.single_tile_timing`),
+  enabling paper-scale projections (n = 2^16 and beyond) and the
+  multi-node deployment model.
+
+This module is also the home of the tile *primitive* itself
+(:func:`run_tile`, :class:`TileOutput`, :func:`schedule_tile`,
+:func:`tile_timing_from_output`), re-exported by
+:mod:`repro.core.single_tile` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..gpu.kernel import KernelCost, LaunchConfig
+from ..gpu.perfmodel import TileTiming, kernel_time, single_tile_timing
+from ..gpu.simulator import SimulatedGPU, schedule_tile_timing
+from ..gpu.stream import Stream, Timeline
+from ..kernels.dist_calc import DistCalcKernel
+from ..kernels.precalc import PrecalcKernel
+from ..kernels.sort_scan import SortScanKernel
+from ..kernels.sort_scan_batch import BatchSortScanKernel
+from ..kernels.update import INDEX_DTYPE, UpdateKernel
+from ..precision.modes import PrecisionPolicy
+from .plan import ExecutionPlan, Tile
+
+__all__ = [
+    "TileOutput",
+    "TileExecution",
+    "TileBackend",
+    "NumericBackend",
+    "AnalyticBackend",
+    "run_tile",
+    "schedule_tile",
+    "tile_timing_from_output",
+    "workspace_bytes",
+    "KERNEL_ORDER",
+]
+
+KERNEL_ORDER = ("precalculation", "dist_calc", "sort_&_incl_scan", "update_mat_prof")
+
+
+def workspace_bytes(n_r_seg: int, n_q_seg: int, d: int, policy: PrecisionPolicy) -> int:
+    """Device footprint of a tile's intermediates beyond the raw inputs:
+    the eight precalculated vectors, the QT and D row planes, and the
+    running P/I output planes (cf. ``core.planner.tile_memory_bytes``)."""
+    s = policy.itemsize
+    precalc = (4 * n_r_seg + 4 * n_q_seg) * d * s
+    planes = 2 * n_q_seg * d * s
+    outputs = n_q_seg * d * (s + INDEX_DTYPE.itemsize)
+    return int(precalc + planes + outputs)
+
+
+#: Maps kernel class cost names to the paper's kernel labels.
+_KERNEL_LABELS = {
+    "PrecalcKernel": "precalculation",
+    "DistCalcKernel": "dist_calc",
+    "SortScanKernel": "sort_&_incl_scan",
+    "BatchSortScanKernel": "sort_&_incl_scan",
+    "UpdateKernel": "update_mat_prof",
+}
+
+
+@dataclass
+class TileOutput:
+    """Numerical output + hardware costs of one executed tile."""
+
+    profile: np.ndarray  # (d, n_q_seg), storage dtype, dimension-wise layout
+    indices: np.ndarray  # (d, n_q_seg), int64, *global* reference positions
+    costs: dict[str, KernelCost] = field(default_factory=dict)
+    h2d_bytes: float = 0.0
+    d2h_bytes: float = 0.0
+
+
+def run_tile(
+    tr_dev: np.ndarray,
+    tq_dev: np.ndarray,
+    m: int,
+    policy: PrecisionPolicy,
+    launch: LaunchConfig,
+    row_offset: int = 0,
+    col_offset: int = 0,
+    exclusion_zone: int | None = None,
+    sort_strategy: str = "bitonic",
+    fast_path_1d: bool = True,
+) -> TileOutput:
+    """Execute the kernels of one tile; pure numerics + cost accounting.
+
+    ``tr_dev``/``tq_dev`` are (d, len) device-layout arrays in the storage
+    dtype.  ``row_offset``/``col_offset`` locate the tile inside the global
+    distance matrix (indices recorded in the output are global).
+    ``exclusion_zone`` (for self-joins) suppresses matches with
+    ``|global_row - global_col| <= zone``.  ``sort_strategy`` selects the
+    cooperative bitonic kernel or the batch-based ablation alternative;
+    ``fast_path_1d`` skips the sort/scan entirely for d == 1 (identity).
+    """
+    d = tr_dev.shape[0]
+    n_r_seg = tr_dev.shape[1] - m + 1
+    n_q_seg = tq_dev.shape[1] - m + 1
+    if n_r_seg < 1 or n_q_seg < 1:
+        raise ValueError(f"m={m} leaves no segments for tile of shape "
+                         f"{tr_dev.shape} x {tq_dev.shape}")
+
+    precalc = PrecalcKernel(config=launch, policy=policy)
+    dist = DistCalcKernel(config=launch, policy=policy)
+    if sort_strategy == "batch":
+        sort_scan = BatchSortScanKernel(config=launch, policy=policy)
+    else:
+        sort_scan = SortScanKernel(config=launch, policy=policy)
+    update = UpdateKernel(config=launch, policy=policy)
+    skip_sort = fast_path_1d and d == 1
+
+    pre = precalc.run(tr_dev, tq_dev, m)
+    dist.bind(pre)
+    update.allocate(d, n_q_seg)
+
+    cols_global = np.arange(n_q_seg) + col_offset
+    for i in range(n_r_seg):
+        plane = dist.run(i)
+        averaged = plane if skip_sort else sort_scan.run(plane)
+        if exclusion_zone is None:
+            update.run(averaged, i, row_offset=row_offset)
+        else:
+            mask = (np.abs(cols_global - (i + row_offset)) <= exclusion_zone)[None, :]
+            update.masked_run(averaged, i, mask, row_offset=row_offset)
+
+    itemsize = policy.itemsize
+    h2d_bytes = float((tr_dev.shape[1] + tq_dev.shape[1]) * d * itemsize)
+    d2h_bytes = float(n_q_seg * d * (itemsize + INDEX_DTYPE.itemsize))
+    costs = {
+        _KERNEL_LABELS[c.name]: replace(c, name=_KERNEL_LABELS[c.name])
+        for c in (precalc.cost, dist.cost, sort_scan.cost, update.cost)
+    }
+    return TileOutput(
+        profile=update.profile,
+        indices=update.indices,
+        costs=costs,
+        h2d_bytes=h2d_bytes,
+        d2h_bytes=d2h_bytes,
+    )
+
+
+def tile_timing_from_output(
+    output: TileOutput, policy: PrecisionPolicy, device
+) -> TileTiming:
+    """Convert an executed tile's recorded costs to modelled timings."""
+    d, n_q_seg = output.profile.shape
+    working_set = 6.0 * n_q_seg * d * policy.itemsize
+    timing = TileTiming(h2d_bytes=output.h2d_bytes, d2h_bytes=output.d2h_bytes)
+    for name in KERNEL_ORDER:
+        cost = output.costs[name]
+        itemsize = (
+            policy.precalc.itemsize if name == "precalculation" else policy.itemsize
+        )
+        timing.kernels[name] = kernel_time(
+            cost, device, itemsize, working_set=working_set
+        )
+    return timing
+
+
+def schedule_tile(
+    gpu: SimulatedGPU,
+    stream: Stream,
+    timeline: Timeline,
+    output: TileOutput,
+    policy: PrecisionPolicy,
+    label: str = "tile0",
+) -> None:
+    """Place one executed tile's operations on a simulated stream.
+
+    The four kernels are aggregated over rows: the engine-exclusive total
+    is identical to interleaved per-row scheduling.
+    """
+    timing = tile_timing_from_output(output, policy, gpu.spec)
+    schedule_tile_timing(gpu, stream, timeline, timing, label)
+
+
+@dataclass
+class TileExecution:
+    """One tile's run as seen by the dispatcher and accumulator."""
+
+    tile: Tile
+    timing: TileTiming
+    output: TileOutput | None = None  # None for analytic backends
+    gpu_id: int = -1  # filled in by the dispatcher
+    h2d_saved_bytes: float = 0.0  # diagonal-tile shared-upload savings
+
+
+@runtime_checkable
+class TileBackend(Protocol):
+    """Executes one tile of a plan on one simulated GPU."""
+
+    def run(self, plan: ExecutionPlan, tile: Tile, gpu: SimulatedGPU) -> TileExecution:
+        ...
+
+
+class NumericBackend:
+    """Real numerics: upload → :func:`run_tile` → free, context-managed.
+
+    Parameters
+    ----------
+    lock:
+        Context manager serialising allocator traffic (the service shares
+        one GPU pool across worker threads; numerics stay outside it).
+    label:
+        Prefix for allocation labels (the service tags them per job).
+    discount_shared_h2d:
+        When a self-join diagonal tile reuses the reference upload for
+        its query slice, also subtract the second upload from the
+        modelled H2D bytes.  ``compute_multi_tile`` enables this; the
+        single-tile path keeps the paper's original both-series transfer
+        accounting for continuity with the calibrated figures.
+    """
+
+    def __init__(
+        self,
+        lock=None,
+        label: str = "",
+        discount_shared_h2d: bool = False,
+    ):
+        self._lock = lock if lock is not None else nullcontext()
+        self._label = f"{label}:" if label else ""
+        self.discount_shared_h2d = discount_shared_h2d
+
+    def run(self, plan: ExecutionPlan, tile: Tile, gpu: SimulatedGPU) -> TileExecution:
+        spec = plan.spec
+        policy = spec.policy
+        config = spec.config
+        m = spec.m
+        r0, r1 = tile.sample_range_rows(m)
+        c0, c1 = tile.sample_range_cols(m)
+        # Self-join diagonal tile: row and column slices are the same
+        # samples of the same layout — upload once, bind twice.
+        shared = plan.tq_layout is plan.tr_layout and (r0, r1) == (c0, c1)
+        with ExitStack() as stack:
+            with self._lock:
+                tr_alloc = gpu.memory.upload(
+                    np.ascontiguousarray(plan.tr_layout[:, r0:r1]),
+                    label=f"{self._label}Tr{tile.tile_id}",
+                )
+                stack.callback(self._free, tr_alloc)
+                if shared:
+                    tq_alloc = tr_alloc
+                else:
+                    tq_alloc = gpu.memory.upload(
+                        np.ascontiguousarray(plan.tq_layout[:, c0:c1]),
+                        label=f"{self._label}Tq{tile.tile_id}",
+                    )
+                    stack.callback(self._free, tq_alloc)
+                workspace = gpu.memory.reserve(
+                    workspace_bytes(tile.n_rows, tile.n_cols, spec.d, policy),
+                    label=f"{self._label}ws{tile.tile_id}",
+                )
+                stack.callback(self._free, workspace)
+            output = run_tile(
+                tr_alloc.array,
+                tq_alloc.array,
+                m,
+                policy,
+                config.launch,
+                row_offset=tile.row_start,
+                col_offset=tile.col_start,
+                exclusion_zone=spec.exclusion_zone,
+                sort_strategy=config.sort_strategy,
+                fast_path_1d=config.fast_path_1d,
+            )
+        saved = 0.0
+        if shared and self.discount_shared_h2d:
+            saved = float((c1 - c0) * spec.d * policy.itemsize)
+            output.h2d_bytes -= saved
+        timing = tile_timing_from_output(output, policy, gpu.spec)
+        return TileExecution(
+            tile=tile, timing=timing, output=output, h2d_saved_bytes=saved
+        )
+
+    def _free(self, alloc) -> None:
+        with self._lock:
+            alloc.free()
+
+
+class AnalyticBackend:
+    """Roofline-model timings only — no data touched.
+
+    Serves ``model_multi_tile`` and the multi-node deployment model: the
+    tile's dimensions and the precision policy fully determine the
+    modelled cost, so paper-scale problems plan in microseconds.
+    """
+
+    def run(self, plan: ExecutionPlan, tile: Tile, gpu: SimulatedGPU) -> TileExecution:
+        spec = plan.spec
+        policy = spec.policy
+        timing = single_tile_timing(
+            tile.n_rows,
+            tile.n_cols,
+            spec.d,
+            spec.m,
+            gpu.spec,
+            policy.itemsize,
+            config=spec.config.launch,
+            precalc_itemsize=policy.precalc.itemsize,
+            compensated=policy.compensated,
+        )
+        return TileExecution(tile=tile, timing=timing)

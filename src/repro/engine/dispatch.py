@@ -1,0 +1,287 @@
+"""The one tile-execution loop (Pseudocode 2, second half).
+
+Every entry point used to carry its own copy of this loop — core
+multi-tile, analytic model, single tile, service scheduler, multi-node
+model — each with a different subset of the production behaviours
+(retry, deadlines, locking, metrics).  :func:`execute_plan` is the single
+loop now, with the variation points made explicit:
+
+* **backend** — numeric or analytic (:mod:`repro.engine.backends`);
+* **placement** — static Pseudocode 2 round-robin by default
+  (:class:`StaticPlacement` over the plan's assignment), or a dynamic
+  :class:`RoundRobinPlacement` with device exclusion for
+  retry-around-a-sick-GPU (the service shares one cursor pool-wide);
+* **retry** — :class:`TransientDeviceError` re-queues the tile at the
+  back of the work deque on a different device, up to ``max_retries``
+  attempts, then :class:`TileRetryExhaustedError`;
+* **deadline / anytime cancellation** — when ``clock()`` passes
+  ``deadline_at`` the remaining tiles are abandoned; completed tiles
+  already merged make the accumulator a valid anytime upper bound;
+* **observers** — per-tile hooks (:class:`TileObserver`) feeding service
+  metrics, anytime-style progress callbacks and trace annotation without
+  the loop knowing about any of them.
+
+Device OOM (:class:`~repro.gpu.memory.DeviceOutOfMemoryError`) is *not*
+retried — it propagates so callers can re-plan with a finer tiling, the
+paper's own answer to memory pressure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.tiling import Tile
+from ..gpu.simulator import GPUSimulator, schedule_tile_timing
+from ..gpu.stream import Timeline, flush_streams
+from .accumulate import ProfileAccumulator
+from .backends import TileBackend, TileExecution
+from .plan import ExecutionPlan
+
+__all__ = [
+    "TransientDeviceError",
+    "TileRetryExhaustedError",
+    "TilePlacement",
+    "StaticPlacement",
+    "RoundRobinPlacement",
+    "TileObserver",
+    "CallbackObserver",
+    "DispatchReport",
+    "execute_plan",
+]
+
+
+class TransientDeviceError(RuntimeError):
+    """A recoverable per-tile device failure (injected or simulated)."""
+
+
+class TileRetryExhaustedError(RuntimeError):
+    """A tile failed on every allowed attempt."""
+
+    def __init__(self, tile_id: int, attempts: int, last: Exception):
+        self.tile_id = tile_id
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"tile {tile_id} failed after {attempts} attempts: {last}"
+        )
+
+
+class StaticPlacement:
+    """Pseudocode 2's static assignment: the plan already mapped tiles to
+    GPUs (round-robin by tile id, or the multi-node flat-GPU map)."""
+
+    def __init__(self, plan: ExecutionPlan):
+        self._by_id = {
+            tile.tile_id: gpu for tile, gpu in zip(plan.tiles, plan.assignment)
+        }
+
+    def pick(self, tile: Tile, excluded: set[int]) -> int:
+        return self._by_id[tile.tile_id]
+
+
+class RoundRobinPlacement:
+    """Dynamic round-robin with device exclusion, shared across jobs.
+
+    The cursor advances on every probe, so concurrent jobs interleave
+    over the pool.  When *every* device is excluded the fallback still
+    advances the cursor — successive fallback picks rotate through the
+    pool instead of pinning one GPU (regression: the old scheduler
+    returned ``self._rr % n`` without advancing).
+    """
+
+    def __init__(self, n_gpus: int, lock=None):
+        if n_gpus < 1:
+            raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+        self.n_gpus = n_gpus
+        self._lock = lock if lock is not None else threading.RLock()
+        self._rr = 0
+
+    def pick(self, tile: Tile | None = None, excluded: set[int] = frozenset()) -> int:
+        with self._lock:
+            n = self.n_gpus
+            for _ in range(n):
+                gpu_id = self._rr % n
+                self._rr += 1
+                if gpu_id not in excluded:
+                    return gpu_id
+            # Every device excluded: plain round-robin, cursor advances.
+            gpu_id = self._rr % n
+            self._rr += 1
+            return gpu_id
+
+
+#: Anything with a ``pick(tile, excluded) -> int`` method.
+TilePlacement = StaticPlacement | RoundRobinPlacement
+
+
+class TileObserver:
+    """Per-tile lifecycle hooks; subclass and override what you need."""
+
+    def on_tile_start(self, tile: Tile, gpu_id: int, attempt: int) -> None:
+        """A tile is about to execute (fires again on each retry)."""
+
+    def on_tile_complete(self, tile: Tile, gpu_id: int, execution: TileExecution) -> None:
+        """A tile finished and was merged into the accumulator."""
+
+    def on_tile_retry(self, tile: Tile, gpu_id: int, attempt: int, error: Exception) -> None:
+        """A transient failure re-queued the tile (``attempt`` was the
+        failing attempt number; the device is now excluded for it)."""
+
+    def on_deadline(self, remaining: list[Tile]) -> None:
+        """The deadline expired; ``remaining`` tiles were abandoned."""
+
+
+class CallbackObserver(TileObserver):
+    """Adapter turning plain callables into a :class:`TileObserver`."""
+
+    def __init__(
+        self,
+        on_complete: Callable | None = None,
+        on_retry: Callable | None = None,
+        on_deadline: Callable | None = None,
+        on_start: Callable | None = None,
+    ):
+        self._complete = on_complete
+        self._retry = on_retry
+        self._deadline = on_deadline
+        self._start = on_start
+
+    def on_tile_start(self, tile, gpu_id, attempt):
+        if self._start:
+            self._start(tile, gpu_id, attempt)
+
+    def on_tile_complete(self, tile, gpu_id, execution):
+        if self._complete:
+            self._complete(tile, gpu_id, execution)
+
+    def on_tile_retry(self, tile, gpu_id, attempt, error):
+        if self._retry:
+            self._retry(tile, gpu_id, attempt, error)
+
+    def on_deadline(self, remaining):
+        if self._deadline:
+            self._deadline(remaining)
+
+
+@dataclass
+class _TileWork:
+    tile: Tile
+    attempt: int = 0
+    excluded: set[int] = field(default_factory=set)
+
+
+@dataclass
+class DispatchReport:
+    """Bookkeeping of one plan's dispatch."""
+
+    tiles_total: int
+    tiles_completed: int = 0
+    tile_retries: int = 0
+    deadline_hit: bool = False
+    executions: list[TileExecution] = field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        return self.tiles_completed < self.tiles_total
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    backend: TileBackend,
+    sim: GPUSimulator,
+    accumulator: ProfileAccumulator | None = None,
+    placement: "TilePlacement | None" = None,
+    timeline: Timeline | None = None,
+    observers: Sequence[TileObserver] = (),
+    max_retries: int = 0,
+    deadline_at: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    failure_injector: Callable | None = None,
+    label: str | None = None,
+    flush_per_tile: bool = False,
+    lock=None,
+    keep_executions: bool = False,
+) -> DispatchReport:
+    """Run every tile of ``plan`` on ``sim`` through ``backend``.
+
+    Tiles run in plan order (row-major), so CPU-side merges via the
+    ``accumulator`` reproduce the sequential single-tile iteration order
+    — the tie-breaking contract of :func:`merge_tile_outputs`.
+
+    ``timeline`` defaults to ``sim.timeline``; pass a fresh
+    :class:`~repro.gpu.stream.Timeline` for job-local accounting (the
+    service does).  ``flush_per_tile`` places each tile's stream ops
+    eagerly (required when several jobs share the pool); otherwise one
+    event-driven flush at the end lets streams interleave maximally.
+    ``failure_injector(label, tile, gpu_id, attempt)`` may raise
+    :class:`TransientDeviceError` before a tile allocates anything.
+    ``lock`` serialises stream bookkeeping across concurrent dispatches.
+    ``keep_executions`` retains per-tile :class:`TileExecution` records
+    on the report (off by default to keep big runs lean).
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    timeline = timeline if timeline is not None else sim.timeline
+    placement = placement if placement is not None else StaticPlacement(plan)
+    lock = lock if lock is not None else nullcontext()
+    tile_label = f"{label}:tile" if label else "tile"
+    report = DispatchReport(tiles_total=plan.n_tiles)
+
+    work = deque(_TileWork(tile) for tile in plan.tiles)
+    while work:
+        if deadline_at is not None and clock() >= deadline_at:
+            # Anytime-style: merge what finished, abandon the rest.
+            report.deadline_hit = True
+            remaining = [w.tile for w in work]
+            for obs in observers:
+                obs.on_deadline(remaining)
+            break
+        item = work.popleft()
+        gpu_id = placement.pick(item.tile, item.excluded)
+        gpu = sim.gpus[gpu_id]
+        for obs in observers:
+            obs.on_tile_start(item.tile, gpu_id, item.attempt)
+        try:
+            # The injector fires *before* device allocations, so an
+            # injected failure never leaks pool memory.
+            if failure_injector is not None:
+                failure_injector(label, item.tile, gpu_id, item.attempt)
+            execution = backend.run(plan, item.tile, gpu)
+        except TransientDeviceError as exc:
+            if item.attempt >= max_retries:
+                raise TileRetryExhaustedError(
+                    item.tile.tile_id, item.attempt + 1, exc
+                ) from exc
+            for obs in observers:
+                obs.on_tile_retry(item.tile, gpu_id, item.attempt, exc)
+            item.attempt += 1
+            item.excluded.add(gpu_id)
+            report.tile_retries += 1
+            work.append(item)  # re-queue at the back, different device
+            continue
+        execution.gpu_id = gpu_id
+        with lock:
+            stream = gpu.next_stream()
+            schedule_tile_timing(
+                gpu, stream, timeline, execution.timing,
+                f"{tile_label}{item.tile.tile_id}",
+            )
+            if flush_per_tile:
+                flush_streams(gpu.streams, timeline)
+        if accumulator is not None:
+            accumulator.add(execution)
+        report.tiles_completed += 1
+        if keep_executions:
+            report.executions.append(execution)
+        for obs in observers:
+            obs.on_tile_complete(item.tile, gpu_id, execution)
+
+    if not flush_per_tile:
+        for gpu in sim.gpus:
+            flush_streams(gpu.streams, timeline)
+    return report

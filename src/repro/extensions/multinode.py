@@ -16,13 +16,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.config import RunConfig
 from ..core.tiling import compute_tile_list
+from ..engine.backends import AnalyticBackend
+from ..engine.dispatch import execute_plan
+from ..engine.plan import JobSpec
 from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
 from ..gpu.device import DeviceSpec, get_device
-from ..gpu.kernel import LaunchConfig
-from ..gpu.perfmodel import single_tile_timing
-from ..gpu.simulator import GPUSimulator, schedule_tile_timing
-from ..precision.modes import PrecisionMode, policy_for
+from ..gpu.simulator import GPUSimulator
+from ..precision.modes import PrecisionMode
 
 __all__ = ["ClusterSpec", "NodeTimeline", "MultiNodeResult", "model_multi_node"]
 
@@ -106,42 +108,38 @@ def model_multi_node(
     every node's partial profile to the root, which performs the final
     min/argmin merge.
     """
-    policy = policy_for(mode)
     device = cluster.device_spec
+    config = RunConfig(mode=mode, device=device)
+    spec = JobSpec.modeled(n_seg, n_seg, d, m, config)
+    policy = spec.policy
     n_tiles = n_tiles if n_tiles is not None else 4 * cluster.total_gpus
     tiles = compute_tile_list(n_seg, n_seg, n_tiles)
-    launch = LaunchConfig.tuned_for(device)
 
     result = MultiNodeResult(cluster=cluster, mode=policy.mode)
 
     # Per-node simulation: tiles t with (t % total_gpus) // gpus_per_node
-    # landing on this node (round-robin over the flat GPU list).
+    # landing on this node (round-robin over the flat GPU list); within the
+    # node each tile runs on its flat GPU modulo the node size.
     for node in range(cluster.n_nodes):
+        node_tiles = [
+            tile
+            for tile in tiles
+            if (tile.tile_id % cluster.total_gpus) // cluster.gpus_per_node == node
+        ]
+        assignment = [
+            (tile.tile_id % cluster.total_gpus) % cluster.gpus_per_node
+            for tile in node_tiles
+        ]
         sim = GPUSimulator(device, n_gpus=cluster.gpus_per_node)
-        count = 0
-        for tile in tiles:
-            flat_gpu = tile.tile_id % cluster.total_gpus
-            if flat_gpu // cluster.gpus_per_node != node:
-                continue
-            gpu = sim.gpus[flat_gpu % cluster.gpus_per_node]
-            timing = single_tile_timing(
-                tile.n_rows,
-                tile.n_cols,
-                d,
-                m,
-                device,
-                policy.itemsize,
-                config=launch,
-                precalc_itemsize=policy.precalc.itemsize,
-                compensated=policy.compensated,
-            )
-            schedule_tile_timing(
-                gpu, gpu.next_stream(), sim.timeline, timing, f"tile{tile.tile_id}"
-            )
-            count += 1
-        sim.flush()
+        execute_plan(
+            spec.plan(tiles=node_tiles, assignment=assignment),
+            AnalyticBackend(),
+            sim,
+        )
         result.nodes.append(
-            NodeTimeline(node=node, n_tiles=count, gpu_time=sim.timeline.makespan)
+            NodeTimeline(
+                node=node, n_tiles=len(node_tiles), gpu_time=sim.timeline.makespan
+            )
         )
 
     # Binomial-tree broadcast of both input series: ceil(log2 N) rounds.

@@ -2,16 +2,20 @@
 
 One job decomposes into its tile DAG via :mod:`repro.core.tiling` (the
 near-square grid of Pseudocode 2; tiles are independent, the merge is the
-single join node), and the scheduler walks the work queue dispatching
-each tile to the next simulated GPU of the shared pool:
+single join node).  The loop itself lives in the execution engine
+(:func:`repro.engine.dispatch.execute_plan`); :class:`TileScheduler` is
+the service's adapter over it, contributing the pool-shared state:
 
-* **failure injection + retry** — a ``failure_injector`` callback may
-  raise :class:`TransientDeviceError` for any (tile, device, attempt);
-  the tile is re-queued on a *different* GPU, up to ``max_retries``
-  attempts per tile, mirroring how a real service routes around a sick
-  device.  Device OOM (:class:`~repro.gpu.memory.DeviceOutOfMemoryError`)
-  is *not* retried here — it propagates so the service layer can re-plan
-  with a finer tiling, the paper's own answer to memory pressure.
+* **placement** — one :class:`~repro.engine.dispatch.RoundRobinPlacement`
+  cursor shared by every job, so concurrent jobs interleave over the
+  pool; a ``failure_injector`` may raise
+  :class:`~repro.engine.dispatch.TransientDeviceError` for any
+  (tile, device, attempt) and the engine re-queues the tile on a
+  *different* GPU, up to ``max_retries`` attempts per tile, mirroring how
+  a real service routes around a sick device.  Device OOM
+  (:class:`~repro.gpu.memory.DeviceOutOfMemoryError`) is *not* retried —
+  it propagates so the service layer can re-plan with a finer tiling,
+  the paper's own answer to memory pressure.
 * **deadline timeout** — when the wall clock passes ``deadline_at`` the
   remaining tiles are abandoned and the completed ones are merged
   anytime-style: untouched query columns stay at the dtype limit, so the
@@ -27,45 +31,25 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.config import RunConfig
-from ..core.multi_tile import merge_tile_outputs
-from ..core.single_tile import _workspace_bytes, run_tile, schedule_tile
-from ..core.tiling import Tile, compute_tile_list
+from ..engine.accumulate import ProfileAccumulator
+from ..engine.backends import NumericBackend
+from ..engine.dispatch import (  # noqa: F401 - re-exported API
+    RoundRobinPlacement,
+    TileRetryExhaustedError,
+    TransientDeviceError,
+    execute_plan,
+)
+from ..engine.plan import JobSpec
 from ..gpu.kernel import KernelCost
 from ..gpu.simulator import GPUSimulator
-from ..gpu.stream import Timeline, flush_streams
-from ..kernels.update import INDEX_DTYPE
-from ..precision.modes import DTYPE_MAX
+from ..gpu.stream import Timeline
 
 __all__ = ["TransientDeviceError", "TileRetryExhaustedError", "TileScheduler", "JobExecution"]
-
-
-class TransientDeviceError(RuntimeError):
-    """A recoverable per-tile device failure (injected or simulated)."""
-
-
-class TileRetryExhaustedError(RuntimeError):
-    """A tile failed on every allowed attempt."""
-
-    def __init__(self, tile_id: int, attempts: int, last: Exception):
-        self.tile_id = tile_id
-        self.attempts = attempts
-        self.last = last
-        super().__init__(
-            f"tile {tile_id} failed after {attempts} attempts: {last}"
-        )
-
-
-@dataclass
-class _TileWork:
-    tile: Tile
-    attempt: int = 0
-    excluded: set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -102,20 +86,14 @@ class TileScheduler:
         self.max_retries = max_retries
         self.failure_injector = failure_injector
         self.clock = clock
+        # One lock guards the allocator/stream bookkeeping AND the
+        # placement cursor (RLock: the engine nests them).
         self._lock = threading.RLock()
-        self._rr = 0  # pool-wide round-robin cursor
+        self._placement = RoundRobinPlacement(sim.n_gpus, lock=self._lock)
 
     def _pick_gpu(self, excluded: set[int]) -> int:
         """Next pool GPU round-robin, skipping excluded devices."""
-        with self._lock:
-            n = self.sim.n_gpus
-            for _ in range(n):
-                gpu_id = self._rr % n
-                self._rr += 1
-                if gpu_id not in excluded:
-                    return gpu_id
-            # Every device excluded: fall back to plain round-robin.
-            return self._rr % n
+        return self._placement.pick(None, excluded)
 
     def execute(
         self,
@@ -135,125 +113,34 @@ class TileScheduler:
         series in the storage dtype (``tq_layout is tr_layout`` for
         self-joins).
         """
-        policy = config.policy
-        d = tr_layout.shape[0]
-        n_r_seg = tr_layout.shape[1] - m + 1
-        n_q_seg = tq_layout.shape[1] - m + 1
-        tiles = compute_tile_list(n_r_seg, n_q_seg, n_tiles)
-
-        limit = policy.storage.type(DTYPE_MAX[policy.storage])
-        profile = np.full((d, n_q_seg), limit, dtype=policy.storage)
-        index = np.full((d, n_q_seg), -1, dtype=INDEX_DTYPE)
-        timeline = Timeline()
-        costs: dict[str, KernelCost] = {}
-        merge_elements = 0
-        completed = 0
-        retries = 0
-
-        work = deque(_TileWork(tile) for tile in tiles)
-        while work:
-            if deadline_at is not None and self.clock() >= deadline_at:
-                break  # anytime-style: merge what finished, abandon the rest
-            item = work.popleft()
-            gpu_id = self._pick_gpu(item.excluded)
-            try:
-                output = self._run_one(
-                    item.tile, gpu_id, item.attempt, tr_layout, tq_layout,
-                    m, config, zone, timeline, label,
-                )
-            except TransientDeviceError as exc:
-                if item.attempt >= self.max_retries:
-                    raise TileRetryExhaustedError(
-                        item.tile.tile_id, item.attempt + 1, exc
-                    ) from exc
-                item.attempt += 1
-                item.excluded.add(gpu_id)
-                retries += 1
-                work.append(item)  # re-queue at the back, different device
-                continue
-            merge_tile_outputs(
-                profile, index, item.tile, output.profile, output.indices
-            )
-            merge_elements += output.profile.size
-            for name, cost in output.costs.items():
-                costs[name] = cost if name not in costs else costs[name] + cost
-            completed += 1
-
-        return JobExecution(
-            profile=profile,
-            index=index,
-            costs=costs,
-            timeline=timeline,
-            merge_elements=merge_elements,
-            tiles_total=len(tiles),
-            tiles_completed=completed,
-            tile_retries=retries,
+        spec = JobSpec.from_layouts(
+            tr_layout, tq_layout, m, config, exclusion_zone=zone
         )
-
-    def _run_one(
-        self,
-        tile: Tile,
-        gpu_id: int,
-        attempt: int,
-        tr_layout: np.ndarray,
-        tq_layout: np.ndarray,
-        m: int,
-        config: RunConfig,
-        zone: int | None,
-        timeline: Timeline,
-        label: str,
-    ):
-        """Upload, execute and schedule one tile on ``gpu_id``.
-
-        The failure injector fires *before* device allocations, so an
-        injected failure never leaks pool memory.
-        """
-        policy = config.policy
-        d = tr_layout.shape[0]
-        gpu = self.sim.gpus[gpu_id]
-        if self.failure_injector is not None:
-            self.failure_injector(label, tile, gpu_id, attempt)
-        r0, r1 = tile.sample_range_rows(m)
-        c0, c1 = tile.sample_range_cols(m)
-        allocations = []
-        try:
-            with self._lock:
-                tr_alloc = gpu.memory.upload(
-                    np.ascontiguousarray(tr_layout[:, r0:r1]),
-                    label=f"{label}:Tr{tile.tile_id}",
-                )
-                allocations.append(tr_alloc)
-                tq_alloc = gpu.memory.upload(
-                    np.ascontiguousarray(tq_layout[:, c0:c1]),
-                    label=f"{label}:Tq{tile.tile_id}",
-                )
-                allocations.append(tq_alloc)
-                workspace = gpu.memory.reserve(
-                    _workspace_bytes(tile.n_rows, tile.n_cols, d, policy),
-                    label=f"{label}:ws{tile.tile_id}",
-                )
-                allocations.append(workspace)
-            output = run_tile(
-                tr_alloc.array,
-                tq_alloc.array,
-                m,
-                policy,
-                config.launch,
-                row_offset=tile.row_start,
-                col_offset=tile.col_start,
-                exclusion_zone=zone,
-                sort_strategy=config.sort_strategy,
-                fast_path_1d=config.fast_path_1d,
-            )
-            with self._lock:
-                stream = gpu.next_stream()
-                schedule_tile(
-                    gpu, stream, timeline, output, policy,
-                    label=f"{label}:tile{tile.tile_id}",
-                )
-                flush_streams(gpu.streams, timeline)
-        finally:
-            with self._lock:
-                for alloc in allocations:
-                    alloc.free()
-        return output
+        plan = spec.plan(n_tiles=n_tiles, n_gpus=self.sim.n_gpus)
+        timeline = Timeline()  # job-local: jobs report their own makespans
+        accumulator = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+        report = execute_plan(
+            plan,
+            NumericBackend(lock=self._lock, label=label),
+            self.sim,
+            accumulator=accumulator,
+            placement=self._placement,
+            timeline=timeline,
+            max_retries=self.max_retries,
+            deadline_at=deadline_at,
+            clock=self.clock,
+            failure_injector=self.failure_injector,
+            label=label,
+            flush_per_tile=True,
+            lock=self._lock,
+        )
+        return JobExecution(
+            profile=accumulator.profile,
+            index=accumulator.index,
+            costs=accumulator.costs,
+            timeline=timeline,
+            merge_elements=accumulator.merge_elements,
+            tiles_total=report.tiles_total,
+            tiles_completed=report.tiles_completed,
+            tile_retries=report.tile_retries,
+        )

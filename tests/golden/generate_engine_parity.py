@@ -1,0 +1,58 @@
+"""Regenerate the engine-parity golden archive.
+
+The archive pins the bit-exact profiles/indices of the tile-execution
+paths as they were **before** the `repro.engine` refactor (PR 2).  Run
+from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate_engine_parity.py
+
+The inputs are bounded sine mixtures (FP16-safe) built from a fixed seed,
+so the archive is reproducible from this script alone.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import RunConfig
+
+MODES = ("FP64", "FP32", "FP16", "Mixed", "FP16C")
+N_TILES, N_GPUS = 4, 2
+
+
+def series_pair():
+    rng = np.random.default_rng(20220522)  # the paper's conference date
+    t = np.arange(240)
+    ref = np.stack(
+        [np.sin(2 * np.pi * t / (12 + 3 * k)) for k in range(3)], axis=1
+    ) + 0.1 * rng.normal(size=(240, 3))
+    qry = np.stack(
+        [np.sin(2 * np.pi * t[:220] / (12 + 3 * k) + 0.7) for k in range(3)], axis=1
+    ) + 0.1 * rng.normal(size=(220, 3))
+    return ref, qry, 16
+
+
+def main() -> None:
+    from repro.core.multi_tile import compute_multi_tile
+    from repro.core.single_tile import compute_single_tile
+
+    ref, qry, m = series_pair()
+    blobs = {"reference": ref, "query": qry, "m": np.int64(m)}
+    for mode in MODES:
+        for join, query in (("self", None), ("ab", qry)):
+            single = compute_single_tile(ref, query, m, RunConfig(mode=mode))
+            multi = compute_multi_tile(
+                ref, query, m, RunConfig(mode=mode, n_tiles=N_TILES, n_gpus=N_GPUS)
+            )
+            key = f"{mode}_{join}"
+            blobs[f"single_{key}_profile"] = single.profile
+            blobs[f"single_{key}_index"] = single.index
+            blobs[f"multi_{key}_profile"] = multi.profile
+            blobs[f"multi_{key}_index"] = multi.index
+    out = Path(__file__).parent / "engine_parity.npz"
+    np.savez_compressed(out, **blobs)
+    print(f"wrote {out} ({out.stat().st_size} bytes, {len(blobs)} arrays)")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,7 +88,8 @@ class TestDiagonalProfile:
             diagonal_matrix_profile(ref, qry, m, fraction=1.5)
 
     def test_dimension_mismatch(self, rng):
-        with pytest.raises(ValueError, match="dimensionality"):
+        # The unified JobSpec validation message shared by every entry point.
+        with pytest.raises(ValueError, match="reference has d=2 but query d=3"):
             diagonal_matrix_profile(
                 rng.normal(size=(60, 2)), rng.normal(size=(60, 3)), 8
             )

@@ -1,0 +1,145 @@
+"""Golden bit-for-bit parity of the engine-backed execution paths.
+
+``tests/golden/engine_parity.npz`` pins the profiles/indices the
+pre-refactor loops produced (all five precision modes, self-join and
+AB-join, single-tile and multi-tile) — regenerable via
+``tests/golden/generate_engine_parity.py``.  These tests prove the
+`repro.engine` adapters reproduce them exactly: same merge order, same
+tile order, same kernel arguments, same exclusion-zone semantics.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.multi_tile import compute_multi_tile
+from repro.core.single_tile import compute_single_tile
+from repro.engine import (
+    JobSpec,
+    NumericBackend,
+    ProfileAccumulator,
+    execute_plan,
+)
+from repro.gpu.simulator import GPUSimulator
+from repro.service.scheduler import TileScheduler
+
+GOLDEN = Path(__file__).parent / "golden" / "engine_parity.npz"
+MODES = ("FP64", "FP32", "FP16", "Mixed", "FP16C")
+N_TILES, N_GPUS = 4, 2
+
+
+@pytest.fixture(scope="module")
+def golden():
+    data = np.load(GOLDEN)
+    return data
+
+
+@pytest.fixture(scope="module")
+def series(golden):
+    return golden["reference"], golden["query"], int(golden["m"])
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("join", ["self", "ab"])
+class TestGoldenParity:
+    def test_single_tile_bit_identical(self, golden, series, mode, join):
+        ref, qry, m = series
+        query = None if join == "self" else qry
+        result = compute_single_tile(ref, query, m, RunConfig(mode=mode))
+        key = f"single_{mode}_{join}"
+        assert np.array_equal(result.profile, golden[f"{key}_profile"])
+        assert np.array_equal(result.index, golden[f"{key}_index"])
+
+    def test_multi_tile_bit_identical(self, golden, series, mode, join):
+        ref, qry, m = series
+        query = None if join == "self" else qry
+        result = compute_multi_tile(
+            ref, query, m, RunConfig(mode=mode, n_tiles=N_TILES, n_gpus=N_GPUS)
+        )
+        key = f"multi_{mode}_{join}"
+        assert np.array_equal(result.profile, golden[f"{key}_profile"])
+        assert np.array_equal(result.index, golden[f"{key}_index"])
+
+    def test_scheduler_path_matches_multi_tile_golden(
+        self, golden, series, mode, join
+    ):
+        # The service scheduler runs the same engine loop (dynamic
+        # placement, job-local timeline) — numerics must still match the
+        # multi-tile golden exactly: placement only moves tiles between
+        # identical simulated GPUs.
+        ref, qry, m = series
+        query = None if join == "self" else qry
+        config = RunConfig(mode=mode, n_tiles=N_TILES, n_gpus=N_GPUS)
+        spec = JobSpec.from_arrays(ref, query, m, config)
+        tr, tq = spec.layouts()
+        sim = GPUSimulator(config.device, N_GPUS, config.n_streams)
+        scheduler = TileScheduler(sim)
+        execution = scheduler.execute(
+            tr, tq, m, config, spec.exclusion_zone, n_tiles=N_TILES
+        )
+        key = f"multi_{mode}_{join}"
+        profile = np.ascontiguousarray(execution.profile.T.astype(np.float64))
+        index = np.ascontiguousarray(execution.index.T)
+        assert np.array_equal(profile, golden[f"{key}_profile"])
+        assert np.array_equal(index, golden[f"{key}_index"])
+        assert not execution.partial
+
+
+class TestDirectEngineParity:
+    """Driving execute_plan directly matches the adapter entry points."""
+
+    def test_raw_engine_matches_golden(self, golden, series):
+        ref, qry, m = series
+        config = RunConfig(mode="Mixed", n_tiles=N_TILES, n_gpus=N_GPUS)
+        spec = JobSpec.from_arrays(ref, qry, m, config)
+        plan = spec.plan()
+        sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
+        acc = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+        report = execute_plan(
+            plan, NumericBackend(discount_shared_h2d=True), sim, accumulator=acc
+        )
+        assert report.tiles_completed == plan.n_tiles
+        assert np.array_equal(acc.host_profile(), golden["multi_Mixed_ab_profile"])
+        assert np.array_equal(acc.host_index(), golden["multi_Mixed_ab_index"])
+
+    def test_self_join_records_h2d_savings(self, series):
+        # Diagonal tiles of a self-join share one upload; AB-joins never do.
+        ref, qry, m = series
+        config = RunConfig(n_tiles=N_TILES, n_gpus=N_GPUS)
+        saved = compute_multi_tile(ref, None, m, config).h2d_saved_bytes
+        assert saved > 0
+        # 2x2 grid: two diagonal tiles, each saving its column slice.
+        spec = JobSpec.from_arrays(ref, None, m, config)
+        expected = sum(
+            (t.sample_range_cols(m)[1] - t.sample_range_cols(m)[0])
+            * spec.d
+            * spec.policy.itemsize
+            for t in spec.plan().tiles
+            if t.sample_range_rows(m) == t.sample_range_cols(m)
+        )
+        assert saved == expected
+        assert compute_multi_tile(ref, qry, m, config).h2d_saved_bytes == 0.0
+
+    def test_h2d_savings_shrink_modeled_transfer_time(self, series):
+        # The shared upload is not just bookkeeping: the modelled H2D time
+        # of a diagonal tile drops, so the self-join makespan can only
+        # improve relative to double-upload accounting.
+        ref, _, m = series
+        config = RunConfig(n_tiles=N_TILES, n_gpus=N_GPUS)
+        result = compute_multi_tile(ref, None, m, config)
+        h2d_busy = sum(
+            op.duration
+            for op in result.timeline.ops
+            if op.engine == "h2d"
+        )
+        spec = JobSpec.from_arrays(ref, None, m, config)
+        plan = spec.plan()
+        sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
+        acc = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+        execute_plan(plan, NumericBackend(), sim, accumulator=acc)
+        h2d_busy_undiscounted = sum(
+            op.duration for op in sim.timeline.ops if op.engine == "h2d"
+        )
+        assert h2d_busy < h2d_busy_undiscounted
