@@ -3,6 +3,7 @@
 Gives downstream users a zero-code path to the main workflows:
 
 * ``profile``   — compute a matrix profile for a CSV time series
+* ``resume``    — resume an interrupted ``profile --journal`` run
 * ``demo``      — run the synthetic quickstart (motif discovery)
 * ``model``     — print modelled execution times for a problem size
 * ``devices``   — list the simulated devices and their specs
@@ -50,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--report", action="store_true",
         help="print the Nsight-style kernel profiling report",
+    )
+    p.add_argument(
+        "--journal", metavar="DIR",
+        help="checkpoint completed tiles into this directory "
+        "(resume an interrupted run with `repro resume DIR`)",
+    )
+    p.add_argument(
+        "--fault-tolerant", action="store_true",
+        help="enable per-tile health checks with precision escalation, "
+        "transient-failure retries and OOM tile splitting",
     )
 
     d = sub.add_parser("demo", help="synthetic motif-discovery demo")
@@ -121,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     su.add_argument("--priority", type=int, default=0, help="lower runs first")
 
+    r = sub.add_parser(
+        "resume", help="resume an interrupted profile run from its journal"
+    )
+    r.add_argument("journal", help="journal directory written by --journal")
+    r.add_argument(
+        "--fault-tolerant", action="store_true",
+        help="re-run the remaining tiles with health checks and retries",
+    )
+    r.add_argument("--top", type=int, default=3, help="motifs to print")
+    r.add_argument("--output", help="write P and I as CSV to this prefix")
+
     pl = sub.add_parser("plan", help="plan the tile count for a problem")
     pl.add_argument("-n", type=int, required=True, help="segments per axis")
     pl.add_argument("-d", "--dims", type=int, required=True)
@@ -129,6 +151,51 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--device", default="A100")
     pl.add_argument("--target-error", type=float, default=None)
     return parser
+
+
+def _fault_tolerance_kwargs(fault_tolerant: bool) -> dict:
+    """Engine knobs behind the ``--fault-tolerant`` CLI flag."""
+    if not fault_tolerant:
+        return {}
+    from .engine.health import HealthPolicy
+
+    return {"health": HealthPolicy(), "max_retries": 2, "oom_split": True}
+
+
+def _print_result_summary(result, top: int, output: str | None) -> None:
+    print(f"profile: {result.profile.shape[0]} segments x {result.d} dims "
+          f"({result.mode}, {result.n_tiles} tiles, {result.n_gpus} GPU(s))")
+    print(f"modelled device time: {format_seconds(result.modeled_time)}")
+    if result.resumed_tiles:
+        print(f"resumed: {result.resumed_tiles} tile(s) restored from the journal")
+    if result.escalations:
+        modes = ", ".join(
+            f"tile {tid}->{mode.value}"
+            for tid, mode in sorted(result.escalations.items())
+        )
+        print(f"escalated: {modes}")
+    if result.split_tiles:
+        print(f"split on OOM: {len(result.split_tiles)} tile(s)")
+    from .apps.motif import top_motifs
+
+    rows = [
+        [t + 1, mo.query_pos, mo.ref_pos, mo.distance]
+        for t, mo in enumerate(top_motifs(result, k=1, count=top))
+    ]
+    print_table(["#", "query pos", "match pos", "distance"], rows)
+    if output:
+        np.savetxt(f"{output}_profile.csv", result.profile, delimiter=",")
+        np.savetxt(f"{output}_index.csv", result.index, fmt="%d", delimiter=",")
+        print(f"wrote {output}_profile.csv and {output}_index.csv")
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .engine.checkpoint import resume_plan
+
+    kwargs = _fault_tolerance_kwargs(args.fault_tolerant)
+    result = resume_plan(args.journal, **kwargs)
+    _print_result_summary(result, args.top, args.output)
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -142,17 +209,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         device=args.device,
         n_tiles=args.tiles,
         n_gpus=args.gpus,
+        journal=args.journal,
+        **_fault_tolerance_kwargs(args.fault_tolerant),
     )
-    print(f"profile: {result.profile.shape[0]} segments x {result.d} dims "
-          f"({result.mode}, {result.n_tiles} tiles, {result.n_gpus} GPU(s))")
-    print(f"modelled device time: {format_seconds(result.modeled_time)}")
-    from .apps.motif import top_motifs
-
-    rows = [
-        [t + 1, mo.query_pos, mo.ref_pos, mo.distance]
-        for t, mo in enumerate(top_motifs(result, k=1, count=args.top))
-    ]
-    print_table(["#", "query pos", "match pos", "distance"], rows)
+    _print_result_summary(result, args.top, None)
     if args.report:
         from .gpu.profiler import render_report
 
@@ -361,6 +421,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "profile": _cmd_profile,
+    "resume": _cmd_resume,
     "demo": _cmd_demo,
     "model": _cmd_model,
     "devices": _cmd_devices,

@@ -25,6 +25,12 @@ def matrix_profile(
     n_gpus: int = 1,
     n_streams: int | None = None,
     exclusion_zone: int | None = None,
+    health=None,
+    fault_plan=None,
+    max_retries: int = 0,
+    oom_split: bool = False,
+    journal=None,
+    observers=(),
 ) -> MatrixProfileResult:
     """Compute the multi-dimensional matrix profile of ``query`` against
     ``reference`` on simulated GPU hardware.
@@ -53,6 +59,12 @@ def matrix_profile(
         CUDA streams per GPU (default: the device maximum of 16).
     exclusion_zone:
         Override the self-join trivial-match exclusion radius.
+    health, fault_plan, max_retries, oom_split, journal, observers:
+        Fault-tolerance knobs forwarded to
+        :func:`~repro.core.multi_tile.compute_multi_tile` (all opt-in;
+        see that function).  Using any of them routes the computation
+        through the tiled engine even for a single-tile configuration,
+        since the recovery machinery lives in the tile dispatch loop.
 
     Returns
     -------
@@ -78,6 +90,25 @@ def matrix_profile(
         n_streams=n_streams,
         exclusion_zone=exclusion_zone,
     )
-    if config.n_tiles == 1 and config.n_gpus == 1:
+    fault_tolerant = (
+        health is not None
+        or fault_plan is not None
+        or max_retries > 0
+        or oom_split
+        or journal is not None
+        or bool(observers)
+    )
+    if config.n_tiles == 1 and config.n_gpus == 1 and not fault_tolerant:
         return compute_single_tile(reference, query, m, config)
-    return compute_multi_tile(reference, query, m, config)
+    return compute_multi_tile(
+        reference,
+        query,
+        m,
+        config,
+        health=health,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
+        oom_split=oom_split,
+        journal=journal,
+        observers=observers,
+    )

@@ -29,7 +29,8 @@ import numpy as np
 
 from ..engine.accumulate import ProfileAccumulator, merge_tile_outputs
 from ..engine.backends import AnalyticBackend, NumericBackend
-from ..engine.dispatch import execute_plan
+from ..engine.checkpoint import RunJournal
+from ..engine.dispatch import RoundRobinPlacement, execute_plan
 from ..engine.plan import JobSpec
 from ..gpu.simulator import GPUSimulator
 from ..kernels.update import INDEX_DTYPE
@@ -44,33 +45,81 @@ def compute_multi_tile(
     query: np.ndarray | None,
     m: int,
     config: RunConfig | None = None,
+    *,
+    health=None,
+    fault_plan=None,
+    max_retries: int = 0,
+    oom_split: bool = False,
+    journal: "RunJournal | str | None" = None,
+    observers=(),
 ) -> MatrixProfileResult:
     """Matrix profile via the tiling scheme on simulated multi-GPU hardware.
 
     ``query=None`` requests a self-join with the default exclusion zone.
+
+    Fault tolerance (all opt-in; defaults leave the numerics and the
+    dispatch byte-identical to the plain path):
+
+    * ``health`` — a :class:`~repro.engine.health.HealthPolicy`
+      validating every tile and escalating sick tiles up the precision
+      ladder (recorded on :attr:`MatrixProfileResult.escalations`);
+    * ``fault_plan`` — a :class:`~repro.engine.faults.FaultPlan` whose
+      injector/corruptor hooks exercise the recovery paths;
+    * ``max_retries`` — per-tile retry budget for transient device
+      failures (placement switches to round-robin so retries can move
+      to a different GPU);
+    * ``oom_split`` — split a tile on device OOM instead of raising;
+    * ``journal`` — a :class:`~repro.engine.checkpoint.RunJournal` (or a
+      directory path to create one) checkpointing completed tiles for
+      :func:`~repro.engine.checkpoint.resume_plan`.
     """
     config = config or RunConfig()
     spec = JobSpec.from_arrays(reference, query, m, config)
     plan = spec.plan()
+    failure_injector = corruptor = None
+    if fault_plan is not None:
+        failure_injector = fault_plan.injector
+        corruptor = fault_plan.corruptor
+    journal_obj = None
+    if journal is not None:
+        journal_obj = (
+            journal
+            if isinstance(journal, RunJournal)
+            else RunJournal.create(journal, spec, plan)
+        )
+    placement = (
+        RoundRobinPlacement(config.n_gpus) if max_retries > 0 else None
+    )
     sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
     accumulator = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
-    execute_plan(
+    report = execute_plan(
         plan,
         NumericBackend(discount_shared_h2d=True),
         sim,
         accumulator=accumulator,
+        placement=placement,
+        observers=observers,
+        max_retries=max_retries,
+        failure_injector=failure_injector,
+        health=health,
+        corruptor=corruptor,
+        oom_split=oom_split,
+        journal=journal_obj,
     )
     return MatrixProfileResult(
         profile=accumulator.host_profile(),
         index=accumulator.host_index(),
         mode=spec.policy.mode,
         m=m,
-        n_tiles=plan.n_tiles,
+        n_tiles=report.tiles_total,
         n_gpus=config.n_gpus,
         timeline=sim.timeline,
-        merge_time=accumulator.merge_time(plan.n_tiles),
+        merge_time=accumulator.merge_time(report.tiles_total),
         costs=accumulator.costs,
         h2d_saved_bytes=accumulator.h2d_saved_bytes,
+        escalations=dict(report.escalations),
+        split_tiles=dict(report.splits),
+        resumed_tiles=report.tiles_restored,
     )
 
 

@@ -44,6 +44,17 @@ class MatrixProfileResult:
     h2d_saved_bytes:
         Host-to-device traffic avoided by sharing one upload between the
         identical row/col slices of self-join diagonal tiles.
+    escalations:
+        Tile id -> final precision mode, for tiles re-executed up the
+        FP16 -> Mixed -> FP32 -> FP64 ladder after failing their health
+        checks (or flagged by pre-flight risk scoring).  Empty on a
+        healthy run.
+    split_tiles:
+        Parent tile id -> child tile ids, for tiles split after device
+        OOM instead of aborting the job.
+    resumed_tiles:
+        Tiles restored from a checkpoint journal rather than recomputed
+        (:func:`repro.engine.checkpoint.resume_plan`).
     """
 
     profile: np.ndarray
@@ -56,6 +67,9 @@ class MatrixProfileResult:
     merge_time: float = 0.0
     costs: dict[str, KernelCost] = field(default_factory=dict)
     h2d_saved_bytes: float = 0.0
+    escalations: dict[int, PrecisionMode] = field(default_factory=dict)
+    split_tiles: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    resumed_tiles: int = 0
 
     @property
     def n_q_seg(self) -> int:

@@ -14,11 +14,17 @@ CPU — and this package is that loop's one implementation:
   pluggable placement, transient-failure retry, deadline cancellation,
   per-tile observers;
 * :mod:`repro.engine.accumulate` — :class:`ProfileAccumulator` over
-  :func:`merge_tile_outputs` + cost and merge-time accounting.
+  :func:`merge_tile_outputs` + cost and merge-time accounting;
+* :mod:`repro.engine.health` — per-tile output validation and the
+  FP16 -> Mixed -> FP32 -> FP64 escalation ladder;
+* :mod:`repro.engine.faults` — deterministic, seedable fault injection
+  (:class:`FaultPlan`) so every recovery path is exercisable in CI;
+* :mod:`repro.engine.checkpoint` — :class:`RunJournal` tile journaling
+  and :func:`resume_plan` for kill-and-resume without recomputation.
 
 ``compute_multi_tile``, ``model_multi_tile``, ``compute_single_tile``,
 the service ``TileScheduler`` and the multi-node model are all thin
-adapters over these four modules.
+adapters over these modules.
 """
 
 from .accumulate import ProfileAccumulator, merge_tile_outputs
@@ -34,6 +40,7 @@ from .backends import (
     tile_timing_from_output,
     workspace_bytes,
 )
+from .checkpoint import RunJournal, resume_plan, tile_key
 from .dispatch import (
     CallbackObserver,
     DispatchReport,
@@ -44,6 +51,16 @@ from .dispatch import (
     TileRetryExhaustedError,
     TransientDeviceError,
     execute_plan,
+)
+from .faults import FaultEvent, FaultPlan
+from .health import (
+    ESCALATION_LADDER,
+    HealthPolicy,
+    TileHealthError,
+    TileRisk,
+    check_tile_output,
+    escalation_next,
+    preflight_tile_risk,
 )
 from .plan import ExecutionPlan, JobSpec
 
@@ -71,4 +88,16 @@ __all__ = [
     "TileRetryExhaustedError",
     "ProfileAccumulator",
     "merge_tile_outputs",
+    "ESCALATION_LADDER",
+    "HealthPolicy",
+    "TileHealthError",
+    "TileRisk",
+    "check_tile_output",
+    "escalation_next",
+    "preflight_tile_risk",
+    "FaultPlan",
+    "FaultEvent",
+    "RunJournal",
+    "resume_plan",
+    "tile_key",
 ]

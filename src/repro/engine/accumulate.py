@@ -104,6 +104,48 @@ class ProfileAccumulator:
                 cost if name not in self.costs else self.costs[name] + cost
             )
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The accumulator's mergeable state as plain arrays (for
+        checkpoint journals; costs are serialised separately)."""
+        if self.profile is None:
+            raise ValueError("an analytic accumulator has no state to save")
+        return {
+            "profile": self.profile,
+            "index": self.index,
+            "merge_elements": np.int64(self.merge_elements),
+            "h2d_saved_bytes": np.float64(self.h2d_saved_bytes),
+        }
+
+    def restore_state(
+        self,
+        profile: np.ndarray,
+        index: np.ndarray,
+        merge_elements: int,
+        h2d_saved_bytes: float,
+        costs: dict[str, KernelCost] | None = None,
+    ) -> None:
+        """Adopt journaled state (checkpoint/resume).  The arrays must
+        match the accumulator's shape and storage dtype exactly — resume
+        is bit-identical, not a cast."""
+        if self.profile is None:
+            raise ValueError("cannot restore into an analytic accumulator")
+        if profile.shape != self.profile.shape:
+            raise ValueError(
+                f"journal profile shape {profile.shape} does not match "
+                f"accumulator {self.profile.shape}"
+            )
+        if profile.dtype != self.profile.dtype:
+            raise ValueError(
+                f"journal dtype {profile.dtype} does not match accumulator "
+                f"storage {self.profile.dtype}"
+            )
+        self.profile[...] = profile
+        self.index[...] = index
+        self.merge_elements = int(merge_elements)
+        self.h2d_saved_bytes = float(h2d_saved_bytes)
+        if costs is not None:
+            self.costs = dict(costs)
+
     def merge_time(self, dispatch_count: int) -> float:
         """Modelled CPU merge time for ``dispatch_count`` dispatched tiles
         (callers pass completed tiles for partial runs)."""

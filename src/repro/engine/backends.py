@@ -43,7 +43,7 @@ from ..kernels.precalc import PrecalcKernel
 from ..kernels.sort_scan import SortScanKernel
 from ..kernels.sort_scan_batch import BatchSortScanKernel
 from ..kernels.update import INDEX_DTYPE, UpdateKernel
-from ..precision.modes import PrecisionPolicy
+from ..precision.modes import PrecisionMode, PrecisionPolicy
 from .plan import ExecutionPlan, Tile
 
 __all__ = [
@@ -206,6 +206,7 @@ class TileExecution:
     output: TileOutput | None = None  # None for analytic backends
     gpu_id: int = -1  # filled in by the dispatcher
     h2d_saved_bytes: float = 0.0  # diagonal-tile shared-upload savings
+    mode: "PrecisionMode | None" = None  # precision the tile executed at
 
 
 @runtime_checkable
@@ -292,7 +293,8 @@ class NumericBackend:
             output.h2d_bytes -= saved
         timing = tile_timing_from_output(output, policy, gpu.spec)
         return TileExecution(
-            tile=tile, timing=timing, output=output, h2d_saved_bytes=saved
+            tile=tile, timing=timing, output=output, h2d_saved_bytes=saved,
+            mode=policy.mode,
         )
 
     def _free(self, alloc) -> None:
@@ -322,4 +324,4 @@ class AnalyticBackend:
             precalc_itemsize=policy.precalc.itemsize,
             compensated=policy.compensated,
         )
-        return TileExecution(tile=tile, timing=timing)
+        return TileExecution(tile=tile, timing=timing, mode=policy.mode)

@@ -1,0 +1,276 @@
+"""Checkpoint/resume: a tile journal + accumulator snapshots.
+
+Long mining runs (the paper's n=2^18 genome study) used to restart from
+zero when killed.  A :class:`RunJournal` makes a multi-tile dispatch
+resumable: :func:`~repro.engine.dispatch.execute_plan` records every
+completed tile into it, and :func:`resume_plan` rebuilds the spec/plan
+from the journal, restores the accumulator, and re-dispatches *only* the
+tiles the journal does not hold — producing a profile bit-identical to
+an uninterrupted run.
+
+Journal directory layout::
+
+    meta.json   -- format version, m, RunConfig.to_dict(), resolved
+                   exclusion zone, tile list + static assignment
+    series.npz  -- the validated host series (reference [+ query])
+    state.npz   -- accumulator snapshot after the last journaled tile
+                   (profile, index, counters, aggregated kernel costs)
+    tiles.log   -- one JSON line per completed tile: geometry + the
+                   precision mode it finally executed at
+
+Crash-window safety: :meth:`RunJournal.record` writes ``state.npz``
+first (tmp + atomic rename), *then* appends the ``tiles.log`` line.  A
+crash between the two leaves a state snapshot that already contains the
+in-flight tile but no log line for it — so resume re-executes and
+re-merges that one tile.  The strict-``<`` min/argmin merge is
+idempotent under an identical repeated merge, so the resumed profile is
+still bit-identical.
+
+Tiles are keyed by *geometry* (row/col segment ranges), not tile id:
+OOM splits renumber tiles, and geometry is what makes a journaled output
+reusable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import RunConfig
+from ..core.result import MatrixProfileResult
+from ..core.tiling import Tile
+from ..gpu.simulator import GPUSimulator
+from ..precision.modes import PrecisionMode
+from .accumulate import ProfileAccumulator
+from .backends import NumericBackend
+from .plan import ExecutionPlan, JobSpec
+
+__all__ = ["RunJournal", "resume_plan", "tile_key"]
+
+JOURNAL_VERSION = 1
+
+
+def tile_key(tile: Tile) -> tuple[int, int, int, int]:
+    """A tile's geometry key (split-stable; ids are not)."""
+    return (tile.row_start, tile.row_stop, tile.col_start, tile.col_stop)
+
+
+class RunJournal:
+    """On-disk journal of one multi-tile run (see the module docstring)."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self.meta_path = self.path / "meta.json"
+        self.series_path = self.path / "series.npz"
+        self.state_path = self.path / "state.npz"
+        self.log_path = self.path / "tiles.log"
+
+    # ------------------------------------------------------------------
+    # Creation / opening
+
+    @classmethod
+    def create(cls, path: "str | Path", spec: JobSpec, plan: ExecutionPlan) -> "RunJournal":
+        """Start a fresh journal for ``plan`` (refuses an existing one)."""
+        if spec.reference is None:
+            raise ValueError(
+                "journaling needs host series (JobSpec.from_arrays); "
+                "layout-only and modeled specs cannot be journaled"
+            )
+        journal = cls(path)
+        if journal.meta_path.exists():
+            raise FileExistsError(
+                f"journal already exists at {journal.path}; use "
+                f"resume_plan() to continue it or choose a fresh path"
+            )
+        journal.path.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "version": JOURNAL_VERSION,
+            "m": spec.m,
+            "config": spec.config.to_dict(),
+            "exclusion_zone": spec.exclusion_zone,
+            "self_join": spec.self_join,
+            "tiles": [
+                [t.tile_id, t.row_start, t.row_stop, t.col_start, t.col_stop]
+                for t in plan.tiles
+            ],
+            "assignment": list(plan.assignment),
+        }
+        arrays = {"reference": spec.reference}
+        if spec.query is not None:
+            arrays["query"] = spec.query
+        np.savez_compressed(journal.series_path, **arrays)
+        journal.meta_path.write_text(json.dumps(meta))
+        return journal
+
+    @classmethod
+    def open(cls, path: "str | Path") -> "RunJournal":
+        """Open an existing journal, validating its format version."""
+        journal = cls(path)
+        if not journal.meta_path.exists():
+            raise FileNotFoundError(f"no journal at {journal.path}")
+        meta = journal.meta()
+        if meta.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"unsupported journal version {meta.get('version')!r}"
+            )
+        return journal
+
+    def meta(self) -> dict:
+        return json.loads(self.meta_path.read_text())
+
+    # ------------------------------------------------------------------
+    # The dispatch-facing protocol
+
+    key = staticmethod(tile_key)
+
+    def completed_records(self) -> list[dict]:
+        """The journaled tile lines, in completion order."""
+        if not self.log_path.exists():
+            return []
+        return [
+            json.loads(line)
+            for line in self.log_path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def completed_keys(self) -> set[tuple[int, int, int, int]]:
+        """Geometry keys of every journaled tile."""
+        return {
+            (r["row_start"], r["row_stop"], r["col_start"], r["col_stop"])
+            for r in self.completed_records()
+        }
+
+    def record(self, execution, accumulator: ProfileAccumulator) -> None:
+        """Journal one completed tile: state snapshot, then log line."""
+        from ..io import _costs_to_records
+
+        state = accumulator.state_arrays()
+        costs_json = json.dumps(_costs_to_records(accumulator.costs))
+        tmp = self.state_path.with_suffix(".tmp.npz")
+        np.savez(
+            tmp,
+            costs=np.frombuffer(costs_json.encode(), dtype=np.uint8),
+            **state,
+        )
+        os.replace(tmp, self.state_path)
+        tile = execution.tile
+        line = {
+            "tile_id": tile.tile_id,
+            "row_start": tile.row_start,
+            "row_stop": tile.row_stop,
+            "col_start": tile.col_start,
+            "col_stop": tile.col_stop,
+            "mode": execution.mode.value if execution.mode is not None else None,
+        }
+        with self.log_path.open("a") as fh:
+            fh.write(json.dumps(line) + "\n")
+
+    # ------------------------------------------------------------------
+    # Resume
+
+    def restore(self, accumulator: ProfileAccumulator) -> None:
+        """Load the journaled snapshot into ``accumulator`` (no-op when
+        the run died before its first tile completed)."""
+        from ..io import _costs_from_records
+
+        if not self.state_path.exists():
+            return
+        with np.load(self.state_path) as data:
+            costs = _costs_from_records(
+                json.loads(bytes(data["costs"].tobytes()).decode())
+            )
+            accumulator.restore_state(
+                profile=data["profile"],
+                index=data["index"],
+                merge_elements=int(data["merge_elements"]),
+                h2d_saved_bytes=float(data["h2d_saved_bytes"]),
+                costs=costs,
+            )
+
+    def rebuild(self) -> tuple[JobSpec, ExecutionPlan]:
+        """Reconstruct the spec and plan the journal was created for."""
+        meta = self.meta()
+        config = RunConfig.from_dict(meta["config"])
+        with np.load(self.series_path) as data:
+            reference = data["reference"]
+            query = data["query"] if "query" in data.files else None
+        spec = JobSpec.from_arrays(reference, query, int(meta["m"]), config)
+        spec.exclusion_zone = meta["exclusion_zone"]
+        tiles = [Tile(*row) for row in meta["tiles"]]
+        plan = spec.plan(tiles=tiles, assignment=list(meta["assignment"]))
+        return spec, plan
+
+
+def resume_plan(
+    path: "str | Path",
+    observers=(),
+    max_retries: int = 0,
+    health=None,
+    fault_plan=None,
+    oom_split: bool = False,
+    failure_injector=None,
+    corruptor=None,
+) -> MatrixProfileResult:
+    """Continue a journaled run, recomputing zero journaled tiles.
+
+    Rebuilds the spec/plan from the journal, restores the accumulator
+    snapshot, and dispatches only the missing tiles (journaling them as
+    they complete, so resume itself is resumable).  The returned profile,
+    index, costs and merge time are bit-identical to an uninterrupted
+    run; the timeline covers only the resumed portion.
+    """
+    from .dispatch import RoundRobinPlacement, execute_plan
+
+    journal = RunJournal.open(path)
+    spec, plan = journal.rebuild()
+    config = spec.config
+    if fault_plan is not None:
+        failure_injector = failure_injector or fault_plan.injector
+        corruptor = corruptor or fault_plan.corruptor
+    # Retries need a placement that can move a tile off the failing GPU
+    # (mirrors compute_multi_tile; the journaled static assignment is
+    # only a preference, not part of the numerical contract).
+    placement = RoundRobinPlacement(config.n_gpus) if max_retries > 0 else None
+    sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
+    accumulator = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+    journal.restore(accumulator)
+    base_mode = PrecisionMode.parse(config.mode)
+    # Escalations the interrupted run already journaled.
+    escalations = {
+        r["tile_id"]: PrecisionMode.parse(r["mode"])
+        for r in journal.completed_records()
+        if r["mode"] is not None and PrecisionMode.parse(r["mode"]) != base_mode
+    }
+    report = execute_plan(
+        plan,
+        NumericBackend(discount_shared_h2d=True),
+        sim,
+        accumulator=accumulator,
+        placement=placement,
+        observers=observers,
+        max_retries=max_retries,
+        health=health,
+        oom_split=oom_split,
+        failure_injector=failure_injector,
+        corruptor=corruptor,
+        journal=journal,
+    )
+    escalations.update(report.escalations)
+    return MatrixProfileResult(
+        profile=accumulator.host_profile(),
+        index=accumulator.host_index(),
+        mode=spec.policy.mode,
+        m=spec.m,
+        n_tiles=report.tiles_total,
+        n_gpus=config.n_gpus,
+        timeline=sim.timeline,
+        merge_time=accumulator.merge_time(report.tiles_total),
+        costs=accumulator.costs,
+        h2d_saved_bytes=accumulator.h2d_saved_bytes,
+        escalations=escalations,
+        split_tiles=dict(report.splits),
+        resumed_tiles=report.tiles_restored,
+    )

@@ -21,9 +21,25 @@ loop now, with the variation points made explicit:
   metrics, anytime-style progress callbacks and trace annotation without
   the loop knowing about any of them.
 
-Device OOM (:class:`~repro.gpu.memory.DeviceOutOfMemoryError`) is *not*
-retried — it propagates so callers can re-plan with a finer tiling, the
-paper's own answer to memory pressure.
+Fault tolerance (all opt-in; the happy path stays bit-identical):
+
+* **health checks / escalation** — pass a
+  :class:`~repro.engine.health.HealthPolicy` and every tile's output is
+  validated (non-finite or negative distances, implausible implied
+  correlations); a sick tile re-executes one rung up the
+  FP16 -> Mixed -> FP32 -> FP64 ladder until it passes or
+  :class:`~repro.engine.health.TileHealthError` ends the run;
+* **OOM splitting** — with ``oom_split=True`` a tile that cannot fit is
+  quartered (halved along a 1-segment axis) and its children re-queued,
+  instead of aborting the job;
+* **journaling** — pass a :class:`~repro.engine.checkpoint.RunJournal`
+  and completed tiles are recorded (tile log + accumulator snapshot);
+  a journaled dispatch skips already-completed tiles on resume.
+
+Without ``oom_split``, device OOM
+(:class:`~repro.gpu.memory.DeviceOutOfMemoryError`) is *not* retried —
+it propagates so callers can re-plan with a finer tiling, the paper's
+own answer to memory pressure.
 """
 
 from __future__ import annotations
@@ -36,10 +52,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.tiling import Tile
+from ..gpu.memory import DeviceOutOfMemoryError
 from ..gpu.simulator import GPUSimulator, schedule_tile_timing
 from ..gpu.stream import Timeline, flush_streams
+from ..precision.modes import PrecisionMode
 from .accumulate import ProfileAccumulator
 from .backends import TileBackend, TileExecution
+from .health import HealthPolicy, TileHealthError, escalation_next
 from .plan import ExecutionPlan
 
 __all__ = [
@@ -62,12 +81,24 @@ class TransientDeviceError(RuntimeError):
 class TileRetryExhaustedError(RuntimeError):
     """A tile failed on every allowed attempt."""
 
-    def __init__(self, tile_id: int, attempts: int, last: Exception):
+    def __init__(
+        self,
+        tile_id: int,
+        attempts: int,
+        last: Exception,
+        gpu_ids: tuple[int, ...] = (),
+    ):
         self.tile_id = tile_id
         self.attempts = attempts
         self.last = last
+        self.gpu_ids = tuple(gpu_ids)
+        tried = (
+            f" (GPUs tried: {', '.join(str(g) for g in self.gpu_ids)})"
+            if self.gpu_ids
+            else ""
+        )
         super().__init__(
-            f"tile {tile_id} failed after {attempts} attempts: {last}"
+            f"tile {tile_id} failed after {attempts} attempts{tried}: {last}"
         )
 
 
@@ -79,9 +110,15 @@ class StaticPlacement:
         self._by_id = {
             tile.tile_id: gpu for tile, gpu in zip(plan.tiles, plan.assignment)
         }
+        self._n_gpus = max(plan.assignment, default=0) + 1
 
     def pick(self, tile: Tile, excluded: set[int]) -> int:
-        return self._by_id[tile.tile_id]
+        gpu = self._by_id.get(tile.tile_id)
+        if gpu is None:
+            # Tiles born after planning (OOM splits): same round-robin-
+            # by-id rule the static assignment used.
+            gpu = tile.tile_id % self._n_gpus
+        return gpu
 
 
 class RoundRobinPlacement:
@@ -135,6 +172,22 @@ class TileObserver:
     def on_deadline(self, remaining: list[Tile]) -> None:
         """The deadline expired; ``remaining`` tiles were abandoned."""
 
+    def on_tile_escalate(
+        self,
+        tile: Tile,
+        gpu_id: int,
+        from_mode: PrecisionMode,
+        to_mode: PrecisionMode,
+        issues: list[str],
+    ) -> None:
+        """A tile failed its health checks and was re-queued one rung up
+        the escalation ladder."""
+
+    def on_tile_split(
+        self, tile: Tile, children: list[Tile], error: Exception
+    ) -> None:
+        """A tile hit device OOM and was replaced by ``children``."""
+
 
 class CallbackObserver(TileObserver):
     """Adapter turning plain callables into a :class:`TileObserver`."""
@@ -145,11 +198,15 @@ class CallbackObserver(TileObserver):
         on_retry: Callable | None = None,
         on_deadline: Callable | None = None,
         on_start: Callable | None = None,
+        on_escalate: Callable | None = None,
+        on_split: Callable | None = None,
     ):
         self._complete = on_complete
         self._retry = on_retry
         self._deadline = on_deadline
         self._start = on_start
+        self._escalate = on_escalate
+        self._split = on_split
 
     def on_tile_start(self, tile, gpu_id, attempt):
         if self._start:
@@ -167,12 +224,49 @@ class CallbackObserver(TileObserver):
         if self._deadline:
             self._deadline(remaining)
 
+    def on_tile_escalate(self, tile, gpu_id, from_mode, to_mode, issues):
+        if self._escalate:
+            self._escalate(tile, gpu_id, from_mode, to_mode, issues)
+
+    def on_tile_split(self, tile, children, error):
+        if self._split:
+            self._split(tile, children, error)
+
 
 @dataclass
 class _TileWork:
     tile: Tile
     attempt: int = 0
     excluded: set[int] = field(default_factory=set)
+    mode: PrecisionMode | None = None  # escalated execution mode
+    devices: list[int] = field(default_factory=list)  # attempted GPU ids
+    split_depth: int = 0
+    preflighted: bool = False
+
+
+def _split_tile(tile: Tile, next_id: int) -> list[Tile]:
+    """Quarter a tile (halve along any axis with >= 2 segments).
+
+    Children keep global segment coordinates, so their outputs merge into
+    the accumulator exactly like planned tiles.  A 1x1 tile cannot split
+    (returns ``[]``; the OOM then propagates).
+    """
+    row_halves = [(tile.row_start, tile.row_stop)]
+    if tile.n_rows >= 2:
+        mid = tile.row_start + tile.n_rows // 2
+        row_halves = [(tile.row_start, mid), (mid, tile.row_stop)]
+    col_halves = [(tile.col_start, tile.col_stop)]
+    if tile.n_cols >= 2:
+        mid = tile.col_start + tile.n_cols // 2
+        col_halves = [(tile.col_start, mid), (mid, tile.col_stop)]
+    if len(row_halves) == 1 and len(col_halves) == 1:
+        return []
+    children = []
+    for r0, r1 in row_halves:
+        for c0, c1 in col_halves:
+            children.append(Tile(next_id, r0, r1, c0, c1))
+            next_id += 1
+    return children
 
 
 @dataclass
@@ -184,6 +278,15 @@ class DispatchReport:
     tile_retries: int = 0
     deadline_hit: bool = False
     executions: list[TileExecution] = field(default_factory=list)
+    #: tile id -> final precision mode, for tiles escalated off the
+    #: plan's base mode (health failures or pre-flight risk).
+    escalations: dict[int, PrecisionMode] = field(default_factory=dict)
+    #: parent tile id -> child tile ids, for tiles split on device OOM.
+    splits: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    #: health-check failures observed (each one escalated or fatal).
+    health_failures: int = 0
+    #: tiles skipped because a journal already had them (resume).
+    tiles_restored: int = 0
 
     @property
     def partial(self) -> bool:
@@ -206,6 +309,10 @@ def execute_plan(
     flush_per_tile: bool = False,
     lock=None,
     keep_executions: bool = False,
+    health: HealthPolicy | None = None,
+    corruptor: Callable | None = None,
+    oom_split: bool = False,
+    journal=None,
 ) -> DispatchReport:
     """Run every tile of ``plan`` on ``sim`` through ``backend``.
 
@@ -223,6 +330,16 @@ def execute_plan(
     ``lock`` serialises stream bookkeeping across concurrent dispatches.
     ``keep_executions`` retains per-tile :class:`TileExecution` records
     on the report (off by default to keep big runs lean).
+
+    Fault tolerance (all opt-in, see the module docstring): ``health``
+    validates every tile output and escalates sick tiles up the precision
+    ladder; ``corruptor(label, tile, gpu_id, attempt, output)`` may
+    scribble over a base-mode tile's output *before* the health check
+    (fault injection — escalated re-executions stay clean, so recovery
+    converges); ``oom_split`` splits a tile on device OOM instead of
+    propagating; ``journal`` (a :class:`~repro.engine.checkpoint
+    .RunJournal`-like object) records completed tiles and skips tiles it
+    already holds.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -231,8 +348,18 @@ def execute_plan(
     lock = lock if lock is not None else nullcontext()
     tile_label = f"{label}:tile" if label else "tile"
     report = DispatchReport(tiles_total=plan.n_tiles)
+    base_mode = PrecisionMode.parse(plan.spec.config.mode)
 
-    work = deque(_TileWork(tile) for tile in plan.tiles)
+    completed_keys = journal.completed_keys() if journal is not None else frozenset()
+    next_id = max((t.tile_id for t in plan.tiles), default=-1) + 1
+    work: deque[_TileWork] = deque()
+    for tile in plan.tiles:
+        if journal is not None and journal.key(tile) in completed_keys:
+            report.tiles_completed += 1
+            report.tiles_restored += 1
+            continue
+        work.append(_TileWork(tile))
+
     while work:
         if deadline_at is not None and clock() >= deadline_at:
             # Anytime-style: merge what finished, abandon the rest.
@@ -242,8 +369,24 @@ def execute_plan(
                 obs.on_deadline(remaining)
             break
         item = work.popleft()
+        if (
+            health is not None
+            and health.preflight
+            and not item.preflighted
+            and item.mode is None
+            and plan.spec.reference is not None
+        ):
+            # Pre-flight risk scoring: start overflow-doomed tiles at the
+            # first rung their own data cannot overflow.
+            item.preflighted = True
+            target = health.preflight_mode(plan.spec, item.tile)
+            if target != base_mode:
+                item.mode = target
+                report.escalations[item.tile.tile_id] = target
+        active_plan = plan if item.mode is None else plan.escalated(item.mode)
         gpu_id = placement.pick(item.tile, item.excluded)
         gpu = sim.gpus[gpu_id]
+        item.devices.append(gpu_id)
         for obs in observers:
             obs.on_tile_start(item.tile, gpu_id, item.attempt)
         try:
@@ -251,11 +394,12 @@ def execute_plan(
             # injected failure never leaks pool memory.
             if failure_injector is not None:
                 failure_injector(label, item.tile, gpu_id, item.attempt)
-            execution = backend.run(plan, item.tile, gpu)
+            execution = backend.run(active_plan, item.tile, gpu)
         except TransientDeviceError as exc:
             if item.attempt >= max_retries:
                 raise TileRetryExhaustedError(
-                    item.tile.tile_id, item.attempt + 1, exc
+                    item.tile.tile_id, item.attempt + 1, exc,
+                    gpu_ids=tuple(item.devices),
                 ) from exc
             for obs in observers:
                 obs.on_tile_retry(item.tile, gpu_id, item.attempt, exc)
@@ -264,6 +408,53 @@ def execute_plan(
             report.tile_retries += 1
             work.append(item)  # re-queue at the back, different device
             continue
+        except DeviceOutOfMemoryError as exc:
+            if not oom_split:
+                raise
+            children = _split_tile(item.tile, next_id)
+            if not children:
+                raise  # 1x1 tile: nothing left to split off
+            next_id += len(children)
+            report.splits[item.tile.tile_id] = tuple(
+                c.tile_id for c in children
+            )
+            report.tiles_total += len(children) - 1
+            for obs in observers:
+                obs.on_tile_split(item.tile, children, exc)
+            for child in children:
+                if journal is not None and journal.key(child) in completed_keys:
+                    report.tiles_completed += 1
+                    report.tiles_restored += 1
+                    continue
+                work.append(
+                    _TileWork(
+                        child,
+                        mode=item.mode,
+                        split_depth=item.split_depth + 1,
+                        preflighted=item.preflighted,
+                    )
+                )
+            continue
+        if (
+            corruptor is not None
+            and item.mode is None
+            and execution.output is not None
+        ):
+            corruptor(label, item.tile, gpu_id, item.attempt, execution.output)
+        if health is not None and execution.output is not None:
+            issues = health.check(execution.output, plan.spec.m)
+            if issues:
+                report.health_failures += 1
+                current = execution.mode if execution.mode is not None else base_mode
+                nxt = escalation_next(current) if health.escalate else None
+                if nxt is None:
+                    raise TileHealthError(item.tile.tile_id, current, issues)
+                for obs in observers:
+                    obs.on_tile_escalate(item.tile, gpu_id, current, nxt, issues)
+                item.mode = nxt
+                report.escalations[item.tile.tile_id] = nxt
+                work.append(item)  # re-execute one rung up the ladder
+                continue
         execution.gpu_id = gpu_id
         with lock:
             stream = gpu.next_stream()
@@ -275,6 +466,8 @@ def execute_plan(
                 flush_streams(gpu.streams, timeline)
         if accumulator is not None:
             accumulator.add(execution)
+            if journal is not None:
+                journal.record(execution, accumulator)
         report.tiles_completed += 1
         if keep_executions:
             report.executions.append(execution)

@@ -1,0 +1,222 @@
+"""Per-tile numerical health: output validation, risk scoring, escalation.
+
+The paper's error analysis (Section V-B) is *offline*: bounds computed
+before a run tell you which precision is safe for which tile size.  This
+module turns those bounds into runtime guarantees.  Two mechanisms:
+
+* **output validation** — :func:`check_tile_output` inspects a tile's
+  distance plane after execution: NaN/Inf entries, negative distances,
+  and distances whose implied correlation (Eq. 1 inverted,
+  :func:`repro.precision.errors.implied_correlation`) falls outside
+  ``[-1 - tol, 1 + tol]`` are all impossible for genuine data and mark
+  the tile as numerically sick;
+* **pre-flight risk scoring** — :func:`preflight_tile_risk` applies the
+  Section V-B diagnostics (:func:`overflow_risk_fraction`,
+  :func:`flat_region_fraction`, :func:`streaming_qt_error_bound`) to a
+  tile's own data slice *before* dispatch, so overflow-doomed FP16 tiles
+  can start at a wider mode instead of failing first.
+
+A sick tile is re-executed up the **escalation ladder**
+
+    FP16 -> Mixed -> FP32 -> FP64
+
+— the exact inverse of the service's shedding ladder
+(:data:`repro.service.admission.DOWNGRADE_LADDER`), with FP16C entering
+at the Mixed rung (it already widens the precalculation, so the next
+meaningful step is FP32).  :class:`HealthPolicy` bundles the knobs the
+dispatcher consumes; everything defaults to *off* so the happy path
+stays bit-identical to the golden parity suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..precision.errors import (
+    flat_region_fraction,
+    implied_correlation,
+    overflow_risk_fraction,
+    streaming_qt_error_bound,
+)
+from ..precision.modes import PrecisionMode
+
+__all__ = [
+    "ESCALATION_LADDER",
+    "escalation_next",
+    "check_tile_output",
+    "HealthPolicy",
+    "TileHealthError",
+    "TileRisk",
+    "preflight_tile_risk",
+]
+
+#: The recovery ladder, fastest/least-accurate first — the inverse of the
+#: service's :data:`~repro.service.admission.DOWNGRADE_LADDER`.
+ESCALATION_LADDER: tuple[PrecisionMode, ...] = (
+    PrecisionMode.FP16,
+    PrecisionMode.MIXED,
+    PrecisionMode.FP32,
+    PrecisionMode.FP64,
+)
+
+#: Next rung per mode; FP16C already widens the precalculation, so its
+#: next meaningful step is FP32 (same as Mixed).  FP64 has nowhere to go.
+_NEXT_MODE: dict[PrecisionMode, PrecisionMode | None] = {
+    PrecisionMode.FP16: PrecisionMode.MIXED,
+    PrecisionMode.MIXED: PrecisionMode.FP32,
+    PrecisionMode.FP16C: PrecisionMode.FP32,
+    PrecisionMode.FP32: PrecisionMode.FP64,
+    PrecisionMode.FP64: None,
+}
+
+
+def escalation_next(mode: "PrecisionMode | str") -> PrecisionMode | None:
+    """The next (more accurate) rung above ``mode``; None at the top."""
+    return _NEXT_MODE[PrecisionMode.parse(mode)]
+
+
+class TileHealthError(RuntimeError):
+    """A tile failed its health checks with no escalation rung left."""
+
+    def __init__(self, tile_id: int, mode: PrecisionMode, issues: list[str]):
+        self.tile_id = tile_id
+        self.mode = mode
+        self.issues = list(issues)
+        super().__init__(
+            f"tile {tile_id} failed health checks at {mode} with no "
+            f"escalation left: {'; '.join(issues)}"
+        )
+
+
+def check_tile_output(
+    profile: np.ndarray,
+    indices: np.ndarray,
+    m: int,
+    correlation_tol: float = 0.25,
+) -> list[str]:
+    """Validate one tile's distance plane; returns the list of issues.
+
+    Only entries with a recorded match (``indices >= 0``) are checked:
+    saturated / fully-excluded columns legitimately sit at the dtype
+    limit with index -1 and carry no numerical information.
+    """
+    valid = indices >= 0
+    if not valid.any():
+        return []
+    values = profile[valid].astype(np.float64)
+    issues: list[str] = []
+    n_nan = int(np.isnan(values).sum())
+    if n_nan:
+        issues.append(f"{n_nan} NaN distance(s)")
+    n_inf = int(np.isinf(values).sum())
+    if n_inf:
+        issues.append(f"{n_inf} infinite distance(s)")
+    finite = values[np.isfinite(values)]
+    n_neg = int((finite < 0).sum())
+    if n_neg:
+        issues.append(f"{n_neg} negative distance(s)")
+    corr = implied_correlation(finite[finite >= 0], m)
+    n_out = int((corr < -1.0 - correlation_tol).sum())
+    n_out += int((corr > 1.0 + correlation_tol).sum())
+    if n_out:
+        issues.append(
+            f"{n_out} distance(s) imply correlation outside "
+            f"[-1-{correlation_tol:g}, 1+{correlation_tol:g}]"
+        )
+    return issues
+
+
+@dataclass(frozen=True)
+class TileRisk:
+    """Pre-flight Section V-B diagnostics for one tile's data slice."""
+
+    tile_id: int
+    mode: PrecisionMode
+    overflow_fraction: float  # segments whose dot product overflows compute
+    flat_fraction: float  # ill-conditioned near-flat segments
+    qt_error_bound: float  # relative QT bound for the tile's row count
+
+    @property
+    def risky(self) -> bool:
+        """Expected to produce unusable numbers at this mode (overflow or
+        a meaningless >= 50% error bound — the ErrorBudget heuristic)."""
+        return self.overflow_fraction > 0.0 or not self.qt_error_bound < 0.5
+
+
+def preflight_tile_risk(spec, tile, mode: "PrecisionMode | str | None" = None) -> TileRisk:
+    """Score one tile of ``spec`` before dispatch (host series required).
+
+    Applies the offline bounds to the tile's *own* row/col slices, so a
+    single large-deviation region flags only the tiles covering it.
+    """
+    if spec.reference is None:
+        raise ValueError("pre-flight risk scoring needs host series "
+                         "(JobSpec.from_arrays)")
+    from ..precision.modes import policy_for
+
+    policy = policy_for(mode if mode is not None else spec.config.mode)
+    m = spec.m
+    r0, r1 = tile.sample_range_rows(m)
+    c0, c1 = tile.sample_range_cols(m)
+    query = spec.reference if spec.self_join else spec.query
+    rows = spec.reference[r0:r1]
+    cols = query[c0:c1]
+    overflow = max(
+        overflow_risk_fraction(rows, m, policy.compute),
+        overflow_risk_fraction(cols, m, policy.compute),
+    )
+    flat = max(
+        flat_region_fraction(rows, m),
+        flat_region_fraction(cols, m),
+    )
+    return TileRisk(
+        tile_id=tile.tile_id,
+        mode=policy.mode,
+        overflow_fraction=overflow,
+        flat_fraction=flat,
+        qt_error_bound=streaming_qt_error_bound(tile.n_rows, m, policy.mode),
+    )
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """What the dispatcher checks and how it recovers.
+
+    Parameters
+    ----------
+    correlation_tol:
+        Slack on the implied-correlation range ``[-1 - tol, 1 + tol]``.
+        Generous by default: legitimate FP16 rounding stays inside it,
+        corruption and overflow blow-ups do not.
+    escalate:
+        Re-execute a sick tile one rung up the ladder.  With ``False``
+        the first failed check raises :class:`TileHealthError` directly.
+    preflight:
+        Score each tile with :func:`preflight_tile_risk` before its first
+        dispatch and start risky tiles at the first safe rung (requires
+        host series on the spec; silently skipped otherwise).
+    """
+
+    correlation_tol: float = 0.25
+    escalate: bool = True
+    preflight: bool = False
+
+    def check(self, output, m: int) -> list[str]:
+        """Issues in one :class:`~repro.engine.backends.TileOutput`."""
+        return check_tile_output(
+            output.profile, output.indices, m, self.correlation_tol
+        )
+
+    def preflight_mode(self, spec, tile) -> PrecisionMode:
+        """First ladder rung at/above the spec's mode the tile's own data
+        is not expected to overflow (pre-flight risk scoring)."""
+        mode = PrecisionMode.parse(spec.config.mode)
+        while True:
+            if not preflight_tile_risk(spec, tile, mode).risky:
+                return mode
+            nxt = escalation_next(mode)
+            if nxt is None:
+                return mode
+            mode = nxt

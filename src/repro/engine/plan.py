@@ -165,6 +165,43 @@ class JobSpec:
     def policy(self) -> PrecisionPolicy:
         return self.config.policy
 
+    def escalated(self, mode) -> "JobSpec":
+        """A copy of this spec running at ``mode`` (precision escalation).
+
+        With host series present the layouts are rebuilt from them
+        (lazily); a layouts-only spec upcasts its device layouts instead
+        — exact for every ladder step, since escalation only ever widens
+        the storage dtype.  Modeled specs cannot escalate.
+        """
+        from ..precision.modes import PrecisionMode, policy_for
+
+        mode = PrecisionMode.parse(mode)
+        config = self.config.with_(mode=mode)
+        spec = JobSpec(
+            m=self.m,
+            config=config,
+            d=self.d,
+            n_r_seg=self.n_r_seg,
+            n_q_seg=self.n_q_seg,
+            self_join=self.self_join,
+            exclusion_zone=self.exclusion_zone,
+            reference=self.reference,
+            query=self.query,
+        )
+        if self.reference is None:
+            if self._tr_layout is None:
+                raise ValueError("a modeled JobSpec cannot be escalated")
+            storage = policy_for(mode).storage
+            spec._tr_layout = np.ascontiguousarray(
+                self._tr_layout.astype(storage)
+            )
+            spec._tq_layout = (
+                spec._tr_layout
+                if self.self_join
+                else np.ascontiguousarray(self._tq_layout.astype(storage))
+            )
+        return spec
+
     @property
     def is_modeled(self) -> bool:
         """True when the spec carries no data (analytic-only)."""
@@ -233,6 +270,7 @@ class ExecutionPlan:
     assignment: list[int]
     tr_layout: np.ndarray | None = None
     tq_layout: np.ndarray | None = None
+    _escalated: dict = field(default_factory=dict, repr=False)
 
     @property
     def n_tiles(self) -> int:
@@ -241,3 +279,29 @@ class ExecutionPlan:
     def static_gpu_of(self, tile: Tile) -> int:
         """The statically assigned GPU of ``tile`` (by position)."""
         return self.assignment[self.tiles.index(tile)]
+
+    def escalated(self, mode) -> "ExecutionPlan":
+        """This plan with its spec escalated to ``mode`` (cached).
+
+        Same tiles, same assignment — only the precision (and therefore
+        the layouts) changes, so an escalated tile re-executes on exactly
+        the geometry it failed on.
+        """
+        from ..precision.modes import PrecisionMode
+
+        mode = PrecisionMode.parse(mode)
+        if mode == PrecisionMode.parse(self.spec.config.mode):
+            return self
+        cached = self._escalated.get(mode)
+        if cached is None:
+            spec = self.spec.escalated(mode)
+            tr, tq = (None, None) if spec.is_modeled else spec.layouts()
+            cached = ExecutionPlan(
+                spec=spec,
+                tiles=self.tiles,
+                assignment=self.assignment,
+                tr_layout=tr,
+                tq_layout=tq,
+            )
+            self._escalated[mode] = cached
+        return cached

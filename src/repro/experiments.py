@@ -106,6 +106,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "service", "Sec. VII", "Service: cache throughput + precision-aware load shedding",
         "bench_service_throughput.py", "service_cache_throughput", "executed",
     ),
+    Experiment(
+        "faults", "Sec. VII", "Fault tolerance: health-check overhead + recovery under fault storms",
+        "bench_fault_recovery.py", "fault_recovery", "executed",
+    ),
 )
 
 

@@ -86,6 +86,16 @@ def save_result(result: MatrixProfileResult, path: "str | Path") -> Path:
         "merge_time": result.merge_time,
         "timeline": _timeline_to_records(result.timeline),
         "costs": _costs_to_records(result.costs),
+        # Fault-tolerance provenance (absent in archives written before
+        # the recovery machinery existed; load_result defaults them).
+        "escalations": {
+            str(tid): mode.value for tid, mode in result.escalations.items()
+        },
+        "split_tiles": {
+            str(tid): list(children)
+            for tid, children in result.split_tiles.items()
+        },
+        "resumed_tiles": result.resumed_tiles,
     }
     np.savez_compressed(
         path,
@@ -114,4 +124,13 @@ def load_result(path: "str | Path") -> MatrixProfileResult:
             timeline=_timeline_from_records(header["timeline"]),
             merge_time=float(header["merge_time"]),
             costs=_costs_from_records(header["costs"]),
+            escalations={
+                int(tid): PrecisionMode.parse(mode)
+                for tid, mode in header.get("escalations", {}).items()
+            },
+            split_tiles={
+                int(tid): tuple(children)
+                for tid, children in header.get("split_tiles", {}).items()
+            },
+            resumed_tiles=int(header.get("resumed_tiles", 0)),
         )

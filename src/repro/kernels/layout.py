@@ -33,10 +33,23 @@ def validate_series(series: np.ndarray, name: str = "series") -> np.ndarray:
         raise ValueError(f"{name} must have at least 2 samples, got {arr.shape[0]}")
     if not np.issubdtype(arr.dtype, np.floating):
         arr = arr.astype(np.float64)
-    if not np.isfinite(arr).all():
+    finite = np.isfinite(arr)
+    if not finite.all():
+        # Name the offending dimension and index range so the user can
+        # find the bad sensor/segment without bisecting the series.
+        bad = np.nonzero(~finite)
+        dims = np.unique(bad[1])
+        rows = bad[0][bad[1] == dims[0]]
+        where = (
+            f"dimension {int(dims[0])}, indices {int(rows.min())}"
+            f"..{int(rows.max())}"
+        )
+        if dims.size > 1:
+            where += f" (and {dims.size - 1} more dimension(s))"
         raise ValueError(
-            f"{name} contains non-finite values (NaN/inf); impute or drop "
-            "them before mining — z-normalised distances are undefined there"
+            f"{name} contains {int((~finite).sum())} non-finite values "
+            f"(NaN/inf) at {where}; impute or drop them before mining — "
+            "z-normalised distances are undefined there"
         )
     return arr
 

@@ -28,6 +28,8 @@ __all__ = [
     "streaming_qt_error_bound",
     "tile_edge_for_target_error",
     "correlation_condition_number",
+    "implied_correlation",
+    "max_plausible_distance",
     "overflow_risk_fraction",
     "flat_region_fraction",
     "ErrorBudget",
@@ -106,6 +108,34 @@ def correlation_condition_number(corr: np.ndarray) -> np.ndarray:
     corr = np.asarray(corr, dtype=np.float64)
     with np.errstate(divide="ignore", invalid="ignore"):
         return np.abs(corr) / (2.0 * np.abs(1.0 - corr))
+
+
+def implied_correlation(distance: "np.ndarray | float", m: int) -> np.ndarray:
+    """The Pearson correlation a z-normalised distance implies (Eq. 1 inverted).
+
+    ``D = sqrt(2m(1 - corr))`` gives ``corr = 1 - D^2 / (2m)``.  A genuine
+    distance always implies ``corr`` in ``[-1, 1]``; rounding error pushes it
+    slightly outside, and corruption pushes it far outside — which is what
+    the per-tile health checks test for.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    d = np.asarray(distance, dtype=np.float64)
+    return 1.0 - (d * d) / (2.0 * m)
+
+
+def max_plausible_distance(m: int, tol: float = 0.0) -> float:
+    """Largest distance a genuine correlation ``>= -1 - tol`` can produce.
+
+    ``sqrt(2m(2 + tol))`` — any profile entry above it implies a correlation
+    below ``-1 - tol`` and therefore cannot come from Eq. (1) applied to
+    real data; it is rounding blow-up or corruption.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if tol < 0:
+        raise ValueError(f"tol must be >= 0, got {tol}")
+    return math.sqrt(2.0 * m * (2.0 + tol))
 
 
 def overflow_risk_fraction(series: np.ndarray, m: int, dtype: np.dtype) -> float:

@@ -33,6 +33,7 @@ from .cache import ResultCache, cache_key
 from .job import Job, JobOutcome, JobRequest, JobStatus, series_digest
 from .metrics import MetricsSnapshot, ServiceMetrics, percentile
 from .scheduler import (
+    HealthPolicy,
     JobExecution,
     TileRetryExhaustedError,
     TileScheduler,
@@ -60,4 +61,5 @@ __all__ = [
     "JobExecution",
     "TransientDeviceError",
     "TileRetryExhaustedError",
+    "HealthPolicy",
 ]

@@ -35,6 +35,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..engine.health import ESCALATION_LADDER
 from ..extensions.transprecision import SoftFormat, transprecision_itemsize
 from ..gpu.device import DeviceSpec, get_device
 from ..gpu.perfmodel import single_tile_timing
@@ -43,12 +44,12 @@ from ..precision.modes import PrecisionMode, policy_for
 __all__ = ["DOWNGRADE_LADDER", "LoadEstimator", "AdmissionController", "AdmissionDecision"]
 
 #: The degradation ladder, slowest/most-accurate first (Section III-C
-#: order by throughput).
-DOWNGRADE_LADDER: tuple[PrecisionMode, ...] = (
-    PrecisionMode.FP64,
-    PrecisionMode.FP32,
-    PrecisionMode.MIXED,
-    PrecisionMode.FP16,
+#: order by throughput) — by construction the exact inverse of the
+#: engine's per-tile recovery ladder
+#: (:data:`repro.engine.health.ESCALATION_LADDER`): what the service
+#: sheds under load, the engine escalates under numerical distress.
+DOWNGRADE_LADDER: tuple[PrecisionMode, ...] = tuple(
+    reversed(ESCALATION_LADDER)
 )
 
 #: Ladder entry position per mode; FP16C degrades like Mixed (same

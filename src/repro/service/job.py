@@ -113,6 +113,11 @@ class JobOutcome:
     tiles_total: int = 0
     tiles_completed: int = 0
     tile_retries: int = 0
+    #: Tiles that failed a health check and were re-executed at a higher
+    #: precision (see :mod:`repro.engine.health`).
+    tile_escalations: int = 0
+    #: Tiles split after a device OOM (``oom_tile_split=True``).
+    tile_splits: int = 0
     deadline_missed: bool = False
     error: str | None = None
     #: For PARTIAL jobs: the anytime-style merge state (completed tiles

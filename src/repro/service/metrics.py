@@ -50,6 +50,8 @@ class MetricsSnapshot:
     downgraded_jobs: int
     tile_retries: int
     tiles_executed: int
+    tile_escalations: int
+    tile_splits: int
     deadline_misses: int
     elapsed: float
 
@@ -70,6 +72,8 @@ class MetricsSnapshot:
             ["downgraded jobs", self.downgraded_jobs],
             ["tile retries", self.tile_retries],
             ["tiles executed", self.tiles_executed],
+            ["tile escalations (health)", self.tile_escalations],
+            ["tile splits (OOM)", self.tile_splits],
             ["deadline misses", self.deadline_misses],
             ["window (s)", f"{self.elapsed:.2f}"],
         ]
@@ -92,6 +96,8 @@ class ServiceMetrics:
         self.downgraded_jobs = 0
         self.tile_retries = 0
         self.tiles_executed = 0
+        self.tile_escalations = 0
+        self.tile_splits = 0
         self.deadline_misses = 0
         self._latencies: list[float] = []
 
@@ -122,6 +128,8 @@ class ServiceMetrics:
         tiles: int = 0,
         retries: int = 0,
         deadline_missed: bool = False,
+        escalations: int = 0,
+        splits: int = 0,
     ) -> None:
         with self._lock:
             if partial:
@@ -131,6 +139,8 @@ class ServiceMetrics:
             self._latencies.append(latency)
             self.tiles_executed += tiles
             self.tile_retries += retries
+            self.tile_escalations += escalations
+            self.tile_splits += splits
             if deadline_missed:
                 self.deadline_misses += 1
 
@@ -166,6 +176,8 @@ class ServiceMetrics:
                 downgraded_jobs=self.downgraded_jobs,
                 tile_retries=self.tile_retries,
                 tiles_executed=self.tiles_executed,
+                tile_escalations=self.tile_escalations,
+                tile_splits=self.tile_splits,
                 deadline_misses=self.deadline_misses,
                 elapsed=elapsed,
             )

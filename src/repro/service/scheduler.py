@@ -15,7 +15,14 @@ the service's adapter over it, contributing the pool-shared state:
   a real service routes around a sick device.  Device OOM
   (:class:`~repro.gpu.memory.DeviceOutOfMemoryError`) is *not* retried —
   it propagates so the service layer can re-plan with a finer tiling,
-  the paper's own answer to memory pressure.
+  the paper's own answer to memory pressure (unless the scheduler is
+  built with ``oom_split=True``, in which case the engine splits the
+  offending tile in place).
+* **numerical health** — an optional
+  :class:`~repro.engine.health.HealthPolicy` validates every tile's
+  output and escalates sick tiles up the precision ladder; escalation
+  and split counts are surfaced on :class:`JobExecution` for the
+  service metrics.
 * **deadline timeout** — when the wall clock passes ``deadline_at`` the
   remaining tiles are abandoned and the completed ones are merged
   anytime-style: untouched query columns stay at the dtype limit, so the
@@ -44,10 +51,12 @@ from ..engine.dispatch import (  # noqa: F401 - re-exported API
     TransientDeviceError,
     execute_plan,
 )
+from ..engine.health import HealthPolicy  # noqa: F401 - re-exported API
 from ..engine.plan import JobSpec
 from ..gpu.kernel import KernelCost
 from ..gpu.simulator import GPUSimulator
 from ..gpu.stream import Timeline
+from ..precision.modes import PrecisionMode
 
 __all__ = ["TransientDeviceError", "TileRetryExhaustedError", "TileScheduler", "JobExecution"]
 
@@ -64,6 +73,9 @@ class JobExecution:
     tiles_total: int
     tiles_completed: int
     tile_retries: int
+    escalations: dict[int, PrecisionMode]
+    tiles_split: int
+    health_failures: int
 
     @property
     def partial(self) -> bool:
@@ -79,6 +91,9 @@ class TileScheduler:
         max_retries: int = 2,
         failure_injector=None,
         clock=time.monotonic,
+        health: "HealthPolicy | None" = None,
+        corruptor=None,
+        oom_split: bool = False,
     ):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -86,6 +101,9 @@ class TileScheduler:
         self.max_retries = max_retries
         self.failure_injector = failure_injector
         self.clock = clock
+        self.health = health
+        self.corruptor = corruptor
+        self.oom_split = oom_split
         # One lock guards the allocator/stream bookkeeping AND the
         # placement cursor (RLock: the engine nests them).
         self._lock = threading.RLock()
@@ -133,6 +151,9 @@ class TileScheduler:
             label=label,
             flush_per_tile=True,
             lock=self._lock,
+            health=self.health,
+            corruptor=self.corruptor,
+            oom_split=self.oom_split,
         )
         return JobExecution(
             profile=accumulator.profile,
@@ -143,4 +164,7 @@ class TileScheduler:
             tiles_total=report.tiles_total,
             tiles_completed=report.tiles_completed,
             tile_retries=report.tile_retries,
+            escalations=dict(report.escalations),
+            tiles_split=len(report.splits),
+            health_failures=report.health_failures,
         )

@@ -45,7 +45,7 @@ from .admission import AdmissionController, LoadEstimator
 from .cache import ResultCache, cache_key
 from .job import Job, JobOutcome, JobRequest, JobStatus, QueuedJob, series_digest
 from .metrics import ServiceMetrics
-from .scheduler import TileRetryExhaustedError, TileScheduler
+from .scheduler import HealthPolicy, TileRetryExhaustedError, TileScheduler
 
 __all__ = ["MatrixProfileService"]
 
@@ -75,6 +75,19 @@ class MatrixProfileService:
     max_replans:
         How many times a job may be re-tiled (4x tiles each step) after
         device OOM before failing.
+    health_checks / health:
+        ``health_checks=True`` validates every tile's output and
+        escalates numerically sick tiles up the precision ladder
+        (:class:`~repro.engine.health.HealthPolicy`); pass ``health`` to
+        override the policy.  Escalations are recorded per job
+        (:attr:`JobOutcome.tile_escalations`) and in the metrics.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan`; its injector
+        and corruptor hooks exercise the recovery paths (a separately
+        supplied ``failure_injector`` takes precedence for injection).
+    oom_tile_split:
+        Split the offending tile in place on device OOM instead of
+        re-planning the whole job with a finer tiling.
     """
 
     def __init__(
@@ -91,13 +104,25 @@ class MatrixProfileService:
         failure_injector=None,
         max_replans: int = 4,
         clock=time.monotonic,
+        health_checks: bool = True,
+        health: "HealthPolicy | None" = None,
+        fault_plan=None,
+        oom_tile_split: bool = False,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.sim = GPUSimulator(device, n_gpus, n_streams)
+        health_policy = health or (HealthPolicy() if health_checks else None)
+        corruptor = None
+        if fault_plan is not None:
+            corruptor = fault_plan.corruptor
+            if failure_injector is None:
+                failure_injector = fault_plan.injector
         self.scheduler = TileScheduler(
             self.sim, max_retries=max_retries,
             failure_injector=failure_injector, clock=clock,
+            health=health_policy, corruptor=corruptor,
+            oom_split=oom_tile_split,
         )
         self.estimator = estimator or LoadEstimator(self.sim.spec)
         self.admission = admission or AdmissionController(
@@ -349,6 +374,7 @@ class MatrixProfileService:
             timeline=execution.timeline,
             merge_time=merge_time,
             costs=execution.costs,
+            escalations=dict(execution.escalations),
         )
 
         finished = self.clock()
@@ -380,6 +406,8 @@ class MatrixProfileService:
             tiles=execution.tiles_completed,
             retries=execution.tile_retries,
             deadline_missed=deadline_missed,
+            escalations=len(execution.escalations),
+            splits=execution.tiles_split,
         )
         self.admission.complete(job.job_id)
         job.finish(
@@ -394,6 +422,8 @@ class MatrixProfileService:
                 tiles_total=execution.tiles_total,
                 tiles_completed=execution.tiles_completed,
                 tile_retries=execution.tile_retries,
+                tile_escalations=len(execution.escalations),
+                tile_splits=execution.tiles_split,
                 deadline_missed=deadline_missed,
                 partial_state=partial_state,
             )

@@ -188,6 +188,35 @@ class TestDeadline:
             covered[tile.col_start : tile.col_stop] = True
         assert covered.all()
 
+    def test_deadline_before_any_tile_completes(self, plan_and_sim):
+        # Already past the deadline at dispatch time: nothing executes,
+        # observers see the *full* tile list abandoned, and the merge is
+        # the accumulator's identity — every column parked at the dtype
+        # limit with index -1 (a trivially valid upper bound).
+        spec, plan, sim = plan_and_sim
+        clock = FakeClock()
+        clock.t = 1.0
+        recorder = Recorder()
+        acc = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+        report = execute_plan(
+            plan,
+            NumericBackend(),
+            sim,
+            accumulator=acc,
+            observers=[recorder],
+            deadline_at=0.5,
+            clock=clock,
+        )
+        assert report.deadline_hit
+        assert report.partial
+        assert report.tiles_completed == 0
+        assert recorder.starts == [] and recorder.completes == []
+        assert recorder.deadline_remaining == [t.tile_id for t in plan.tiles]
+        profile = acc.host_profile()
+        limit = np.finfo(profile.dtype).max
+        assert (profile == limit).all()
+        assert (acc.host_index() == -1).all()
+
     def test_no_deadline_completes_everything(self, plan_and_sim):
         spec, plan, sim = plan_and_sim
         recorder = Recorder()

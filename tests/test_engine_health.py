@@ -1,0 +1,196 @@
+"""Per-tile numerical health: validation, risk scoring, escalation.
+
+The escalation ladder is the exact inverse of the service's shedding
+ladder; check_tile_output flags exactly the impossible-for-real-data
+outputs (NaN, Inf, negative, correlation > 1 + tol) while ignoring
+saturated index=-1 entries; escalation re-executes a sick tile with
+numerics bit-identical to a run that started at the wider mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.multi_tile import compute_multi_tile
+from repro.engine import (
+    ESCALATION_LADDER,
+    HealthPolicy,
+    JobSpec,
+    TileHealthError,
+    check_tile_output,
+    escalation_next,
+    preflight_tile_risk,
+)
+from repro.engine.faults import FaultPlan
+from repro.precision.modes import PrecisionMode
+from repro.service.admission import DOWNGRADE_LADDER
+
+
+def _bounded_series(rng, n=240, d=2):
+    t = np.linspace(0.0, 16.0 * np.pi, n)
+    return np.sin(t)[:, None] * np.linspace(0.5, 1.5, d) + 0.1 * rng.normal(
+        size=(n, d)
+    )
+
+
+class TestLadder:
+    def test_inverse_of_service_downgrade_ladder(self):
+        assert ESCALATION_LADDER == tuple(reversed(DOWNGRADE_LADDER))
+
+    def test_chain_walks_fp16_to_fp64(self):
+        mode = PrecisionMode.FP16
+        walked = [mode]
+        while (mode := escalation_next(mode)) is not None:
+            walked.append(mode)
+        assert tuple(walked) == ESCALATION_LADDER
+
+    def test_fp16c_enters_at_fp32(self):
+        assert escalation_next("FP16C") is PrecisionMode.FP32
+
+    def test_fp64_is_terminal(self):
+        assert escalation_next(PrecisionMode.FP64) is None
+
+
+class TestCheckTileOutput:
+    def _clean(self, m=16, shape=(2, 40)):
+        rng = np.random.default_rng(3)
+        profile = rng.uniform(0.1, np.sqrt(2 * m), size=shape)
+        indices = np.zeros(shape, dtype=np.int64)
+        return profile, indices
+
+    def test_clean_output_passes(self):
+        profile, indices = self._clean()
+        assert check_tile_output(profile, indices, 16) == []
+
+    @pytest.mark.parametrize(
+        "value, label",
+        [(np.nan, "NaN"), (np.inf, "infinite"), (-0.5, "negative")],
+    )
+    def test_detects_impossible_values(self, value, label):
+        profile, indices = self._clean()
+        profile[1, 7] = value
+        issues = check_tile_output(profile, indices, 16)
+        assert len(issues) == 1 and label in issues[0]
+
+    def test_detects_correlation_out_of_range(self):
+        # A huge finite distance implies correlation far below -1 - tol.
+        profile, indices = self._clean(m=16)
+        profile[0, 3] = 100.0  # implied corr = 1 - 10000/32 << -1.25
+        issues = check_tile_output(profile, indices, 16, correlation_tol=0.25)
+        assert len(issues) == 1 and "correlation" in issues[0]
+
+    def test_ignores_saturated_entries(self):
+        # Index -1 marks no-match columns parked at the dtype limit;
+        # their values carry no information and must not trip checks.
+        profile, indices = self._clean()
+        profile[0, 0] = np.inf
+        profile[1, 1] = np.nan
+        indices[0, 0] = indices[1, 1] = -1
+        assert check_tile_output(profile, indices, 16) == []
+
+    def test_all_saturated_tile_passes(self):
+        profile = np.full((2, 8), np.inf)
+        indices = np.full((2, 8), -1, dtype=np.int64)
+        assert check_tile_output(profile, indices, 16) == []
+
+
+class TestPreflight:
+    def test_overflowing_slice_is_risky_at_fp16_only(self, rng):
+        series = _bounded_series(rng)
+        # One region large enough that sum(x^2) over m overflows FP16.
+        series[60:120, 0] += 300.0
+        spec = JobSpec.from_arrays(
+            series, None, 16, RunConfig(mode="FP16", n_tiles=4)
+        )
+        risks = [preflight_tile_risk(spec, t) for t in spec.plan().tiles]
+        assert any(r.risky for r in risks)
+        safe = [
+            preflight_tile_risk(spec, t, PrecisionMode.FP32)
+            for t in spec.plan().tiles
+        ]
+        assert not any(r.overflow_fraction > 0 for r in safe)
+
+    def test_preflight_policy_starts_risky_tiles_wider(self, rng):
+        series = _bounded_series(rng)
+        series[60:120, 0] += 300.0
+        config = RunConfig(mode="FP16", n_tiles=4)
+        result = compute_multi_tile(
+            series, None, 16, config, health=HealthPolicy(preflight=True)
+        )
+        assert result.escalations  # overflow-doomed tiles never ran FP16
+        assert all(
+            mode in ESCALATION_LADDER for mode in result.escalations.values()
+        )
+        assert np.isfinite(result.profile).all()
+
+    def test_requires_host_series(self, rng):
+        series = _bounded_series(rng)
+        spec = JobSpec.from_arrays(series, None, 16, RunConfig(n_tiles=2))
+        tr, tq = spec.layouts()
+        layouts_only = JobSpec.from_layouts(tr, tq, 16, spec.config)
+        with pytest.raises(ValueError, match="host series"):
+            preflight_tile_risk(layouts_only, layouts_only.plan().tiles[0])
+
+
+class TestEscalation:
+    def test_corrupted_tile_escalates_and_completes(self, rng):
+        series = _bounded_series(rng)
+        config = RunConfig(mode="FP16", n_tiles=4, n_gpus=2)
+        plan = FaultPlan(seed=11, corrupt_rate=1.0, corrupt_count=2)
+        result = compute_multi_tile(
+            series, None, 16, config, health=HealthPolicy(), fault_plan=plan
+        )
+        # Every tile's base-mode output was corrupted -> every tile
+        # escalated exactly one rung (the re-execution stays clean).
+        assert set(result.escalations) == set(range(result.n_tiles))
+        assert set(result.escalations.values()) == {PrecisionMode.MIXED}
+        assert np.isfinite(result.profile).all()
+        assert (result.index >= 0).all()
+
+    def test_escalated_matches_wider_mode_bitwise(self, rng):
+        # Escalation is re-execution, not repair: an FP32 tile escalated
+        # to FP64 merges output bit-identical to the pure-FP64
+        # computation cast into the FP32-storage accumulator.
+        series = _bounded_series(rng)
+        fp64 = compute_multi_tile(series, None, 16, RunConfig(n_tiles=1))
+        result = compute_multi_tile(
+            series, None, 16, RunConfig(mode="FP32", n_tiles=1),
+            health=HealthPolicy(),
+            fault_plan=FaultPlan(seed=2, corrupt_rate=1.0),
+        )
+        assert result.escalations == {0: PrecisionMode.FP64}
+        assert np.array_equal(
+            result.profile, fp64.profile.astype(np.float32)
+        )
+        assert np.array_equal(result.index, fp64.index)
+
+    def test_escalation_disabled_raises(self, rng):
+        series = _bounded_series(rng)
+        with pytest.raises(TileHealthError, match="health checks"):
+            compute_multi_tile(
+                series, None, 16, RunConfig(mode="FP16", n_tiles=2),
+                health=HealthPolicy(escalate=False),
+                fault_plan=FaultPlan(seed=5, corrupt_rate=1.0),
+            )
+
+    def test_fp64_corruption_has_no_rung_left(self, rng):
+        series = _bounded_series(rng)
+        with pytest.raises(TileHealthError) as excinfo:
+            compute_multi_tile(
+                series, None, 16, RunConfig(mode="FP64", n_tiles=2),
+                health=HealthPolicy(),
+                fault_plan=FaultPlan(seed=5, corrupt_rate=1.0),
+            )
+        assert excinfo.value.mode is PrecisionMode.FP64
+        assert excinfo.value.issues
+
+    def test_healthy_run_records_nothing(self, rng):
+        series = _bounded_series(rng)
+        config = RunConfig(mode="FP32", n_tiles=4, n_gpus=2)
+        plain = compute_multi_tile(series, None, 16, config)
+        checked = compute_multi_tile(
+            series, None, 16, config, health=HealthPolicy()
+        )
+        assert checked.escalations == {}
+        assert np.array_equal(plain.profile, checked.profile)
+        assert np.array_equal(plain.index, checked.index)

@@ -28,6 +28,34 @@ class TestValidateSeries:
         with pytest.raises(ValueError, match="at least 2 samples"):
             validate_series(np.zeros(1))
 
+    def test_non_finite_rejected_naming_dimension_and_range(self, rng):
+        # The message must localise the bad data so the user can find
+        # the sensor/segment without bisecting the series.
+        x = rng.normal(size=(100, 3))
+        x[40:45, 1] = np.nan
+        x[43, 1] = np.inf
+        with pytest.raises(ValueError, match=r"dimension 1, indices 40..44"):
+            validate_series(x)
+
+    def test_non_finite_message_counts_extra_dimensions(self, rng):
+        x = rng.normal(size=(60, 3))
+        x[10, 0] = np.inf
+        x[20, 2] = np.nan
+        with pytest.raises(ValueError, match=r"and 1 more dimension"):
+            validate_series(x)
+
+    def test_non_finite_rejected_at_every_entry_point(self, rng):
+        # The same validation guards matrix_profile and service submit.
+        from repro.core.api import matrix_profile
+        from repro.service import JobRequest, MatrixProfileService
+
+        x = rng.normal(size=(120, 2))
+        x[33:36, 0] = np.nan
+        with pytest.raises(ValueError, match=r"dimension 0, indices 33..35"):
+            matrix_profile(x, m=16)
+        with pytest.raises(ValueError, match=r"dimension 0, indices 33..35"):
+            MatrixProfileService().submit(JobRequest(reference=x, m=16))
+
 
 class TestDeviceLayout:
     def test_roundtrip(self, rng):

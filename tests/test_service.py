@@ -433,6 +433,60 @@ class TestServiceDowngrades:
         assert snap.jobs_failed == 0
 
 
+class TestServiceFaultTolerance:
+    def test_corruption_escalates_and_reports(self, series):
+        from repro.engine.faults import FaultPlan
+
+        plan = FaultPlan(seed=11, corrupt_rate=1.0, corrupt_count=2)
+        service = make_service(fault_plan=plan, use_cache=False)
+        outcome = service.submit_and_wait(
+            JobRequest(reference=series, m=8, mode="FP16", n_tiles=4)
+        )
+        assert outcome.status is JobStatus.COMPLETED
+        assert outcome.tile_escalations == outcome.result.n_tiles
+        assert set(outcome.result.escalations.values()) == {PrecisionMode.MIXED}
+        assert np.isfinite(outcome.result.profile).all()
+        snap = service.metrics.snapshot()
+        assert snap.tile_escalations == outcome.tile_escalations
+        assert snap.jobs_failed == 0
+
+    def test_health_checks_disabled_lets_corruption_poison_merge(self, series):
+        from repro.engine.faults import FaultPlan
+
+        # Negative corrupted values win every strict-< merge: without
+        # health checks the poisoned profile completes "successfully".
+        plan = FaultPlan(seed=11, corrupt_rate=1.0)
+        service = make_service(
+            fault_plan=plan, health_checks=False, use_cache=False
+        )
+        outcome = service.submit_and_wait(
+            JobRequest(reference=series, m=8, mode="FP16", n_tiles=4)
+        )
+        assert outcome.status is JobStatus.COMPLETED
+        assert outcome.tile_escalations == 0
+        assert (outcome.result.profile < 0).any()
+
+    def test_injected_oom_splits_tiles_when_enabled(self, series):
+        from repro.engine.faults import FaultPlan
+
+        plan = FaultPlan(seed=9, oom_rate=1.0)
+        service = make_service(
+            fault_plan=plan, oom_tile_split=True, use_cache=False
+        )
+        outcome = service.submit_and_wait(
+            JobRequest(reference=series, m=8, n_tiles=4)
+        )
+        assert outcome.status is JobStatus.COMPLETED
+        assert outcome.tile_splits > 0
+        assert plan.event_counts().get("oom", 0) > 0
+        snap = service.metrics.snapshot()
+        assert snap.tile_splits == outcome.tile_splits
+        expected = matrix_profile(series, m=8, n_tiles=4)
+        np.testing.assert_allclose(
+            outcome.result.profile, expected.profile, atol=1e-3
+        )
+
+
 class TestMetricsAndReporting:
     def test_snapshot_to_rows_renders(self, series):
         from repro.reporting import render_service_metrics
