@@ -46,6 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="A100", help="simulated device")
     p.add_argument("--tiles", type=int, default=1)
     p.add_argument("--gpus", type=int, default=1)
+    p.add_argument(
+        "--row-block", type=int, default=None, metavar="B",
+        help="main-loop rows per kernel super-step (default 32; "
+        "1 = original per-row execution; any value is bit-exact)",
+    )
+    p.add_argument(
+        "--tile-workers", type=int, default=1, metavar="W",
+        help="host threads executing independent tiles concurrently "
+        "(deterministic tile-id merge order; default 1 = serial)",
+    )
     p.add_argument("--output", help="write P and I as CSV to this prefix")
     p.add_argument("--top", type=int, default=3, help="motifs to print")
     p.add_argument(
@@ -210,6 +220,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         n_tiles=args.tiles,
         n_gpus=args.gpus,
         journal=args.journal,
+        row_block=args.row_block,
+        parallel_workers=args.tile_workers,
         **_fault_tolerance_kwargs(args.fault_tolerant),
     )
     _print_result_summary(result, args.top, None)

@@ -31,6 +31,8 @@ def matrix_profile(
     oom_split: bool = False,
     journal=None,
     observers=(),
+    row_block: int | None = None,
+    parallel_workers: int = 1,
 ) -> MatrixProfileResult:
     """Compute the multi-dimensional matrix profile of ``query`` against
     ``reference`` on simulated GPU hardware.
@@ -65,6 +67,15 @@ def matrix_profile(
         see that function).  Using any of them routes the computation
         through the tiled engine even for a single-tile configuration,
         since the recovery machinery lives in the tile dispatch loop.
+    row_block:
+        Main-loop rows executed per kernel super-step
+        (:attr:`~repro.core.config.RunConfig.row_block`; default 32).
+        Any value is bit-exact — ``1`` recovers the original per-row
+        emulation.
+    parallel_workers:
+        Host threads executing independent tiles concurrently (results
+        merge in tile-id order, so output is deterministic and identical
+        to serial dispatch).  ``> 1`` routes through the tiled engine.
 
     Returns
     -------
@@ -82,7 +93,7 @@ def matrix_profile(
     >>> result.profile.shape
     (481, 4)
     """
-    config = RunConfig(
+    config_kwargs = dict(
         mode=mode,
         device=device,
         n_tiles=n_tiles,
@@ -90,6 +101,9 @@ def matrix_profile(
         n_streams=n_streams,
         exclusion_zone=exclusion_zone,
     )
+    if row_block is not None:
+        config_kwargs["row_block"] = row_block
+    config = RunConfig(**config_kwargs)
     fault_tolerant = (
         health is not None
         or fault_plan is not None
@@ -97,6 +111,7 @@ def matrix_profile(
         or oom_split
         or journal is not None
         or bool(observers)
+        or parallel_workers > 1
     )
     if config.n_tiles == 1 and config.n_gpus == 1 and not fault_tolerant:
         return compute_single_tile(reference, query, m, config)
@@ -111,4 +126,5 @@ def matrix_profile(
         oom_split=oom_split,
         journal=journal,
         observers=observers,
+        parallel_workers=parallel_workers,
     )

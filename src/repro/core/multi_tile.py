@@ -52,6 +52,7 @@ def compute_multi_tile(
     oom_split: bool = False,
     journal: "RunJournal | str | None" = None,
     observers=(),
+    parallel_workers: int = 1,
 ) -> MatrixProfileResult:
     """Matrix profile via the tiling scheme on simulated multi-GPU hardware.
 
@@ -71,7 +72,10 @@ def compute_multi_tile(
     * ``oom_split`` — split a tile on device OOM instead of raising;
     * ``journal`` — a :class:`~repro.engine.checkpoint.RunJournal` (or a
       directory path to create one) checkpointing completed tiles for
-      :func:`~repro.engine.checkpoint.resume_plan`.
+      :func:`~repro.engine.checkpoint.resume_plan`;
+    * ``parallel_workers`` — host threads executing independent tiles
+      concurrently (results merge in tile-id order, so the output is
+      deterministic and matches the serial dispatch bit for bit).
     """
     config = config or RunConfig()
     spec = JobSpec.from_arrays(reference, query, m, config)
@@ -105,6 +109,7 @@ def compute_multi_tile(
         corruptor=corruptor,
         oom_split=oom_split,
         journal=journal_obj,
+        parallel_workers=parallel_workers,
     )
     return MatrixProfileResult(
         profile=accumulator.host_profile(),

@@ -28,8 +28,10 @@ This module is also the home of the tile *primitive* itself
 
 from __future__ import annotations
 
-from contextlib import ExitStack, nullcontext
+import threading
+from contextlib import ExitStack, contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -52,6 +54,7 @@ __all__ = [
     "TileBackend",
     "NumericBackend",
     "AnalyticBackend",
+    "WorkspacePool",
     "run_tile",
     "schedule_tile",
     "tile_timing_from_output",
@@ -71,6 +74,43 @@ def workspace_bytes(n_r_seg: int, n_q_seg: int, d: int, policy: PrecisionPolicy)
     planes = 2 * n_q_seg * d * s
     outputs = n_q_seg * d * (s + INDEX_DTYPE.itemsize)
     return int(precalc + planes + outputs)
+
+
+@lru_cache(maxsize=64)
+def _cached_arange(n: int) -> np.ndarray:
+    """Read-only ``np.arange(n)``, cached per length — the exclusion-zone
+    column-index vector is the same for every row and every tile of a
+    given width, so it is built once instead of per ``run_tile`` call."""
+    idx = np.arange(n)
+    idx.setflags(write=False)
+    return idx
+
+
+class WorkspacePool:
+    """Reusable host-side kernel workspaces, one buffer per (shape, dtype).
+
+    The row-blocked main loop leases its ``(d, B, n_q)`` QT block buffer
+    from here, amortising the allocation across blocks, rows *and* tiles
+    executed by the same worker.  :meth:`lease` is a context manager: the
+    buffer returns to the pool on every exit path, so an injected fault
+    or device OOM mid-tile can neither leak the buffer nor leave it
+    checked out.  Pools are per-worker (see ``NumericBackend``), so no
+    locking is needed.
+    """
+
+    def __init__(self):
+        self._free: dict[tuple, np.ndarray] = {}
+
+    @contextmanager
+    def lease(self, shape: tuple[int, ...], dtype):
+        key = (tuple(shape), np.dtype(dtype))
+        buf = self._free.pop(key, None)
+        if buf is None:
+            buf = np.empty(key[0], dtype=key[1])
+        try:
+            yield buf
+        finally:
+            self._free[key] = buf
 
 
 #: Maps kernel class cost names to the paper's kernel labels.
@@ -105,6 +145,8 @@ def run_tile(
     exclusion_zone: int | None = None,
     sort_strategy: str = "bitonic",
     fast_path_1d: bool = True,
+    row_block: int = 1,
+    workspace: "WorkspacePool | None" = None,
 ) -> TileOutput:
     """Execute the kernels of one tile; pure numerics + cost accounting.
 
@@ -115,6 +157,16 @@ def run_tile(
     ``|global_row - global_col| <= zone``.  ``sort_strategy`` selects the
     cooperative bitonic kernel or the batch-based ablation alternative;
     ``fast_path_1d`` skips the sort/scan entirely for d == 1 (identity).
+
+    ``row_block > 1`` executes the main loop in super-steps of that many
+    reference rows: ``dist_calc`` fills a leased ``(d, B, n_q)`` QT
+    workspace (sequential recurrence, no per-row temporaries), the
+    column-independent sort/scan runs once per block on the reshaped
+    ``(d, B*n_q)`` plane and the update reduces the block before one
+    merge into the running profile.  Output, kernel costs and therefore
+    modelled timings are bit-for-bit identical to the per-row path —
+    blocking only amortises the host dispatch overhead.  ``workspace``
+    is an optional :class:`WorkspacePool` reused across calls.
     """
     d = tr_dev.shape[0]
     n_r_seg = tr_dev.shape[1] - m + 1
@@ -136,15 +188,39 @@ def run_tile(
     dist.bind(pre)
     update.allocate(d, n_q_seg)
 
-    cols_global = np.arange(n_q_seg) + col_offset
-    for i in range(n_r_seg):
-        plane = dist.run(i)
-        averaged = plane if skip_sort else sort_scan.run(plane)
-        if exclusion_zone is None:
-            update.run(averaged, i, row_offset=row_offset)
-        else:
-            mask = (np.abs(cols_global - (i + row_offset)) <= exclusion_zone)[None, :]
-            update.masked_run(averaged, i, mask, row_offset=row_offset)
+    cols_global = _cached_arange(n_q_seg) + col_offset
+    block = max(1, min(row_block, n_r_seg))
+    if block == 1:
+        for i in range(n_r_seg):
+            plane = dist.run(i)
+            averaged = plane if skip_sort else sort_scan.run(plane)
+            if exclusion_zone is None:
+                update.run(averaged, i, row_offset=row_offset)
+            else:
+                mask = (np.abs(cols_global - (i + row_offset)) <= exclusion_zone)[None, :]
+                update.masked_run(averaged, i, mask, row_offset=row_offset)
+    else:
+        pool = workspace if workspace is not None else WorkspacePool()
+        with pool.lease((d, block, n_q_seg), policy.compute) as qt_ws:
+            for i0 in range(0, n_r_seg, block):
+                b = min(block, n_r_seg - i0)
+                dist_blk = dist.run_block(i0, b, qt_ws[:, :b, :])
+                if skip_sort:
+                    avg_blk = dist_blk
+                else:
+                    flat = dist_blk.reshape(d, b * n_q_seg)
+                    avg_blk = sort_scan.run(flat, rows=b).reshape(d, b, n_q_seg)
+                if exclusion_zone is None:
+                    update.run_block(avg_blk, i0, row_offset=row_offset)
+                else:
+                    rows_global = (
+                        _cached_arange(n_r_seg)[i0 : i0 + b] + row_offset
+                    )
+                    mask = (
+                        np.abs(cols_global[None, :] - rows_global[:, None])
+                        <= exclusion_zone
+                    )
+                    update.run_block(avg_blk, i0, row_offset=row_offset, mask=mask)
 
     itemsize = policy.itemsize
     h2d_bytes = float((tr_dev.shape[1] + tq_dev.shape[1]) * d * itemsize)
@@ -244,6 +320,23 @@ class NumericBackend:
         self._lock = lock if lock is not None else nullcontext()
         self._label = f"{label}:" if label else ""
         self.discount_shared_h2d = discount_shared_h2d
+        # Host workspace pools are per worker thread: row-blocked tiles
+        # reuse their QT block buffer across rows and tiles without any
+        # cross-worker contention.
+        self._workspaces = threading.local()
+
+    def ensure_serialised_allocator(self) -> None:
+        """Install a real lock around allocator traffic if none was given
+        (called by the dispatcher before running tiles on worker threads)."""
+        if isinstance(self._lock, nullcontext):
+            self._lock = threading.RLock()
+
+    def _workspace_pool(self) -> WorkspacePool:
+        pool = getattr(self._workspaces, "pool", None)
+        if pool is None:
+            pool = WorkspacePool()
+            self._workspaces.pool = pool
+        return pool
 
     def run(self, plan: ExecutionPlan, tile: Tile, gpu: SimulatedGPU) -> TileExecution:
         spec = plan.spec
@@ -286,6 +379,8 @@ class NumericBackend:
                 exclusion_zone=spec.exclusion_zone,
                 sort_strategy=config.sort_strategy,
                 fast_path_1d=config.fast_path_1d,
+                row_block=plan.row_block,
+                workspace=self._workspace_pool(),
             )
         saved = 0.0
         if shared and self.discount_shared_h2d:

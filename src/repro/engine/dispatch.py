@@ -47,6 +47,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -313,6 +314,7 @@ def execute_plan(
     corruptor: Callable | None = None,
     oom_split: bool = False,
     journal=None,
+    parallel_workers: int = 1,
 ) -> DispatchReport:
     """Run every tile of ``plan`` on ``sim`` through ``backend``.
 
@@ -340,9 +342,33 @@ def execute_plan(
     propagating; ``journal`` (a :class:`~repro.engine.checkpoint
     .RunJournal`-like object) records completed tiles and skips tiles it
     already holds.
+
+    ``parallel_workers > 1`` executes independent tiles concurrently on a
+    thread pool (see :func:`_execute_plan_parallel`): workers run only
+    the numerics, the coordinator keeps every non-thread-safe decision
+    (placement, retries, escalation, splitting, journaling), and results
+    merge in tile-id order regardless of completion order — so the
+    output is deterministic and, on the failure-free path, bit-identical
+    to the serial loop, timeline included.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if parallel_workers < 1:
+        raise ValueError(
+            f"parallel_workers must be >= 1, got {parallel_workers}"
+        )
+    if parallel_workers > 1:
+        return _execute_plan_parallel(
+            plan, backend, sim,
+            accumulator=accumulator, placement=placement, timeline=timeline,
+            observers=observers, max_retries=max_retries,
+            deadline_at=deadline_at, clock=clock,
+            failure_injector=failure_injector, label=label,
+            flush_per_tile=flush_per_tile, lock=lock,
+            keep_executions=keep_executions, health=health,
+            corruptor=corruptor, oom_split=oom_split, journal=journal,
+            workers=parallel_workers,
+        )
     timeline = timeline if timeline is not None else sim.timeline
     placement = placement if placement is not None else StaticPlacement(plan)
     lock = lock if lock is not None else nullcontext()
@@ -456,6 +482,251 @@ def execute_plan(
                 work.append(item)  # re-execute one rung up the ladder
                 continue
         execution.gpu_id = gpu_id
+        with lock:
+            stream = gpu.next_stream()
+            schedule_tile_timing(
+                gpu, stream, timeline, execution.timing,
+                f"{tile_label}{item.tile.tile_id}",
+            )
+            if flush_per_tile:
+                flush_streams(gpu.streams, timeline)
+        if accumulator is not None:
+            accumulator.add(execution)
+            if journal is not None:
+                journal.record(execution, accumulator)
+        report.tiles_completed += 1
+        if keep_executions:
+            report.executions.append(execution)
+        for obs in observers:
+            obs.on_tile_complete(item.tile, gpu_id, execution)
+
+    if not flush_per_tile:
+        for gpu in sim.gpus:
+            flush_streams(gpu.streams, timeline)
+    return report
+
+
+def _run_tile_on_worker(backend, active_plan, item, gpu_id, gpu,
+                        failure_injector, label):
+    """The worker-thread slice of one tile attempt: injected failure
+    check plus the backend numerics — nothing that touches coordinator
+    state.  ``NumericBackend`` keeps workspace pools per thread and the
+    dispatcher has already serialised its allocator."""
+    if failure_injector is not None:
+        failure_injector(label, item.tile, gpu_id, item.attempt)
+    return backend.run(active_plan, item.tile, gpu)
+
+
+def _execute_plan_parallel(
+    plan: ExecutionPlan,
+    backend: TileBackend,
+    sim: GPUSimulator,
+    *,
+    accumulator,
+    placement,
+    timeline,
+    observers,
+    max_retries,
+    deadline_at,
+    clock,
+    failure_injector,
+    label,
+    flush_per_tile,
+    lock,
+    keep_executions,
+    health,
+    corruptor,
+    oom_split,
+    journal,
+    workers: int,
+) -> DispatchReport:
+    """The ``parallel_workers > 1`` body of :func:`execute_plan`.
+
+    Division of labour:
+
+    * **workers** run only :func:`_run_tile_on_worker` — upload, kernels,
+      free.  The backend's per-thread workspace pools and serialised
+      allocator make that safe.
+    * the **coordinator** (this thread) owns everything with shared
+      state: the work queue, placement picks, ``plan.escalated()``'s
+      cache, retry/split/escalation decisions, observers, stream
+      scheduling, the accumulator and the journal.
+
+    Determinism: completed tiles are buffered and merged *after* the
+    run, in tile-id order — the same order the serial loop uses on its
+    failure-free path — so profile, indices, tie-breaks, journal
+    contents and the simulated timeline are independent of which worker
+    finished first.  A deadline stops new submissions and abandons the
+    queue; tiles already in flight finish and still merge (their work is
+    done — discarding it would only lose coverage).
+    """
+    timeline = timeline if timeline is not None else sim.timeline
+    placement = placement if placement is not None else StaticPlacement(plan)
+    lock = lock if lock is not None else nullcontext()
+    tile_label = f"{label}:tile" if label else "tile"
+    report = DispatchReport(tiles_total=plan.n_tiles)
+    base_mode = PrecisionMode.parse(plan.spec.config.mode)
+
+    ensure = getattr(backend, "ensure_serialised_allocator", None)
+    if ensure is not None:
+        ensure()
+
+    completed_keys = journal.completed_keys() if journal is not None else frozenset()
+    next_id = max((t.tile_id for t in plan.tiles), default=-1) + 1
+    work: deque[_TileWork] = deque()
+    for tile in plan.tiles:
+        if journal is not None and journal.key(tile) in completed_keys:
+            report.tiles_completed += 1
+            report.tiles_restored += 1
+            continue
+        work.append(_TileWork(tile))
+
+    # tile id -> (_TileWork, gpu_id, TileExecution), merged in id order below.
+    finished: dict[int, tuple[_TileWork, int, TileExecution]] = {}
+    pending: dict = {}
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="tile-worker"
+    ) as pool:
+        try:
+            while work or pending:
+                if (
+                    not report.deadline_hit
+                    and deadline_at is not None
+                    and clock() >= deadline_at
+                ):
+                    report.deadline_hit = True
+                    remaining = [w.tile for w in work]
+                    work.clear()
+                    for obs in observers:
+                        obs.on_deadline(remaining)
+                while work and len(pending) < workers:
+                    item = work.popleft()
+                    if (
+                        health is not None
+                        and health.preflight
+                        and not item.preflighted
+                        and item.mode is None
+                        and plan.spec.reference is not None
+                    ):
+                        item.preflighted = True
+                        target = health.preflight_mode(plan.spec, item.tile)
+                        if target != base_mode:
+                            item.mode = target
+                            report.escalations[item.tile.tile_id] = target
+                    active_plan = (
+                        plan if item.mode is None else plan.escalated(item.mode)
+                    )
+                    gpu_id = placement.pick(item.tile, item.excluded)
+                    gpu = sim.gpus[gpu_id]
+                    item.devices.append(gpu_id)
+                    for obs in observers:
+                        obs.on_tile_start(item.tile, gpu_id, item.attempt)
+                    fut = pool.submit(
+                        _run_tile_on_worker, backend, active_plan, item,
+                        gpu_id, gpu, failure_injector, label,
+                    )
+                    pending[fut] = (item, gpu_id)
+                if not pending:
+                    continue  # deadline drained the queue; loop exits
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                # Process batches in tile-id order: re-queues (retries,
+                # escalations, splits) then happen in a reproducible
+                # order for any given completion grouping.
+                for fut in sorted(done, key=lambda f: pending[f][0].tile.tile_id):
+                    item, gpu_id = pending.pop(fut)
+                    try:
+                        execution = fut.result()
+                    except TransientDeviceError as exc:
+                        if item.attempt >= max_retries:
+                            raise TileRetryExhaustedError(
+                                item.tile.tile_id, item.attempt + 1, exc,
+                                gpu_ids=tuple(item.devices),
+                            ) from exc
+                        for obs in observers:
+                            obs.on_tile_retry(item.tile, gpu_id, item.attempt, exc)
+                        item.attempt += 1
+                        item.excluded.add(gpu_id)
+                        report.tile_retries += 1
+                        work.append(item)
+                        continue
+                    except DeviceOutOfMemoryError as exc:
+                        if not oom_split:
+                            raise
+                        children = _split_tile(item.tile, next_id)
+                        if not children:
+                            raise
+                        next_id += len(children)
+                        report.splits[item.tile.tile_id] = tuple(
+                            c.tile_id for c in children
+                        )
+                        report.tiles_total += len(children) - 1
+                        for obs in observers:
+                            obs.on_tile_split(item.tile, children, exc)
+                        for child in children:
+                            if (
+                                journal is not None
+                                and journal.key(child) in completed_keys
+                            ):
+                                report.tiles_completed += 1
+                                report.tiles_restored += 1
+                                continue
+                            work.append(
+                                _TileWork(
+                                    child,
+                                    mode=item.mode,
+                                    split_depth=item.split_depth + 1,
+                                    preflighted=item.preflighted,
+                                )
+                            )
+                        continue
+                    if (
+                        corruptor is not None
+                        and item.mode is None
+                        and execution.output is not None
+                    ):
+                        corruptor(
+                            label, item.tile, gpu_id, item.attempt,
+                            execution.output,
+                        )
+                    if health is not None and execution.output is not None:
+                        issues = health.check(execution.output, plan.spec.m)
+                        if issues:
+                            report.health_failures += 1
+                            current = (
+                                execution.mode
+                                if execution.mode is not None
+                                else base_mode
+                            )
+                            nxt = (
+                                escalation_next(current)
+                                if health.escalate
+                                else None
+                            )
+                            if nxt is None:
+                                raise TileHealthError(
+                                    item.tile.tile_id, current, issues
+                                )
+                            for obs in observers:
+                                obs.on_tile_escalate(
+                                    item.tile, gpu_id, current, nxt, issues
+                                )
+                            item.mode = nxt
+                            report.escalations[item.tile.tile_id] = nxt
+                            work.append(item)
+                            continue
+                    finished[item.tile.tile_id] = (item, gpu_id, execution)
+        except BaseException:
+            for fut in pending:
+                fut.cancel()  # queued-but-unstarted attempts; in-flight drain
+            raise
+
+    # Deterministic epilogue: merge in tile-id order, whatever order the
+    # workers delivered — stream assignment, accumulator tie-breaks and
+    # journal records all match the serial failure-free loop.
+    for tile_id in sorted(finished):
+        item, gpu_id, execution = finished[tile_id]
+        execution.gpu_id = gpu_id
+        gpu = sim.gpus[gpu_id]
         with lock:
             stream = gpu.next_stream()
             schedule_tile_timing(

@@ -110,6 +110,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "faults", "Sec. VII", "Fault tolerance: health-check overhead + recovery under fault storms",
         "bench_fault_recovery.py", "fault_recovery", "executed",
     ),
+    Experiment(
+        "row_blocking", "Sec. III", "Row-blocked kernel execution: per-row vs blocked vs parallel tile workers",
+        "bench_row_blocking.py", "row_blocking", "executed",
+    ),
 )
 
 

@@ -1,0 +1,141 @@
+"""Vectorised half-precision rounding for the row-blocked fast path.
+
+numpy's ``float16`` ufuncs are scalar C loops: every element is widened
+to ``float32``, computed there, and rounded back to half.  That makes
+each half-precision operation ~7x slower than the same ``float32``
+vector op.  The row-blocked kernels therefore evaluate half arithmetic
+the way the hardware pipeline (and numpy itself) defines it — a
+``float32`` vector op followed by one round-to-nearest-even conversion
+to half — but keep the values *in* ``float32`` storage and perform the
+conversion with integer bit manipulation instead of the scalar loop:
+
+* a ``float32`` value is half-valued iff its mantissa bits below bit 13
+  are zero (half has 10 explicit mantissa bits against single's 23), so
+  rounding to half precision in the normal half range is
+  ``(bits + 0xFFF + lsb) & ~0x1FFF`` — textbook RNE with the carry into
+  the exponent handling the mantissa wrap for free;
+* magnitudes that carry to >= 2^16 overflow to infinity, exactly like
+  ``astype(float16)``;
+* zeros pass through untouched; subnormal-half magnitudes and NaNs are
+  outside the trick's domain and take the ``astype`` round trip.
+
+Both entry points are verified against ``astype(np.float16)`` — the
+checks in ``tests/test_row_blocking.py`` sample the full bit range and
+every boundary (subnormal limits, 65504/65520, infinities, NaNs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "round_f16_inplace",
+    "round_f16_nonneg_inplace",
+    "f16_lut19",
+    "f16_keys19",
+]
+
+_MAG_MASK = np.uint32(0x7FFFFFFF)
+_SIGN_MASK = np.uint32(0x80000000)
+_MIN_NORM16 = np.uint32(0x38800000)  # 2^-14, smallest normal half, as f32 bits
+_INF_F32 = np.uint32(0x7F800000)
+_CARRY_INF = np.uint32(0x47800000)  # 65536.0f: rounded magnitudes here and up -> inf
+_NEAR_INF = np.uint32(0x477F0000)  # conservative "might round to inf" threshold
+# The domain check works in doubled-magnitude space (``bits << 1`` drops
+# the sign): after subtracting 2*_MIN_NORM16 with uint wraparound, every
+# in-domain magnitude (normal half range up to inf) lands in
+# ``[0, _RANGE2]`` while subnormal magnitudes, zeros and NaNs wrap or
+# overshoot past it — one shift, one subtract, one compare.
+_MIN2 = np.uint32(0x38800000 << 1)
+_RANGE2 = np.uint32((0x7F800000 - 0x38800000) << 1)
+_NEAR_INF2 = np.uint32((0x477F0000 << 1) - (0x38800000 << 1))
+
+
+def _rne_trick_inplace(u: np.ndarray) -> None:
+    """Round the f32 bit patterns in ``u`` (uint32 view) to half-valued
+    patterns, round-to-nearest-even.  Domain: zeros, infinities and
+    magnitudes in the normal half range (carry to inf handled by the
+    callers); subnormal-half magnitudes and NaNs must not be present."""
+    odd = (u >> np.uint32(13)) & np.uint32(1)
+    odd += np.uint32(0x0FFF)
+    u += odd
+    u &= np.uint32(0xFFFFE000)
+
+
+def _carry_fix_inplace(u: np.ndarray, mag_hint: int) -> None:
+    """Replace rounded magnitudes >= 2^16 with signed infinity (the
+    overflow behaviour of the half conversion).  Skipped entirely when
+    ``mag_hint`` shows no element can be near the boundary."""
+    if mag_hint < int(_NEAR_INF):
+        return
+    mag = u & _MAG_MASK
+    np.copyto(u, (u & _SIGN_MASK) | _INF_F32, where=mag >= _CARRY_INF)
+
+
+def round_f16_nonneg_inplace(buf: np.ndarray) -> None:
+    """In-place ``buf = buf.astype(float16).astype(float32)`` for
+    non-negative, NaN-free float32 data whose values are either zero,
+    exactly representable in half (e.g. sums of two subnormal-range
+    halves, which land on the half grid and pass through the trick
+    unchanged), or in the normal/overflow half range.
+
+    This is the scan-stage case: sums of sorted, saturated distances.
+    """
+    u = buf.view(np.uint32)
+    mag_hint = int(u.max()) if u.size else 0
+    _rne_trick_inplace(u)
+    _carry_fix_inplace(u, mag_hint)
+
+
+def round_f16_inplace(buf: np.ndarray) -> None:
+    """In-place ``buf = buf.astype(float16).astype(float32)`` for any
+    float32 data.
+
+    The bit trick covers the normal half range and infinities; elements
+    outside its domain — half-subnormal magnitudes (any correlation
+    within ~6e-5 of zero lands here, so a large block almost always
+    contains a few), exact zeros and NaNs — are saved first and patched
+    with the scalar ``astype`` round trip after the trick, so a handful
+    of stragglers never forces the whole plane onto the slow path.
+
+    (Zeros are exact under the round trip, so routing them through the
+    patch keeps the domain check down to three vector passes — see
+    ``_MIN2``/``_RANGE2``.)
+    """
+    u = buf.view(np.uint32)
+    mag2 = u << np.uint32(1)  # doubled magnitude: sign bit shifted out
+    mag2 -= _MIN2  # wraps subnormals and zeros past _RANGE2
+    bad = mag2 > _RANGE2
+    # In mag2 space the wrapped out-of-domain entries read as huge, so
+    # the carry hint has false positives when any are present — the fix
+    # runs needlessly but never changes an in-range value.
+    mag_hint2 = int(mag2.max()) if mag2.size else 0
+    if not bad.any():
+        _rne_trick_inplace(u)
+        if mag_hint2 >= int(_NEAR_INF2):
+            _carry_fix_inplace(u, int(_NEAR_INF))
+    else:
+        with np.errstate(over="ignore", invalid="ignore"):
+            patched = buf[bad].astype(np.float16).astype(np.float32)
+        _rne_trick_inplace(u)
+        if mag_hint2 >= int(_NEAR_INF2):
+            _carry_fix_inplace(u, int(_NEAR_INF))
+        buf[bad] = patched
+
+
+def f16_keys19(buf: np.ndarray) -> np.ndarray:
+    """The 19-bit table key (sign + exponent + 10 mantissa bits) of each
+    half-valued float32 element — distinct half values give distinct
+    keys, so a 2^19 table gathers any per-value map in one pass."""
+    return buf.view(np.uint32) >> np.uint32(13)
+
+
+def f16_lut19(lut16: np.ndarray) -> np.ndarray:
+    """Re-key a 65536-entry half-indexed table to the 19-bit float32 key
+    space of :func:`f16_keys19` (entries at unreachable keys stay 0)."""
+    vals = np.arange(65536, dtype=np.uint16).view(np.float16)
+    keys = vals.astype(np.float32).view(np.uint32) >> np.uint32(13)
+    table = np.zeros(1 << 19, dtype=lut16.dtype)
+    table[keys] = lut16
+    table.setflags(write=False)
+    return table

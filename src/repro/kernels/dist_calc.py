@@ -22,15 +22,51 @@ then simply never win a nearest-neighbour slot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
-from ..gpu.kernel import Kernel, grid_stride_chunks
+from ..gpu.kernel import Kernel
 from ..precision.arithmetic import rp_fma
 from ..precision.modes import DTYPE_MAX, PrecisionPolicy
+from ._f16fast import f16_keys19, f16_lut19, round_f16_inplace
 from .precalc import PrecalcResult
 
 __all__ = ["DistCalcKernel"]
+
+
+@lru_cache(maxsize=32)
+def _qt_to_dist_lut_f16(m: int) -> np.ndarray:
+    """The half-precision correlation -> distance map as a 65536-entry
+    table: ``saturate(sqrt(2m * max(1 - corr, 0)))``.
+
+    Everything after ``corr`` is a unary function of ``corr``, and half
+    precision has only 2^16 values, so the row-blocked path replaces the
+    whole per-element chain (five software-emulated half ufunc passes)
+    with a single gather.  The table is built by running the *original*
+    op sequence over every representable half — bit-identical to the
+    per-row path by construction, NaN and infinity patterns included.
+    """
+    dtype = np.dtype(np.float16)
+    vals = np.arange(65536, dtype=np.uint16).view(np.float16)
+    one = np.float16(1)
+    two_m = np.float16(2 * m)
+    with np.errstate(over="ignore", invalid="ignore"):
+        gap = (one - vals).astype(np.float16)
+        np.maximum(gap, np.float16(0), out=gap)
+        dist = np.sqrt((two_m * gap).astype(np.float16)).astype(np.float16)
+    limit = np.float16(DTYPE_MAX[dtype])
+    out = np.where(np.isfinite(dist), dist, limit).astype(np.float16)
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=32)
+def _qt_to_dist_lut19_f16(m: int) -> np.ndarray:
+    """:func:`_qt_to_dist_lut_f16` re-keyed to the 19-bit float32 key
+    space, so correlations held as half-valued float32 gather their
+    distances without materialising a half array first."""
+    return f16_lut19(_qt_to_dist_lut_f16(m))
 
 
 @dataclass
@@ -60,61 +96,214 @@ class DistCalcKernel(Kernel):
         self._dg_q = pre.dg_q.astype(dtype, copy=False)
         self._inv_q = pre.inv_q.astype(dtype, copy=False)
         self._qt_col0 = pre.qt_col0.astype(dtype, copy=False)
+        self._blk_ready = False  # wide mirrors built lazily by run_block
 
-    def run(self, i: int) -> np.ndarray:
-        """Compute distance plane for reference row ``i``; returns (d, n_q)."""
-        pre = self.pre
+    def _ensure_block_state(self) -> None:
+        """Build the wide-dtype operand mirrors and scratch buffers the
+        inlined block recurrence uses (see :meth:`_advance_qt_block`).
+
+        ``rp_fma`` evaluates each FMA in the next-wider format and rounds
+        once; the block path runs the identical pipeline but hoists the
+        operand widening out of the row loop and reuses preallocated
+        scratch, so the per-row cost is just the arithmetic itself.
+        """
+        if self._blk_ready:
+            return
         dtype = self.policy.compute
-        if i == 0:
-            self.qt = pre.qt_row0.astype(dtype, copy=True)
-        else:
-            if self.qt is None:
-                raise RuntimeError("rows must be visited in order starting at 0")
-            qt_prev = self.qt
-            qt_new = np.empty_like(qt_prev)
-            # j = 0 has no top-left predecessor: take the precalculated
-            # first-column entry.
-            qt_new[:, 0] = self._qt_col0[:, i]
-            # Two rounded FMAs per element, matching the __hfma2 pipeline:
-            # QT[i, j] = QT[i-1, j-1] + df_r[i]*dg_q[j] + df_q[j]*dg_r[i].
-            step = rp_fma(
-                self._df_r[:, i : i + 1],
-                self._dg_q[:, 1:],
-                qt_prev[:, :-1],
-                dtype,
-            )
-            qt_new[:, 1:] = rp_fma(
-                self._df_q[:, 1:],
-                self._dg_r[:, i : i + 1],
-                step,
-                dtype,
-            )
-            self.qt = qt_new
+        wide = np.dtype(np.float32) if dtype == np.float16 else np.dtype(np.float64)
+        d, n_q = self._inv_q.shape
+        self._wide = wide
+        self._df_r_w = self._df_r.astype(wide)
+        self._dg_r_w = self._dg_r.astype(wide)
+        self._df_q_w = self._df_q.astype(wide)
+        self._dg_q_w = self._dg_q.astype(wide)
+        self._inv_r_w = self._inv_r.astype(wide)
+        self._inv_q_w = self._inv_q.astype(wide)
+        self._blk_step_q = np.empty((d, n_q - 1), dtype=dtype)
+        self._blk_prod1 = None  # (d, rows, n_q-1) wide, grown on demand
+        self._blk_prod2 = None
+        self._blk_ready = True
 
+    def _prod_buffers(self, rows: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable wide buffers for the hoisted a*b block products."""
+        d, n_q = self._inv_q.shape
+        if self._blk_prod1 is None or self._blk_prod1.shape[1] < rows:
+            self._blk_prod1 = np.empty((d, rows, n_q - 1), dtype=self._wide)
+            self._blk_prod2 = np.empty_like(self._blk_prod1)
+        return (
+            self._blk_prod1[:, :rows],
+            self._blk_prod2[:, :rows],
+        )
+
+    def _advance_qt_block(self, i0: int, rows: int, ws: np.ndarray) -> None:
+        """Fill ``ws[:, r, :]`` with the QT planes of rows ``i0..i0+rows-1``.
+
+        The same sequential Eq. (1) recurrence as :meth:`_advance_qt`
+        (two wide-evaluated, once-rounded FMAs per row) with the
+        ``rp_fma`` wrapper inlined: quantisation happens through
+        cast-assignments into preallocated buffers — numpy assignment
+        rounds to the destination dtype exactly like ``astype`` — and
+        each FMA's ``c`` operand is added in its narrow dtype directly
+        (numpy promotes it through an exact widening cast inside the
+        add), so no per-row widening passes or temporaries remain.
+        Bit-identical to the per-row path.
+        """
+        self._ensure_block_state()
+        step_q = self._blk_step_q
+        # The previous QT row, in compute dtype: the last row of the
+        # preceding block (saved by run_block) or, within the block, a
+        # view of the row just written.
+        prev = self.qt
         with np.errstate(over="ignore", invalid="ignore"):
-            corr = (
-                (self.qt * self._inv_r[:, i : i + 1]).astype(dtype) * self._inv_q
-            ).astype(dtype)
+            # The a*b products of both FMAs depend only on the row index,
+            # not on the running QT state — hoist them out of the
+            # sequential loop as two vectorised block multiplies
+            # (element-wise, so the same wide products bit-for-bit).
+            prod1, prod2 = self._prod_buffers(rows)
+            np.multiply(
+                self._df_r_w[:, i0 : i0 + rows, None],
+                self._dg_q_w[:, None, 1:],
+                out=prod1,
+            )
+            np.multiply(
+                self._df_q_w[:, None, 1:],
+                self._dg_r_w[:, i0 : i0 + rows, None],
+                out=prod2,
+            )
+            # Column 0 never enters the recurrence of rows inside this
+            # block (row r reads prev[:, :-1], i.e. the *previous* row's
+            # column 0) — pre-write the whole strip in one assignment.
+            ws[:, :rows, 0] = self._qt_col0[:, i0 : i0 + rows]
+            for r in range(rows):
+                i = i0 + r
+                row = ws[:, r, :]
+                if i == 0:
+                    row[...] = self.pre.qt_row0
+                else:
+                    t = prod1[:, r]  # consumed once, so += in place is fine
+                    np.add(t, prev[:, :-1], out=t)  # c widened in the add
+                    step_q[...] = t  # single rounding of the fused a*b + c
+                    t = prod2[:, r]
+                    np.add(t, step_q, out=t)  # exact widening in the add
+                    row[:, 1:] = t  # single rounding of the second FMA
+                prev = row
+
+    def _advance_qt(self, i: int, out: np.ndarray, qt_prev: np.ndarray | None) -> None:
+        """Write row ``i``'s QT plane into ``out`` (Eq. 1 recurrence)."""
+        if i == 0:
+            out[...] = self.pre.qt_row0
+            return
+        if qt_prev is None:
+            raise RuntimeError("rows must be visited in order starting at 0")
+        dtype = self.policy.compute
+        # Two rounded FMAs per element, matching the __hfma2 pipeline:
+        # QT[i, j] = QT[i-1, j-1] + df_r[i]*dg_q[j] + df_q[j]*dg_r[i].
+        step = rp_fma(
+            self._df_r[:, i : i + 1],
+            self._dg_q[:, 1:],
+            qt_prev[:, :-1],
+            dtype,
+        )
+        out[:, 1:] = rp_fma(
+            self._df_q[:, 1:],
+            self._dg_r[:, i : i + 1],
+            step,
+            dtype,
+        )
+        # j = 0 has no top-left predecessor: take the precalculated
+        # first-column entry.  (Written after the FMAs so ``out`` may
+        # alias ``qt_prev``.)
+        out[:, 0] = self._qt_col0[:, i]
+
+    def _distances_block_f16(self, qt: np.ndarray, i0: int, rows: int) -> np.ndarray:
+        """Half-precision :meth:`_distances` over a ``(d, rows, n_q)`` QT
+        block, with the two genuine binary multiplies evaluated the way
+        numpy's half ufuncs define them — float32 product (exact, both
+        operands are half-valued) followed by one RNE rounding to half —
+        but vectorised (``_f16fast``), and the unary tail collapsed into
+        a single gather (``_qt_to_dist_lut19_f16``).  Bit-identical to
+        the per-row chain; degenerate planes (half subnormals, NaNs from
+        inf * 0) divert to the scalar rounding inside
+        ``round_f16_inplace`` and still match.
+        """
+        self._ensure_block_state()
+        with np.errstate(over="ignore", invalid="ignore"):
+            corr = qt.astype(np.float32)
+            corr *= self._inv_r_w[:, i0 : i0 + rows, None]
+            round_f16_inplace(corr)
+            corr *= self._inv_q_w[:, None, :]
+            round_f16_inplace(corr)
+        return np.take(_qt_to_dist_lut19_f16(self.pre.m), f16_keys19(corr))
+
+    def _distances(self, qt: np.ndarray, inv_r: np.ndarray) -> np.ndarray:
+        """QT -> saturated z-normalised distances; element-wise, so the
+        result per element is independent of how many rows are batched."""
+        dtype = self.policy.compute
+        blocked = qt.ndim == 3
+        inv_q = self._inv_q[:, None, :] if blocked else self._inv_q
+        with np.errstate(over="ignore", invalid="ignore"):
+            corr = ((qt * inv_r).astype(dtype) * inv_q).astype(dtype)
             gap = (self._one - corr).astype(dtype)
             # Rounding can push corr slightly above 1 for perfect matches;
             # clamp so sqrt stays real (SCAMP does the same).
             np.maximum(gap, dtype.type(0), out=gap)
             dist = np.sqrt((self._two_m * gap).astype(dtype)).astype(dtype)
         limit = dtype.type(DTYPE_MAX[np.dtype(dtype)])
-        dist = np.where(np.isfinite(dist), dist, limit).astype(dtype)
+        return np.where(np.isfinite(dist), dist, limit).astype(dtype)
 
-        self._record_cost(dist)
+    def run(self, i: int) -> np.ndarray:
+        """Compute distance plane for reference row ``i``; returns (d, n_q)."""
+        dtype = self.policy.compute
+        if i == 0:
+            self.qt = self.pre.qt_row0.astype(dtype, copy=True)
+        else:
+            qt_new = None if self.qt is None else np.empty_like(self.qt)
+            self._advance_qt(i, qt_new, self.qt)
+            self.qt = qt_new
+        dist = self._distances(self.qt, self._inv_r[:, i : i + 1])
+        self._record_cost(dist.size)
         return dist
 
-    def _record_cost(self, plane: np.ndarray) -> None:
-        """Per-row cost per the conventions in ``repro.gpu.perfmodel``."""
-        elems = float(plane.size)
+    def run_block(self, i0: int, rows: int, workspace: np.ndarray) -> np.ndarray:
+        """Compute distance planes for rows ``i0 .. i0+rows-1`` at once.
+
+        ``workspace`` is a preallocated ``(d, rows, n_q)`` compute-dtype
+        buffer the sequential QT recurrence fills row by row (no per-row
+        temporaries); the QT -> distance conversion then runs once over
+        the whole block.  Every operation is element-wise, so the result
+        is bit-for-bit identical to ``rows`` consecutive :meth:`run`
+        calls, and the cost is recorded per logical row so the modelled
+        timings stay identical too.  Returns a fresh (d, rows, n_q)
+        distance block (``workspace`` keeps the QT planes for the next
+        block's recurrence).
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if i0 != 0 and self.qt is None:
+            raise RuntimeError("rows must be visited in order starting at 0")
+        self._advance_qt_block(i0, rows, workspace)
+        # The workspace is reused by the caller; keep the recurrence state
+        # in a private copy of the last row.
+        self.qt = workspace[:, rows - 1, :].copy()
+        block = workspace[:, :rows, :]
+        if self.policy.compute == np.float16:
+            dist = self._distances_block_f16(block, i0, rows)
+        else:
+            dist = self._distances(block, self._inv_r[:, i0 : i0 + rows, None])
+        self._record_cost(dist[:, 0, :].size, rows=rows)
+        return dist
+
+    def _record_cost(self, plane_size: int, rows: int = 1) -> None:
+        """Cost of ``rows`` logical row invocations, per the conventions
+        in ``repro.gpu.perfmodel``; ``plane_size`` is one row's d*n_q."""
+        elems = float(plane_size)
         size = self.policy.storage.itemsize
-        rounds = len(list(grid_stride_chunks(plane.size, self.config)))
+        step = self.config.total_threads
+        rounds = -(-plane_size // step)  # ceil; one grid-stride round per span
         self._account(
-            bytes_dram=3.0 * elems * size,
-            bytes_l2=6.0 * elems * size,
-            flops=8.0 * elems,
-            launches=1,
-            loop_rounds=rounds,
+            bytes_dram=rows * 3.0 * elems * size,
+            bytes_l2=rows * 6.0 * elems * size,
+            flops=rows * 8.0 * elems,
+            launches=rows,
+            loop_rounds=rows * rounds,
         )

@@ -78,13 +78,18 @@ class _Accumulator:
         self.comp = np.zeros(shape, dtype=dtype) if compensated else None
 
     def add(self, term: np.ndarray) -> None:
+        # The astype calls only guard against accidental promotion — when
+        # both operands are already in ``dtype`` the op result is too, so
+        # ``copy=False`` makes them free instead of a full copy each.
         term = term.astype(self.dtype, copy=False)
         if self.comp is None:
-            self.value = (self.value + term).astype(self.dtype)
+            self.value = (self.value + term).astype(self.dtype, copy=False)
         else:
-            y = (term - self.comp).astype(self.dtype)
-            total = (self.value + y).astype(self.dtype)
-            self.comp = ((total - self.value).astype(self.dtype) - y).astype(self.dtype)
+            y = (term - self.comp).astype(self.dtype, copy=False)
+            total = (self.value + y).astype(self.dtype, copy=False)
+            self.comp = (
+                (total - self.value).astype(self.dtype, copy=False) - y
+            ).astype(self.dtype, copy=False)
             self.value = total
 
 
@@ -113,8 +118,8 @@ def _window_stats(
     acc2 = _Accumulator((d, n_seg), dtype, policy.compensated)
     with np.errstate(over="ignore", invalid="ignore"):
         for t in range(m):
-            diff = (series[:, t : t + n_seg] - mu).astype(dtype)
-            acc2.add((diff * diff).astype(dtype))
+            diff = (series[:, t : t + n_seg] - mu).astype(dtype, copy=False)
+            acc2.add((diff * diff).astype(dtype, copy=False))
     cent_sq = acc2.value
     # Flat windows give non-positive centred energy after rounding; clamp to
     # the smallest normal so the reciprocal stays finite (ill-conditioned
@@ -168,13 +173,13 @@ def _centered_dot_against(
     dtype = policy.precalc
     d, n_seg = mu.shape
     acc = _Accumulator((d, n_seg), dtype, policy.compensated)
-    fixed_centered = (fixed_seg - fixed_mu[:, None]).astype(dtype)
+    fixed_centered = (fixed_seg - fixed_mu[:, None]).astype(dtype, copy=False)
     with np.errstate(over="ignore", invalid="ignore"):
         for t in range(m):
             term = (
                 fixed_centered[:, t : t + 1]
-                * (series[:, t : t + n_seg] - mu).astype(dtype)
-            ).astype(dtype)
+                * (series[:, t : t + n_seg] - mu).astype(dtype, copy=False)
+            ).astype(dtype, copy=False)
             acc.add(term)
     return acc.value
 
@@ -203,16 +208,29 @@ class PrecalcKernel(Kernel):
         pdtype = policy.precalc
         sdtype = policy.storage
 
+        # Diagonal self-join tiles hand in the *same* device array for
+        # both roles (the backend shares the upload).  Every q-side
+        # quantity is then the same function of the same input as its
+        # r-side twin — including qt_col0, whose arguments become exactly
+        # qt_row0's — so computing them once is bit-identical.
+        same = tq_dev is tr_dev
+
         tr = tr_dev.astype(pdtype, copy=False)
-        tq = tq_dev.astype(pdtype, copy=False)
+        tq = tr if same else tq_dev.astype(pdtype, copy=False)
 
         mu_r, inv_r = _window_stats(tr, m, policy)
-        mu_q, inv_q = _window_stats(tq, m, policy)
+        mu_q, inv_q = (mu_r, inv_r) if same else _window_stats(tq, m, policy)
         df_r, dg_r = _delta_coefficients(tr, mu_r, m, pdtype)
-        df_q, dg_q = _delta_coefficients(tq, mu_q, m, pdtype)
+        df_q, dg_q = (
+            (df_r, dg_r) if same else _delta_coefficients(tq, mu_q, m, pdtype)
+        )
 
         qt_row0 = _centered_dot_against(tr[:, :m], mu_r[:, 0], tq, mu_q, m, policy)
-        qt_col0 = _centered_dot_against(tq[:, :m], mu_q[:, 0], tr, mu_r, m, policy)
+        qt_col0 = (
+            qt_row0
+            if same
+            else _centered_dot_against(tq[:, :m], mu_q[:, 0], tr, mu_r, m, policy)
+        )
 
         result = PrecalcResult(
             m=m,

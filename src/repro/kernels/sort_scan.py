@@ -23,17 +23,190 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from ..gpu.kernel import Kernel
 from ..precision.modes import DTYPE_MAX, PrecisionPolicy
+from ._f16fast import f16_keys19, f16_lut19, round_f16_nonneg_inplace
 
 __all__ = ["SortScanKernel", "bitonic_sort", "fanin_inclusive_scan"]
 
 
 def _next_pow2(d: int) -> int:
     return 1 << (d - 1).bit_length()
+
+
+@lru_cache(maxsize=64)
+def _bitonic_network(p: int) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray], ...]:
+    """Compare-exchange passes of the ``p``-input bitonic network.
+
+    The network depends only on the padded size ``p``, so the index
+    arrays — for each pass the lower/upper partner rows and the
+    per-pair ascending flag column — are built once and cached instead
+    of being rebuilt on every kernel invocation.  Arrays are marked
+    read-only; a pass is ``(i_lo, i_hi, ascending[:, None])``.
+    """
+    passes = []
+    idx = np.arange(p)
+    size = 2
+    while size <= p:
+        stride = size // 2
+        while stride >= 1:
+            partner = idx ^ stride
+            lower = idx < partner
+            i_lo = idx[lower]
+            i_hi = partner[lower]
+            asc = ((idx & size) == 0)[lower][:, None]
+            for arr in (i_lo, i_hi, asc):
+                arr.setflags(write=False)
+            passes.append((i_lo, i_hi, asc))
+            stride //= 2
+        size *= 2
+    return tuple(passes)
+
+
+@lru_cache(maxsize=64)
+def _divisor_column(d: int, dtype: np.dtype) -> np.ndarray:
+    """The (d, 1) inclusive-average divisor column ``[1, 2, ..., d]`` in
+    ``dtype``, cached per (d, dtype) instead of rebuilt per run."""
+    col = (np.arange(1, d + 1, dtype=np.float64)[:, None]).astype(dtype)
+    col.setflags(write=False)
+    return col
+
+
+def _network_stage_count(p: int) -> int:
+    """Pass count of the ``p``-input bitonic network without running it
+    (``size`` = 2..p contributes ``log2(size)`` strides)."""
+    k = (p - 1).bit_length()
+    return k * (k + 1) // 2
+
+
+_U16_SIGN = np.uint16(0x8000)
+_U16_REST = np.uint16(0x7FFF)
+
+#: Column counts small enough that an odd-even transposition network
+#: (d rounds of vectorised integer min/max over the whole plane) beats
+#: ``np.sort`` along the short, strided axis.
+_NETWORK_MAX_D = 8
+
+
+@lru_cache(maxsize=64)
+def _transposition_pairs(d: int) -> tuple[tuple[int, int], ...]:
+    """Compare-exchange pairs of the ``d``-input odd-even transposition
+    sorting network, in execution order (d rounds, alternating parity)."""
+    return tuple(
+        (i, i + 1)
+        for rnd in range(d)
+        for i in range(rnd & 1, d - 1, 2)
+    )
+
+
+def _sort_keys_network(keys: np.ndarray) -> np.ndarray:
+    """Ascending in-place sort of ``keys`` (shape ``(d, n)``, integer)
+    along axis 0 via the odd-even transposition network — each
+    compare-exchange is two vectorised min/max over an ``n``-element
+    row, which for small ``d`` is far cheaper than ``np.sort`` striding
+    down the columns.  Any correct ascending sort of the same key
+    multiset yields the same key sequence, so the output is identical
+    to ``np.sort(keys, axis=0)``."""
+    lo = np.empty_like(keys[0])
+    hi = np.empty_like(keys[0])
+    for i, j in _transposition_pairs(keys.shape[0]):
+        np.minimum(keys[i], keys[j], out=lo)
+        np.maximum(keys[i], keys[j], out=hi)
+        keys[i] = lo
+        keys[j] = hi
+    return keys
+
+
+def _sort_columns_exact(plane: np.ndarray) -> np.ndarray:
+    """Ascending per-column sort whose output *values* are identical to
+    the bitonic network's — any correct ascending sort of a NaN-free
+    column yields the same value sequence, so only the emulation
+    fidelity (stage-by-stage execution) is given up, never a bit of the
+    result.
+
+    Half precision is the point of doing this: numpy's ``float16``
+    comparisons run a scalar convert-to-float loop, so executing the
+    compare-exchange passes costs ~5x a native integer sort.  IEEE half
+    bit patterns order like their values once negative patterns are
+    flipped (the classic radix-key transform), so halves are sorted as
+    ``uint16`` keys.  Wider dtypes go straight to ``np.sort``.  Columns
+    must be NaN-free (distance planes are by construction; the network's
+    behaviour under NaN is unspecified anyway).
+    """
+    if plane.dtype != np.float16:
+        return np.sort(plane, axis=0)
+    u = np.ascontiguousarray(plane).view(np.uint16)
+    neg = u >> np.uint16(15)
+    keys = u ^ (neg * _U16_REST + _U16_SIGN)
+    if plane.shape[0] <= _NETWORK_MAX_D:
+        keys = _sort_keys_network(keys)
+    else:
+        keys = np.sort(keys, axis=0)
+    pos = keys >> np.uint16(15)
+    return (keys ^ ((pos ^ np.uint16(1)) * _U16_REST + _U16_SIGN)).view(np.float16)
+
+
+@lru_cache(maxsize=64)
+def _divide_lut_f16(k: int) -> np.ndarray:
+    """All 65536 half values divided by ``k`` and rounded, as one table.
+
+    ``x / k`` is a unary function of ``x`` for a fixed divisor, and half
+    precision has only 2^16 values — so the whole inclusive-average
+    division collapses to a gather.  Built with the very numpy ops the
+    per-row path runs, hence bit-identical by construction (NaN payloads
+    included).
+    """
+    vals = np.arange(65536, dtype=np.uint16).view(np.float16)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        out = (vals / np.float16(k)).astype(np.float16)
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=64)
+def _divide_lut19_f16(k: int) -> np.ndarray:
+    """:func:`_divide_lut_f16` re-keyed to the 19-bit float32 key space,
+    so scan results held as half-valued float32 are divided without ever
+    materialising a half array."""
+    return f16_lut19(_divide_lut_f16(k))
+
+
+@lru_cache(maxsize=16)
+def _divide_lut19_stack_f16(d: int) -> np.ndarray:
+    """The divisor tables for k = 1..d concatenated into one flat array,
+    so the whole (d, n) inclusive-average division is a single gather
+    with ``key + (k << 19)`` indices instead of d separate takes."""
+    stack = np.concatenate([_divide_lut19_f16(k + 1) for k in range(d)])
+    stack.setflags(write=False)
+    return stack
+
+
+def _fanin_scan_f16_block(sorted16: np.ndarray) -> np.ndarray:
+    """:func:`fanin_inclusive_scan` for half precision, evaluated in
+    float32 storage with explicit half rounding after each stage.
+
+    numpy's half add *is* a float32 add followed by one RNE conversion
+    per element (scalar loop); this runs the identical pipeline with the
+    conversion vectorised (``_f16fast``), so every stage's bits match.
+    Inputs are sorted saturated distances — non-negative and NaN-free,
+    the ``round_f16_nonneg_inplace`` domain.  Returns the scanned plane
+    as half-valued float32 (gather keys via :func:`f16_keys19`).
+    """
+    work = sorted16.astype(np.float32)
+    d = work.shape[0]
+    tmp = np.empty_like(work[1:]) if d > 1 else None
+    offset = 1
+    while offset < d:
+        seg = tmp[: d - offset]
+        np.add(work[offset:], work[:-offset], out=seg)
+        round_f16_nonneg_inplace(seg)
+        work[offset:] = seg
+        offset *= 2
+    return work
 
 
 def bitonic_sort(plane: np.ndarray, count_stages: bool = False):
@@ -60,29 +233,17 @@ def bitonic_sort(plane: np.ndarray, count_stages: bool = False):
         work = plane.copy()
 
     stages = 0
-    idx = np.arange(p)
-    size = 2
-    while size <= p:
-        stride = size // 2
-        while stride >= 1:
-            partner = idx ^ stride
-            lower = idx < partner
-            ascending = (idx & size) == 0
-            # For each pair (i, i^stride) with i < partner, keep min at i
-            # when the subsequence is ascending, max otherwise.
-            i_lo = idx[lower]
-            i_hi = partner[lower]
-            a = work[i_lo]
-            b = work[i_hi]
-            asc = ascending[lower][:, None]
-            swap = np.where(asc, a > b, a < b)
-            a_new = np.where(swap, b, a)
-            b_new = np.where(swap, a, b)
-            work[i_lo] = a_new
-            work[i_hi] = b_new
-            stages += 1
-            stride //= 2
-        size *= 2
+    for i_lo, i_hi, asc in _bitonic_network(p):
+        # For each pair (i, i^stride) with i < partner, keep min at i
+        # when the subsequence is ascending, max otherwise.
+        a = work[i_lo]
+        b = work[i_hi]
+        swap = np.where(asc, a > b, a < b)
+        a_new = np.where(swap, b, a)
+        b_new = np.where(swap, a, b)
+        work[i_lo] = a_new
+        work[i_hi] = b_new
+        stages += 1
 
     out = work[:d]
     if count_stages:
@@ -117,36 +278,68 @@ class SortScanKernel(Kernel):
 
     policy: PrecisionPolicy = field(kw_only=True)
 
-    def run(self, plane: np.ndarray) -> np.ndarray:
+    def run(self, plane: np.ndarray, rows: int = 1) -> np.ndarray:
         """Returns D'' — the (d, n_q) plane of inclusive averages, where row
-        ``k`` holds the mean of the k+1 best per-dimension distances."""
+        ``k`` holds the mean of the k+1 best per-dimension distances.
+
+        Both networks are column-independent, so a row-blocked caller may
+        pass ``rows`` logical distance rows side by side as one
+        ``(d, rows*n_q)`` plane: the same compare-exchange and fan-in
+        stages run once over all columns, producing bit-for-bit the
+        per-row results.  ``rows`` only affects the cost accounting,
+        which stays per *logical* row (``rows`` launches, per-row loop
+        rounds and syncs) so blocked and per-row timings are identical.
+        """
         dtype = self.policy.compute
         d = plane.shape[0]
-        sorted_plane, sort_stages = bitonic_sort(
-            plane.astype(dtype, copy=False), count_stages=True
-        )
-        scanned, scan_stages = fanin_inclusive_scan(
-            sorted_plane, dtype, count_stages=True
-        )
-        divisors = (np.arange(1, d + 1, dtype=np.float64)[:, None]).astype(dtype)
-        with np.errstate(over="ignore", invalid="ignore"):
-            averaged = (scanned / divisors).astype(dtype)
-        self._record_cost(plane, sort_stages + scan_stages)
+        plane_c = plane.astype(dtype, copy=False)
+        if rows > 1:
+            # Blocked fast path: value-exact sort, float32-domain scan
+            # and LUT division.  The per-row path below stays the
+            # faithful stage-by-stage network emulation; both produce
+            # the same bits.
+            sorted_plane = _sort_columns_exact(plane_c)
+            sort_stages = _network_stage_count(_next_pow2(d))
+            scan_stages = max(d - 1, 0).bit_length()
+            if dtype == np.float16:
+                keys = f16_keys19(_fanin_scan_f16_block(sorted_plane))
+                keys += (
+                    np.arange(d, dtype=np.uint32)[:, None] << np.uint32(19)
+                )
+                averaged = np.take(_divide_lut19_stack_f16(d), keys)
+            else:
+                scanned, _ = fanin_inclusive_scan(
+                    sorted_plane, dtype, count_stages=True
+                )
+                divisors = _divisor_column(d, dtype)
+                with np.errstate(over="ignore", invalid="ignore"):
+                    averaged = (scanned / divisors).astype(dtype)
+        else:
+            sorted_plane, sort_stages = bitonic_sort(plane_c, count_stages=True)
+            scanned, scan_stages = fanin_inclusive_scan(
+                sorted_plane, dtype, count_stages=True
+            )
+            divisors = _divisor_column(d, dtype)
+            with np.errstate(over="ignore", invalid="ignore"):
+                averaged = (scanned / divisors).astype(dtype)
+        self._record_cost(plane, sort_stages + scan_stages, rows)
         return averaged
 
-    def _record_cost(self, plane: np.ndarray, stages: int) -> None:
-        """Per-row cost per the conventions in ``repro.gpu.perfmodel``."""
-        d, n_q = plane.shape
+    def _record_cost(self, plane: np.ndarray, stages: int, rows: int = 1) -> None:
+        """Cost of ``rows`` logical per-row invocations, per the
+        conventions in ``repro.gpu.perfmodel``."""
+        d, cols = plane.shape
+        n_q = cols // rows
         p = _next_pow2(d)
         size = self.policy.storage.itemsize
         elems = float(d * n_q)
         rounds = math.ceil(n_q * p / self.config.total_threads)
         self._account(
-            bytes_dram=2.0 * elems * size,
-            bytes_l2=2.0 * elems * size,
-            bytes_l1=float(stages * n_q * p * size),
-            flops=float(stages * n_q * p),
-            syncs=stages,
-            launches=1,
-            loop_rounds=rounds,
+            bytes_dram=rows * 2.0 * elems * size,
+            bytes_l2=rows * 2.0 * elems * size,
+            bytes_l1=float(rows * stages * n_q * p * size),
+            flops=float(rows * stages * n_q * p),
+            syncs=rows * stages,
+            launches=rows,
+            loop_rounds=rows * rounds,
         )

@@ -80,34 +80,43 @@ class BatchSortScanKernel(Kernel):
 
     policy: PrecisionPolicy = field(kw_only=True)
 
-    def run(self, plane: np.ndarray) -> np.ndarray:
+    def run(self, plane: np.ndarray, rows: int = 1) -> np.ndarray:
+        """One logical thread per column; column-independent, so a
+        row-blocked caller may pass ``rows`` logical rows side by side as
+        a ``(d, rows*n_q)`` plane (bit-identical values; the per-column
+        move counts are additive, so the traffic accounting agrees with
+        ``rows`` separate invocations exactly — only launches and loop
+        rounds need the per-logical-row split)."""
+        from .sort_scan import _divisor_column
+
         dtype = self.policy.compute
         d = plane.shape[0]
         sorted_plane, move_ops = insertion_sort_columns(
             plane.astype(dtype, copy=False), count_ops=True
         )
         scanned = sequential_inclusive_scan(sorted_plane, dtype)
-        divisors = (np.arange(1, d + 1, dtype=np.float64)[:, None]).astype(dtype)
+        divisors = _divisor_column(d, dtype)
         with np.errstate(over="ignore", invalid="ignore"):
             averaged = (scanned / divisors).astype(dtype)
-        self._record_cost(plane, move_ops)
+        self._record_cost(plane, move_ops, rows)
         return averaged
 
-    def _record_cost(self, plane: np.ndarray, move_ops: int) -> None:
+    def _record_cost(self, plane: np.ndarray, move_ops: int, rows: int = 1) -> None:
         """Batch-strategy accounting: every touched element is a serial,
         dimension-strided access.  A warp's 32 threads hit 32 distinct
         cache lines per step (one useful element per 64-byte sector: 8x
         waste in FP64), and the per-thread dependent compare-swap chain
         serialises issue for roughly another 2x — an effective-traffic
         multiplier of 16.  No cooperative syncs exist to hide."""
-        d, n_q = plane.shape
+        d, cols = plane.shape
+        n_q = cols // rows
         size = self.policy.storage.itemsize
-        touched = float(move_ops * 2 + d * n_q)  # moves r/w + scan pass
+        touched = float(move_ops * 2 + d * cols)  # moves r/w + scan pass
         sector_waste = 16.0
         self._account(
             bytes_dram=touched * size * sector_waste,
             bytes_l2=touched * size * sector_waste,
             flops=touched,
-            launches=1,
-            loop_rounds=math.ceil(n_q / self.config.total_threads),
+            launches=rows,
+            loop_rounds=rows * math.ceil(n_q / self.config.total_threads),
         )

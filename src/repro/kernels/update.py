@@ -69,15 +69,64 @@ class UpdateKernel(Kernel):
         np.copyto(self.indices, INDEX_DTYPE.type(row + row_offset), where=improved)
         self._record_cost(plane)
 
-    def _record_cost(self, plane: np.ndarray) -> None:
-        """Per-row cost per the conventions in ``repro.gpu.perfmodel``."""
+    def run_block(
+        self,
+        block: np.ndarray,
+        row0: int,
+        row_offset: int = 0,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Merge a ``(d, rows, n_q)`` block of D'' planes for tile-local
+        reference rows ``row0 .. row0+rows-1`` in one step.
+
+        Equivalent to ``rows`` consecutive :meth:`run`/:meth:`masked_run`
+        calls, bit for bit: the block is first reduced over its row axis
+        with ``argmin`` (first occurrence wins, preserving the sequential
+        first-minimising-row tie-break), then the single winner per
+        column is merged into the running profile with the same strict
+        ``<``.  ``mask`` is the (rows, n_q) exclusion mask (True =
+        excluded); masked entries are lifted to the dtype limit, which
+        can never win a strict-``<`` merge against a profile that starts
+        at that limit.  Cost is recorded per logical row.
+        """
+        d, rows, n_q = block.shape
+        if (d, n_q) != self.profile.shape:
+            raise ValueError(
+                f"block shape {block.shape} != profile shape {self.profile.shape}"
+            )
+        block = block.astype(self.policy.storage, copy=False)
+        if mask is not None:
+            limit = self.policy.storage.type(DTYPE_MAX[np.dtype(self.policy.storage)])
+            block = np.where(mask[None, :, :], limit, block)
+        if block.dtype == np.float16:
+            # Half comparisons are scalar convert-to-float loops; the
+            # planes here are saturated inclusive averages — non-negative
+            # and NaN-free — so their uint16 bit patterns order exactly
+            # like their values and an integer argmin (first minimum,
+            # same tie-break) returns identical indices, vectorised.
+            best_row = np.argmin(block.view(np.uint16), axis=1)
+        else:
+            best_row = np.argmin(block, axis=1)  # (d, n_q), first min row
+        best_val = np.take_along_axis(block, best_row[:, None, :], axis=1)[:, 0, :]
+        improved = best_val < self.profile
+        np.copyto(self.profile, best_val, where=improved)
+        np.copyto(
+            self.indices,
+            best_row.astype(INDEX_DTYPE) + INDEX_DTYPE.type(row0 + row_offset),
+            where=improved,
+        )
+        self._record_cost(block[:, 0, :], rows=rows)
+
+    def _record_cost(self, plane: np.ndarray, rows: int = 1) -> None:
+        """Cost of ``rows`` logical per-row invocations, per the
+        conventions in ``repro.gpu.perfmodel``."""
         elems = float(plane.size)
         size = self.policy.storage.itemsize
         rounds = math.ceil(plane.size / self.config.total_threads)
         self._account(
-            bytes_dram=2.0 * elems * size,
-            bytes_l2=5.0 * elems * size,
-            flops=2.0 * elems,
-            launches=1,
-            loop_rounds=rounds,
+            bytes_dram=rows * 2.0 * elems * size,
+            bytes_l2=rows * 5.0 * elems * size,
+            flops=rows * 2.0 * elems,
+            launches=rows,
+            loop_rounds=rows * rounds,
         )
