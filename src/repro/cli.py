@@ -56,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="host threads executing independent tiles concurrently "
         "(deterministic tile-id merge order; default 1 = serial)",
     )
+    p.add_argument(
+        "--precalc-strategy", choices=("exact", "fft"), default=None,
+        help="seed-QT batching strategy for the amortised precalc plane "
+        "(exact = streaming accumulator, bit-identical to per-tile; "
+        "fft = MASS-style convolution, FP64/FP32 only)",
+    )
+    p.add_argument(
+        "--no-amortize-precalc", action="store_true",
+        help="recompute window statistics inside every tile instead of "
+        "slicing the plan-level precalc plane (debug/comparison knob)",
+    )
     p.add_argument("--output", help="write P and I as CSV to this prefix")
     p.add_argument("--top", type=int, default=3, help="motifs to print")
     p.add_argument(
@@ -186,6 +197,10 @@ def _print_result_summary(result, top: int, output: str | None) -> None:
         print(f"escalated: {modes}")
     if result.split_tiles:
         print(f"split on OOM: {len(result.split_tiles)} tile(s)")
+    if getattr(result, "precalc_saved_flops", 0.0) > 0:
+        from .reporting import render_precalc_savings
+
+        print(render_precalc_savings(result))
     from .apps.motif import top_motifs
 
     rows = [
@@ -222,6 +237,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         journal=args.journal,
         row_block=args.row_block,
         parallel_workers=args.tile_workers,
+        amortize_precalc=False if args.no_amortize_precalc else None,
+        precalc_strategy=args.precalc_strategy,
         **_fault_tolerance_kwargs(args.fault_tolerant),
     )
     _print_result_summary(result, args.top, None)

@@ -33,6 +33,8 @@ def matrix_profile(
     observers=(),
     row_block: int | None = None,
     parallel_workers: int = 1,
+    amortize_precalc: bool | None = None,
+    precalc_strategy: str | None = None,
 ) -> MatrixProfileResult:
     """Compute the multi-dimensional matrix profile of ``query`` against
     ``reference`` on simulated GPU hardware.
@@ -76,6 +78,16 @@ def matrix_profile(
         Host threads executing independent tiles concurrently (results
         merge in tile-id order, so output is deterministic and identical
         to serial dispatch).  ``> 1`` routes through the tiled engine.
+    amortize_precalc:
+        Compute window statistics once per series at plan level and slice
+        them per tile instead of recomputing inside every tile
+        (:attr:`~repro.core.config.RunConfig.amortize_precalc`; default
+        on).  Bit-identical to the per-tile path in every precision mode.
+    precalc_strategy:
+        ``"exact"`` (default) evolves the seed-QT dot products with the
+        streaming accumulator; ``"fft"`` batches them through an FFT
+        convolution (FP64/FP32 only; see
+        :attr:`~repro.core.config.RunConfig.precalc_strategy`).
 
     Returns
     -------
@@ -103,6 +115,10 @@ def matrix_profile(
     )
     if row_block is not None:
         config_kwargs["row_block"] = row_block
+    if amortize_precalc is not None:
+        config_kwargs["amortize_precalc"] = amortize_precalc
+    if precalc_strategy is not None:
+        config_kwargs["precalc_strategy"] = precalc_strategy
     config = RunConfig(**config_kwargs)
     fault_tolerant = (
         health is not None

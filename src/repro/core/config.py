@@ -54,6 +54,21 @@ class RunConfig:
     #: knob, so it changes neither the numerics nor the modelled costs.
     #: 32 keeps the block workspace cache-resident and measures fastest.
     row_block: int = 32
+    #: Compute the window-statistics planes (mu/inv/df/dg) once per plan
+    #: and batch the per-tile seed dots, instead of restarting the full
+    #: precalculation per tile.  Bit-exact (the planes are window-local,
+    #: so tile slices are elementwise identical) — purely an execution
+    #: amortisation, which is why it is on by default and excluded from
+    #: ``cache_key()`` just like ``row_block``.
+    amortize_precalc: bool = True
+    #: How the amortised layer evaluates the seed QT dot products:
+    #: ``"exact"`` (the paper's sequential naive dot, bit-identical to
+    #: per-tile precalculation) or ``"fft"`` (MASS-style sliding dot
+    #: product — O(n log n) but *not* bit-identical, so it is opt-in,
+    #: restricted to the FP64/FP32 modes where the error stays within
+    #: the analytic dot-product bound, and it *does* enter
+    #: ``cache_key()``).
+    precalc_strategy: str = "exact"
 
     def __post_init__(self) -> None:
         # Resolve defaults for device/launch at construction so the frozen
@@ -76,6 +91,22 @@ class RunConfig:
             )
         if self.row_block < 1:
             raise ValueError(f"row_block must be >= 1, got {self.row_block}")
+        if self.precalc_strategy not in ("exact", "fft"):
+            raise ValueError(
+                f"precalc_strategy must be 'exact' or 'fft', got "
+                f"{self.precalc_strategy!r}"
+            )
+        if self.precalc_strategy == "fft":
+            if self.mode not in (PrecisionMode.FP64, PrecisionMode.FP32):
+                raise ValueError(
+                    "precalc_strategy='fft' is validated only for the FP64 "
+                    f"and FP32 modes, got {self.mode.value}"
+                )
+            if not self.amortize_precalc:
+                raise ValueError(
+                    "precalc_strategy='fft' requires amortize_precalc=True "
+                    "(the FFT seeds live in the amortisation layer)"
+                )
 
     @property
     def policy(self) -> PrecisionPolicy:
@@ -104,6 +135,8 @@ class RunConfig:
             "sort_strategy": self.sort_strategy,
             "fast_path_1d": self.fast_path_1d,
             "row_block": self.row_block,
+            "amortize_precalc": self.amortize_precalc,
+            "precalc_strategy": self.precalc_strategy,
         }
 
     @classmethod
@@ -121,10 +154,16 @@ class RunConfig:
         Two configs share a key iff :meth:`to_dict` agrees on every field
         that can change the result — the numerics knobs (mode, tile
         count, exclusion zone, sort strategy, 1-d fast path) and the
-        performance-model knobs.  ``row_block`` is excluded: row-blocked
-        execution is bit-exact and cost-identical, so cached results are
-        shared across block sizes.
+        performance-model knobs.  ``row_block`` and ``amortize_precalc``
+        are excluded: row-blocked execution and amortised precalculation
+        are bit-exact and cost-identical, so cached results are shared
+        across those knobs.  ``precalc_strategy`` *is* included — the
+        FFT seeds are not bit-identical.
         """
-        fields = {k: v for k, v in self.to_dict().items() if k != "row_block"}
+        fields = {
+            k: v
+            for k, v in self.to_dict().items()
+            if k not in ("row_block", "amortize_precalc")
+        }
         payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]

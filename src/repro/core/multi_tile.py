@@ -122,6 +122,7 @@ def compute_multi_tile(
         merge_time=accumulator.merge_time(report.tiles_total),
         costs=accumulator.costs,
         h2d_saved_bytes=accumulator.h2d_saved_bytes,
+        precalc_saved_flops=accumulator.precalc_saved_flops,
         escalations=dict(report.escalations),
         split_tiles=dict(report.splits),
         resumed_tiles=report.tiles_restored,

@@ -44,6 +44,12 @@ class MatrixProfileResult:
     h2d_saved_bytes:
         Host-to-device traffic avoided by sharing one upload between the
         identical row/col slices of self-join diagonal tiles.
+    precalc_saved_flops:
+        Precalculation plane work (mu/inv/df/dg flops) *not* redone
+        thanks to the plan-level amortisation layer: the sum over tiles
+        of the plane flops they would each have recomputed, minus the
+        one-off full-series pass actually charged.  0.0 for single-tile
+        runs (nothing to amortise) and for ``amortize_precalc=False``.
     escalations:
         Tile id -> final precision mode, for tiles re-executed up the
         FP16 -> Mixed -> FP32 -> FP64 ladder after failing their health
@@ -67,6 +73,7 @@ class MatrixProfileResult:
     merge_time: float = 0.0
     costs: dict[str, KernelCost] = field(default_factory=dict)
     h2d_saved_bytes: float = 0.0
+    precalc_saved_flops: float = 0.0
     escalations: dict[int, PrecisionMode] = field(default_factory=dict)
     split_tiles: dict[int, tuple[int, ...]] = field(default_factory=dict)
     resumed_tiles: int = 0

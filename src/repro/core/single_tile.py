@@ -71,4 +71,7 @@ def compute_single_tile(
         n_gpus=1,
         timeline=sim.timeline,
         costs=output.costs,
+        # Exactly 0.0 by construction: the lone tile carries the full
+        # plane charge, so nothing was amortised away.
+        precalc_saved_flops=report.executions[0].precalc_saved_flops,
     )

@@ -63,10 +63,12 @@ from .health import (
     preflight_tile_risk,
 )
 from .plan import ExecutionPlan, JobSpec
+from .precalc_cache import PrecalcPlaneCache
 
 __all__ = [
     "JobSpec",
     "ExecutionPlan",
+    "PrecalcPlaneCache",
     "TileBackend",
     "NumericBackend",
     "AnalyticBackend",

@@ -85,10 +85,12 @@ class ProfileAccumulator:
         self.costs: dict[str, KernelCost] = {}
         self.merge_elements = 0
         self.h2d_saved_bytes = 0.0
+        self.precalc_saved_flops = 0.0
 
     def add(self, execution) -> None:
         """Merge one completed tile (numeric or analytic)."""
         self.h2d_saved_bytes += execution.h2d_saved_bytes
+        self.precalc_saved_flops += getattr(execution, "precalc_saved_flops", 0.0)
         output = execution.output
         if output is None:
             # Analytic tile: the merge would touch n_cols columns x d dims.
@@ -114,6 +116,7 @@ class ProfileAccumulator:
             "index": self.index,
             "merge_elements": np.int64(self.merge_elements),
             "h2d_saved_bytes": np.float64(self.h2d_saved_bytes),
+            "precalc_saved_flops": np.float64(self.precalc_saved_flops),
         }
 
     def restore_state(
@@ -123,6 +126,7 @@ class ProfileAccumulator:
         merge_elements: int,
         h2d_saved_bytes: float,
         costs: dict[str, KernelCost] | None = None,
+        precalc_saved_flops: float = 0.0,
     ) -> None:
         """Adopt journaled state (checkpoint/resume).  The arrays must
         match the accumulator's shape and storage dtype exactly — resume
@@ -143,6 +147,7 @@ class ProfileAccumulator:
         self.index[...] = index
         self.merge_elements = int(merge_elements)
         self.h2d_saved_bytes = float(h2d_saved_bytes)
+        self.precalc_saved_flops = float(precalc_saved_flops)
         if costs is not None:
             self.costs = dict(costs)
 

@@ -41,7 +41,7 @@ from ..gpu.perfmodel import TileTiming, kernel_time, single_tile_timing
 from ..gpu.simulator import SimulatedGPU, schedule_tile_timing
 from ..gpu.stream import Stream, Timeline
 from ..kernels.dist_calc import DistCalcKernel
-from ..kernels.precalc import PrecalcKernel
+from ..kernels.precalc import PrecalcKernel, PreparedPrecalc
 from ..kernels.sort_scan import SortScanKernel
 from ..kernels.sort_scan_batch import BatchSortScanKernel
 from ..kernels.update import INDEX_DTYPE, UpdateKernel
@@ -147,6 +147,7 @@ def run_tile(
     fast_path_1d: bool = True,
     row_block: int = 1,
     workspace: "WorkspacePool | None" = None,
+    precalc: "PreparedPrecalc | None" = None,
 ) -> TileOutput:
     """Execute the kernels of one tile; pure numerics + cost accounting.
 
@@ -167,6 +168,15 @@ def run_tile(
     modelled timings are bit-for-bit identical to the per-row path —
     blocking only amortises the host dispatch overhead.  ``workspace``
     is an optional :class:`WorkspacePool` reused across calls.
+
+    ``precalc`` is an optional :class:`~repro.kernels.precalc.
+    PreparedPrecalc` assembled by the plan-level
+    :class:`~repro.engine.precalc_cache.PrecalcPlaneCache`: its result
+    (bit-identical to running :class:`PrecalcKernel` here) is used
+    directly and its pre-computed cost stands in for the kernel's.  The
+    device uploads are unchanged either way — the tile still needs both
+    series resident for the main loop, so H2D accounting and the memory
+    footprint stay as they were.
     """
     d = tr_dev.shape[0]
     n_r_seg = tr_dev.shape[1] - m + 1
@@ -175,7 +185,6 @@ def run_tile(
         raise ValueError(f"m={m} leaves no segments for tile of shape "
                          f"{tr_dev.shape} x {tq_dev.shape}")
 
-    precalc = PrecalcKernel(config=launch, policy=policy)
     dist = DistCalcKernel(config=launch, policy=policy)
     if sort_strategy == "batch":
         sort_scan = BatchSortScanKernel(config=launch, policy=policy)
@@ -184,7 +193,13 @@ def run_tile(
     update = UpdateKernel(config=launch, policy=policy)
     skip_sort = fast_path_1d and d == 1
 
-    pre = precalc.run(tr_dev, tq_dev, m)
+    if precalc is None:
+        precalc_kernel = PrecalcKernel(config=launch, policy=policy)
+        pre = precalc_kernel.run(tr_dev, tq_dev, m)
+        precalc_cost = precalc_kernel.cost
+    else:
+        pre = precalc.result
+        precalc_cost = precalc.cost
     dist.bind(pre)
     update.allocate(d, n_q_seg)
 
@@ -227,7 +242,7 @@ def run_tile(
     d2h_bytes = float(n_q_seg * d * (itemsize + INDEX_DTYPE.itemsize))
     costs = {
         _KERNEL_LABELS[c.name]: replace(c, name=_KERNEL_LABELS[c.name])
-        for c in (precalc.cost, dist.cost, sort_scan.cost, update.cost)
+        for c in (precalc_cost, dist.cost, sort_scan.cost, update.cost)
     }
     return TileOutput(
         profile=update.profile,
@@ -283,6 +298,7 @@ class TileExecution:
     gpu_id: int = -1  # filled in by the dispatcher
     h2d_saved_bytes: float = 0.0  # diagonal-tile shared-upload savings
     mode: "PrecisionMode | None" = None  # precision the tile executed at
+    precalc_saved_flops: float = 0.0  # plane work amortised away for this tile
 
 
 @runtime_checkable
@@ -348,6 +364,13 @@ class NumericBackend:
         # Self-join diagonal tile: row and column slices are the same
         # samples of the same layout — upload once, bind twice.
         shared = plan.tq_layout is plan.tr_layout and (r0, r1) == (c0, c1)
+        # Amortised precalculation: assembled host-side before any device
+        # allocation, so a device OOM cannot strand a half-built plane
+        # cache and the (locked) plane build never holds device memory.
+        prepared = None
+        cache = getattr(plan, "precalc_cache", None)
+        if cache is not None:
+            prepared = cache.prepare(plan, tile)
         with ExitStack() as stack:
             with self._lock:
                 tr_alloc = gpu.memory.upload(
@@ -381,6 +404,7 @@ class NumericBackend:
                 fast_path_1d=config.fast_path_1d,
                 row_block=plan.row_block,
                 workspace=self._workspace_pool(),
+                precalc=prepared,
             )
         saved = 0.0
         if shared and self.discount_shared_h2d:
@@ -390,6 +414,7 @@ class NumericBackend:
         return TileExecution(
             tile=tile, timing=timing, output=output, h2d_saved_bytes=saved,
             mode=policy.mode,
+            precalc_saved_flops=prepared.saved_flops if prepared else 0.0,
         )
 
     def _free(self, alloc) -> None:

@@ -188,6 +188,12 @@ class RunJournal:
                 merge_elements=int(data["merge_elements"]),
                 h2d_saved_bytes=float(data["h2d_saved_bytes"]),
                 costs=costs,
+                # Absent in journals written before the amortisation layer.
+                precalc_saved_flops=(
+                    float(data["precalc_saved_flops"])
+                    if "precalc_saved_flops" in data.files
+                    else 0.0
+                ),
             )
 
     def rebuild(self) -> tuple[JobSpec, ExecutionPlan]:
@@ -270,6 +276,7 @@ def resume_plan(
         merge_time=accumulator.merge_time(report.tiles_total),
         costs=accumulator.costs,
         h2d_saved_bytes=accumulator.h2d_saved_bytes,
+        precalc_saved_flops=accumulator.precalc_saved_flops,
         escalations=escalations,
         split_tiles=dict(report.splits),
         resumed_tiles=report.tiles_restored,

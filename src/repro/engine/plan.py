@@ -29,6 +29,7 @@ from ..core.config import RunConfig, default_exclusion_zone
 from ..core.tiling import Tile, assign_tiles, compute_tile_list
 from ..kernels.layout import to_device_layout, validate_series
 from ..precision.modes import PrecisionPolicy
+from .precalc_cache import PrecalcPlaneCache
 
 __all__ = ["JobSpec", "ExecutionPlan"]
 
@@ -237,6 +238,7 @@ class JobSpec:
         n_gpus: int | None = None,
         tiles: list[Tile] | None = None,
         assignment: list[int] | None = None,
+        precalc_store=None,
     ) -> "ExecutionPlan":
         """Materialise the execution plan.
 
@@ -245,6 +247,11 @@ class JobSpec:
         node's subset); ``assignment`` overrides the static round-robin
         device assignment (pass ``None`` with ``static=False`` semantics
         by giving the dispatcher a placement policy instead).
+        ``precalc_store`` is an optional cross-job stats store (the
+        service's content-addressed cache) handed to the plan's
+        :class:`~repro.engine.precalc_cache.PrecalcPlaneCache`; the
+        cache itself is created empty and populates lazily on the first
+        numeric tile execution, so planning stays cheap.
         """
         if tiles is None:
             n_tiles = n_tiles if n_tiles is not None else self.config.n_tiles
@@ -253,14 +260,20 @@ class JobSpec:
             n_gpus = n_gpus if n_gpus is not None else self.config.n_gpus
             assignment = assign_tiles(tiles, n_gpus)
         tr_layout = tq_layout = None
+        precalc_cache = None
         if not self.is_modeled:
             tr_layout, tq_layout = self.layouts()
+            if self.config.amortize_precalc:
+                precalc_cache = PrecalcPlaneCache(
+                    store=precalc_store, base_mode=self.config.mode
+                )
         return ExecutionPlan(
             spec=self,
             tiles=tiles,
             assignment=assignment,
             tr_layout=tr_layout,
             tq_layout=tq_layout,
+            precalc_cache=precalc_cache,
         )
 
 
@@ -279,6 +292,11 @@ class ExecutionPlan:
     assignment: list[int]
     tr_layout: np.ndarray | None = None
     tq_layout: np.ndarray | None = None
+    #: Plan-level amortised precalculation (None for modeled plans or
+    #: when ``config.amortize_precalc`` is off); escalated plans share
+    #: their parent's instance so escalation populates new mode planes
+    #: in the same cache.
+    precalc_cache: "PrecalcPlaneCache | None" = None
     _escalated: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -316,6 +334,7 @@ class ExecutionPlan:
                 assignment=self.assignment,
                 tr_layout=tr,
                 tq_layout=tq,
+                precalc_cache=self.precalc_cache,
             )
             self._escalated[mode] = cached
         return cached

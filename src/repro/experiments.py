@@ -114,6 +114,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "row_blocking", "Sec. III", "Row-blocked kernel execution: per-row vs blocked vs parallel tile workers",
         "bench_row_blocking.py", "row_blocking", "executed",
     ),
+    Experiment(
+        "precalc_amortization", "Sec. III-A",
+        "Amortised precalculation: plan-level stats cache vs per-tile restart",
+        "bench_precalc_amortization.py", "precalc_amortization", "executed",
+    ),
 )
 
 

@@ -22,10 +22,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..gpu.kernel import Kernel, grid_stride_chunks
+from ..gpu.kernel import Kernel, KernelCost, LaunchConfig, grid_stride_chunks
 from ..precision.modes import PrecisionPolicy
 
-__all__ = ["PrecalcResult", "PrecalcKernel"]
+__all__ = [
+    "PrecalcResult",
+    "PrecalcKernel",
+    "PreparedPrecalc",
+    "seed_qt_rows",
+    "fft_seed_qt_rows",
+    "seed_cost",
+    "plane_cost",
+    "naive_qt_row",
+]
 
 
 @dataclass
@@ -75,22 +84,32 @@ class _Accumulator:
     def __init__(self, shape: tuple[int, ...], dtype: np.dtype, compensated: bool):
         self.dtype = dtype
         self.value = np.zeros(shape, dtype=dtype)
-        self.comp = np.zeros(shape, dtype=dtype) if compensated else None
+        if compensated:
+            self.comp = np.zeros(shape, dtype=dtype)
+            # Persistent Kahan scratch: the y/total intermediates live for
+            # the whole accumulation instead of being reallocated per add.
+            self._y = np.empty(shape, dtype=dtype)
+            self._total = np.empty(shape, dtype=dtype)
+        else:
+            self.comp = None
 
     def add(self, term: np.ndarray) -> None:
-        # The astype calls only guard against accidental promotion — when
-        # both operands are already in ``dtype`` the op result is too, so
-        # ``copy=False`` makes them free instead of a full copy each.
-        term = term.astype(self.dtype, copy=False)
+        # Guard against accidental promotion only when it would actually
+        # occur — every in-repo caller already hands in ``dtype`` terms,
+        # so the common path skips the astype entirely.
+        if term.dtype != self.dtype:
+            term = term.astype(self.dtype)
         if self.comp is None:
-            self.value = (self.value + term).astype(self.dtype, copy=False)
+            np.add(self.value, term, out=self.value)
         else:
-            y = (term - self.comp).astype(self.dtype, copy=False)
-            total = (self.value + y).astype(self.dtype, copy=False)
-            self.comp = (
-                (total - self.value).astype(self.dtype, copy=False) - y
-            ).astype(self.dtype, copy=False)
-            self.value = total
+            y, total = self._y, self._total
+            np.subtract(term, self.comp, out=y)
+            np.add(self.value, y, out=total)
+            np.subtract(total, self.value, out=self.comp)
+            np.subtract(self.comp, y, out=self.comp)
+            # Swap buffers: the old value array becomes next round's
+            # ``total`` scratch.
+            self.value, self._total = total, self.value
 
 
 def _window_stats(
@@ -116,10 +135,15 @@ def _window_stats(
         mu = (acc.value / dtype.type(m)).astype(dtype)
 
     acc2 = _Accumulator((d, n_seg), dtype, policy.compensated)
+    # Reused per-iteration scratch: same subtract/multiply ufuncs as the
+    # temporaries they replace, so the rounding is bit-identical.
+    diff = np.empty((d, n_seg), dtype=dtype)
+    sq = np.empty((d, n_seg), dtype=dtype)
     with np.errstate(over="ignore", invalid="ignore"):
         for t in range(m):
-            diff = (series[:, t : t + n_seg] - mu).astype(dtype, copy=False)
-            acc2.add((diff * diff).astype(dtype, copy=False))
+            np.subtract(series[:, t : t + n_seg], mu, out=diff)
+            np.multiply(diff, diff, out=sq)
+            acc2.add(sq)
     cent_sq = acc2.value
     # Flat windows give non-positive centred energy after rounding; clamp to
     # the smallest normal so the reciprocal stays finite (ill-conditioned
@@ -174,14 +198,175 @@ def _centered_dot_against(
     d, n_seg = mu.shape
     acc = _Accumulator((d, n_seg), dtype, policy.compensated)
     fixed_centered = (fixed_seg - fixed_mu[:, None]).astype(dtype, copy=False)
+    # Hoisted column views + reused scratch buffers: the per-iteration
+    # subtract/multiply are the same ufuncs on the same values as the
+    # temporaries they replace — bit-identical, just allocation-free.
+    cols = [fixed_centered[:, t : t + 1] for t in range(m)]
+    diff = np.empty((d, n_seg), dtype=dtype)
+    term = np.empty((d, n_seg), dtype=dtype)
     with np.errstate(over="ignore", invalid="ignore"):
         for t in range(m):
-            term = (
-                fixed_centered[:, t : t + 1]
-                * (series[:, t : t + n_seg] - mu).astype(dtype, copy=False)
-            ).astype(dtype, copy=False)
+            np.subtract(series[:, t : t + n_seg], mu, out=diff)
+            np.multiply(cols[t], diff, out=term)
             acc.add(term)
     return acc.value
+
+
+def seed_qt_rows(
+    series_fixed: np.ndarray,
+    starts: "list[int] | tuple[int, ...]",
+    series_other: np.ndarray,
+    mu_fixed: np.ndarray,
+    mu_other: np.ndarray,
+    m: int,
+    policy: PrecisionPolicy,
+) -> np.ndarray:
+    """Batched seed QT: the centred dot of *several* fixed segments of one
+    series against all segments of the other, in one vectorised pass.
+
+    ``out[b, k, j] = sum_t (fixed[b, k, t] - fixed_mu[b, k]) *
+    (other[k, j+t] - mu_other[k, j])`` where ``fixed[b] =
+    series_fixed[:, starts[b]:starts[b]+m]``.  Each band ``b`` undergoes the
+    exact elementwise subtract/multiply/(Kahan-)add sequence of
+    :func:`_centered_dot_against`, so every slice ``out[b]`` is bit-identical
+    to the per-tile seed — the batching only amortises the Python-level
+    length-``m`` loop across all tiles sharing a reference band.
+    """
+    dtype = policy.precalc
+    d, n_seg = mu_other.shape
+    n_bands = len(starts)
+    if n_bands == 0:
+        return np.empty((0, d, n_seg), dtype=dtype)
+    fixed = np.stack([series_fixed[:, s : s + m] for s in starts])
+    fmu = np.stack([mu_fixed[:, s] for s in starts])
+    fixed_centered = (fixed - fmu[:, :, None]).astype(dtype, copy=False)
+    acc = _Accumulator((n_bands, d, n_seg), dtype, policy.compensated)
+    diff = np.empty((d, n_seg), dtype=dtype)
+    term = np.empty((n_bands, d, n_seg), dtype=dtype)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for t in range(m):
+            np.subtract(series_other[:, t : t + n_seg], mu_other, out=diff)
+            np.multiply(fixed_centered[:, :, t : t + 1], diff[None], out=term)
+            acc.add(term)
+    return acc.value
+
+
+def fft_seed_qt_rows(
+    series_fixed: np.ndarray,
+    starts: "list[int] | tuple[int, ...]",
+    series_other: np.ndarray,
+    mu_fixed: np.ndarray,
+    mu_other: np.ndarray,
+    m: int,
+    policy: PrecisionPolicy,
+) -> np.ndarray:
+    """MASS-style sliding-dot-product seeds via FFT correlation.
+
+    Computes the same quantity as :func:`seed_qt_rows` but through a
+    double-precision FFT convolution (O(n log n) instead of O(n·m)), then
+    casts to the precalc dtype.  NOT bit-identical to the sequential
+    accumulation — the error stays within the ``precision/errors.py``
+    dot-product bound for FP64/FP32 (validated in tests), which is why the
+    ``"fft"`` strategy is opt-in and restricted to those modes.
+    """
+    dtype = policy.precalc
+    d, n_seg = mu_other.shape
+    n_bands = len(starts)
+    if n_bands == 0:
+        return np.empty((0, d, n_seg), dtype=dtype)
+    x = series_other.astype(np.float64, copy=False)
+    length = x.shape[1]
+    fc = np.stack(
+        [
+            series_fixed[:, s : s + m].astype(np.float64)
+            - mu_fixed[:, s].astype(np.float64)[:, None]
+            for s in starts
+        ]
+    )  # (B, d, m) centred fixed segments
+    nfft = 1
+    while nfft < length + m - 1:
+        nfft *= 2
+    spec_x = np.fft.rfft(x, nfft)  # (d, nfft//2+1)
+    spec_k = np.fft.rfft(fc[:, :, ::-1], nfft)  # (B, d, nfft//2+1)
+    # conv(x, reversed(fc))[j+m-1] == sum_t x[j+t] * fc[t]
+    corr = np.fft.irfft(spec_x[None] * spec_k, nfft)[:, :, m - 1 : m - 1 + n_seg]
+    out = corr - mu_other.astype(np.float64)[None] * fc.sum(axis=2)[:, :, None]
+    return out.astype(dtype)
+
+
+def seed_cost(
+    n_r_seg: int,
+    n_q_seg: int,
+    d: int,
+    m: int,
+    len_r: int,
+    len_q: int,
+    policy: PrecisionPolicy,
+    launch: LaunchConfig,
+) -> KernelCost:
+    """Cost of one tile's seed-dot work: the per-tile part of precalc.
+
+    Covers reading both device series, the two length-m centred dot
+    products (2m flops per output element, L2-resident operands) and
+    writing the seed rows.  One launch; grid-stride rounds over the
+    tile's precalc elements.
+    """
+    psize = policy.precalc.itemsize
+    pre = float((n_r_seg + n_q_seg) * d)
+    flops = 2.0 * m * pre
+    if policy.compensated:
+        flops *= 4.0
+    rounds = len(list(grid_stride_chunks(int(pre), launch)))
+    return KernelCost(
+        name="PrecalcKernel",
+        bytes_dram=float((len_r + len_q) * d) * psize + pre * psize,
+        bytes_l2=2.0 * m * pre * psize,
+        flops=flops,
+        launches=1,
+        loop_rounds=rounds,
+    )
+
+
+def plane_cost(n_r_seg: int, n_q_seg: int, d: int, policy: PrecisionPolicy) -> KernelCost:
+    """Cost of the window-statistics planes (mu/inv/df/dg) for a segment
+    range: the amortisable part of precalc (8 flops + 8 bytes written per
+    precalc element, folded into the seed launch so no extra launch or
+    loop rounds).
+
+    ``seed_cost + plane_cost`` over a tile's own segments reproduces the
+    historical per-tile precalculation cost exactly, field by field.
+    """
+    psize = policy.precalc.itemsize
+    pre = float((n_r_seg + n_q_seg) * d)
+    flops = 8.0 * pre
+    if policy.compensated:
+        flops *= 4.0
+    return KernelCost(
+        name="PrecalcKernel",
+        bytes_dram=8.0 * pre * psize,
+        flops=flops,
+        launches=0,
+        loop_rounds=0,
+    )
+
+
+@dataclass
+class PreparedPrecalc:
+    """A tile's precalculation assembled by the plan-level plane cache.
+
+    ``result`` is bit-identical to what :meth:`PrecalcKernel.run` would
+    produce for the tile; ``cost`` is what the tile should be charged
+    (its seed-dot work, plus the one-off plane pass if this tile is the
+    designated charge carrier); ``saved_flops`` is the plane work this
+    tile did *not* redo.  For the charge carrier the full-series plane
+    charge is subtracted from its tile-local figure, which can make its
+    contribution negative — the sum over a whole plan is always >= 0
+    (and exactly 0 for a single-tile plan).
+    """
+
+    result: PrecalcResult
+    cost: KernelCost
+    saved_flops: float = 0.0
 
 
 @dataclass
@@ -255,25 +440,28 @@ class PrecalcKernel(Kernel):
         tq_dev: np.ndarray,
         m: int,
     ) -> None:
-        """Cost per the conventions in ``repro.gpu.perfmodel``."""
-        d = result.d
-        n_r, n_q = result.n_r_seg, result.n_q_seg
-        psize = self.policy.precalc.itemsize
-        pre_elems = float((n_r + n_q) * d)
-        flops = 2.0 * m * pre_elems + 8.0 * pre_elems
-        if self.policy.compensated:
-            flops *= 4.0
-        rounds = len(list(grid_stride_chunks(int(pre_elems), self.config)))
+        """Cost per the conventions in ``repro.gpu.perfmodel``.
+
+        Decomposed into the per-tile seed-dot work plus the window-plane
+        pass so the amortisation layer can charge each part separately;
+        the sum is the historical per-tile formula, field by field.
+        """
+        total = seed_cost(
+            result.n_r_seg,
+            result.n_q_seg,
+            result.d,
+            m,
+            tr_dev.shape[1],
+            tq_dev.shape[1],
+            self.policy,
+            self.config,
+        ) + plane_cost(result.n_r_seg, result.n_q_seg, result.d, self.policy)
         self._account(
-            bytes_dram=(
-                float((tr_dev.shape[1] + tq_dev.shape[1]) * d * psize)
-                + 8.0 * pre_elems * psize
-                + pre_elems * psize
-            ),
-            bytes_l2=2.0 * m * pre_elems * psize,
-            flops=flops,
-            launches=1,
-            loop_rounds=rounds,
+            bytes_dram=total.bytes_dram,
+            bytes_l2=total.bytes_l2,
+            flops=total.flops,
+            launches=total.launches,
+            loop_rounds=total.loop_rounds,
         )
 
 
@@ -291,10 +479,14 @@ def naive_qt_row(
     evaluation at arbitrary rows.
     """
     pdtype = policy.precalc
+    # Share the self-join stats exactly as PrecalcKernel.run does — the
+    # second _window_stats pass was pure recomputation when both roles
+    # alias the same device array.
+    same = tq_dev is tr_dev
     tr = tr_dev.astype(pdtype, copy=False)
-    tq = tq_dev.astype(pdtype, copy=False)
+    tq = tr if same else tq_dev.astype(pdtype, copy=False)
     mu_r, _ = _window_stats(tr, m, policy)
-    mu_q, _ = _window_stats(tq, m, policy)
+    mu_q = mu_r if same else _window_stats(tq, m, policy)[0]
     return _centered_dot_against(
         tr[:, row : row + m], mu_r[:, row], tq, mu_q, m, policy
     )

@@ -15,6 +15,7 @@ __all__ = [
     "format_seconds",
     "banner",
     "render_service_metrics",
+    "render_precalc_savings",
 ]
 
 
@@ -72,6 +73,24 @@ def render_service_metrics(snapshot) -> str:
     """
     return format_table(["metric", "value"], snapshot.to_rows(),
                         title="service metrics")
+
+
+def render_precalc_savings(result) -> str:
+    """One-line summary of the precalc plane work amortised away.
+
+    Accepts any object with ``precalc_saved_flops`` (and optionally a
+    ``costs`` dict carrying the charged ``precalculation`` cost), so it
+    works for :class:`~repro.core.result.MatrixProfileResult` and duck
+    typed stand-ins alike.  When the charged precalc flops are known the
+    saved fraction of the total plane+seed work is appended.
+    """
+    saved = float(getattr(result, "precalc_saved_flops", 0.0))
+    line = f"precalc amortisation saved {saved:.4g} flops"
+    cost = (getattr(result, "costs", None) or {}).get("precalculation")
+    if cost is not None and cost.flops + saved > 0:
+        fraction = saved / (cost.flops + saved)
+        line += f" ({fraction:.1%} of the unamortised precalc work)"
+    return line
 
 
 def banner(text: str) -> None:

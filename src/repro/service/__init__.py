@@ -29,7 +29,7 @@ from .admission import (
     AdmissionDecision,
     LoadEstimator,
 )
-from .cache import ResultCache, cache_key
+from .cache import PrecalcStatsCache, ResultCache, cache_key
 from .job import Job, JobOutcome, JobRequest, JobStatus, series_digest
 from .metrics import MetricsSnapshot, ServiceMetrics, percentile
 from .scheduler import (
@@ -48,6 +48,7 @@ __all__ = [
     "JobStatus",
     "JobOutcome",
     "series_digest",
+    "PrecalcStatsCache",
     "ResultCache",
     "cache_key",
     "AdmissionController",

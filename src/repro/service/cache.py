@@ -11,6 +11,13 @@ not alias.
 Eviction is least-recently-used, bounded both by entry count and by the
 total payload bytes (profile + index arrays), and hit/miss/eviction
 counters feed :class:`~repro.service.metrics.ServiceMetrics`.
+
+:class:`PrecalcStatsCache` is the second, finer-grained cache of this
+module: it stores per-series *window-statistics planes* (mu/inv/df/dg)
+for the engine's plan-level precalc amortisation layer, so repeated jobs
+on the same series — the service's dominant traffic pattern — skip the
+O(n·m·d) statistics pass even when the result itself misses (different
+tiling, different m pairing, first run of an A/B pair).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from collections import OrderedDict
 from ..core.config import RunConfig
 from ..core.result import MatrixProfileResult
 
-__all__ = ["ResultCache", "cache_key"]
+__all__ = ["ResultCache", "PrecalcStatsCache", "cache_key"]
 
 
 def cache_key(
@@ -91,6 +98,109 @@ class ResultCache:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def payload_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int | float]:
+        """Counter snapshot for metrics/reporting."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "payload_bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
+
+
+class PrecalcStatsCache:
+    """Thread-safe LRU store of per-series window-statistics planes.
+
+    The plug-in ``store`` of the engine's
+    :class:`~repro.engine.precalc_cache.PrecalcPlaneCache`: keys are the
+    engine's content-addressed role keys (series-layout digest + shape +
+    dtype + m + mode — precalc-relevant fields only, so jobs differing
+    in tiling, strategy or result-affecting knobs still share the
+    planes), values are dicts of numpy planes.  Entries are treated as
+    immutable by the engine — tiles slice them read-only.
+
+    ``on_lookup`` (if given) is called with ``True``/``False`` per
+    lookup; the service wires it to
+    :meth:`~repro.service.metrics.ServiceMetrics.record_stats_cache`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        max_bytes: int = 256 * 1024 * 1024,
+        on_lookup=None,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.on_lookup = on_lookup
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[object, dict] = OrderedDict()
+
+    @staticmethod
+    def _entry_bytes(entry: dict) -> int:
+        return int(sum(arr.nbytes for arr in entry.values()))
+
+    def get(self, key) -> dict | None:
+        """Look up one series role's planes; records hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if self.on_lookup is not None:
+            self.on_lookup(entry is not None)
+        return entry
+
+    def put(self, key, entry: dict) -> None:
+        """Insert (or refresh) a role's planes, evicting LRU as needed."""
+        nbytes = self._entry_bytes(entry)
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= self._entry_bytes(self._entries.pop(key))
+            self._entries[key] = entry
+            self._bytes += nbytes
+            while self._entries and (
+                len(self._entries) > self.max_entries or self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._entry_bytes(evicted)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
         with self._lock:
             return key in self._entries
 

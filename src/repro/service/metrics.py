@@ -46,6 +46,8 @@ class MetricsSnapshot:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    stats_cache_hits: int
+    stats_cache_misses: int
     precision_downgrades: int
     downgraded_jobs: int
     tile_retries: int
@@ -68,6 +70,10 @@ class MetricsSnapshot:
             ["latency p95 (s)", f"{self.latency_p95:.4f}"],
             ["cache hits / misses", f"{self.cache_hits} / {self.cache_misses}"],
             ["cache hit rate", f"{self.cache_hit_rate:.1%}"],
+            [
+                "stats cache hits / misses",
+                f"{self.stats_cache_hits} / {self.stats_cache_misses}",
+            ],
             ["precision downgrades (steps)", self.precision_downgrades],
             ["downgraded jobs", self.downgraded_jobs],
             ["tile retries", self.tile_retries],
@@ -92,6 +98,8 @@ class ServiceMetrics:
         self.jobs_failed = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.stats_cache_hits = 0
+        self.stats_cache_misses = 0
         self.precision_downgrades = 0
         self.downgraded_jobs = 0
         self.tile_retries = 0
@@ -113,6 +121,14 @@ class ServiceMetrics:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+
+    def record_stats_cache(self, hit: bool) -> None:
+        """One window-statistics store lookup (per series role, per job)."""
+        with self._lock:
+            if hit:
+                self.stats_cache_hits += 1
+            else:
+                self.stats_cache_misses += 1
 
     def record_downgrade(self, steps: int) -> None:
         if steps <= 0:
@@ -172,6 +188,8 @@ class ServiceMetrics:
                 cache_hits=self.cache_hits,
                 cache_misses=self.cache_misses,
                 cache_hit_rate=self.cache_hits / lookups if lookups else 0.0,
+                stats_cache_hits=self.stats_cache_hits,
+                stats_cache_misses=self.stats_cache_misses,
                 precision_downgrades=self.precision_downgrades,
                 downgraded_jobs=self.downgraded_jobs,
                 tile_retries=self.tile_retries,

@@ -76,6 +76,7 @@ class JobExecution:
     escalations: dict[int, PrecisionMode]
     tiles_split: int
     health_failures: int
+    precalc_saved_flops: float = 0.0
 
     @property
     def partial(self) -> bool:
@@ -94,6 +95,7 @@ class TileScheduler:
         health: "HealthPolicy | None" = None,
         corruptor=None,
         oom_split: bool = False,
+        stats_cache=None,
     ):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -104,6 +106,11 @@ class TileScheduler:
         self.health = health
         self.corruptor = corruptor
         self.oom_split = oom_split
+        #: Optional cross-job window-statistics store
+        #: (:class:`~repro.service.cache.PrecalcStatsCache`): handed to
+        #: every plan so repeated jobs on the same series skip the
+        #: precalc statistics pass.
+        self.stats_cache = stats_cache
         # One lock guards the allocator/stream bookkeeping AND the
         # placement cursor (RLock: the engine nests them).
         self._lock = threading.RLock()
@@ -134,7 +141,11 @@ class TileScheduler:
         spec = JobSpec.from_layouts(
             tr_layout, tq_layout, m, config, exclusion_zone=zone
         )
-        plan = spec.plan(n_tiles=n_tiles, n_gpus=self.sim.n_gpus)
+        plan = spec.plan(
+            n_tiles=n_tiles,
+            n_gpus=self.sim.n_gpus,
+            precalc_store=self.stats_cache,
+        )
         timeline = Timeline()  # job-local: jobs report their own makespans
         accumulator = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
         report = execute_plan(
@@ -167,4 +178,5 @@ class TileScheduler:
             escalations=dict(report.escalations),
             tiles_split=len(report.splits),
             health_failures=report.health_failures,
+            precalc_saved_flops=accumulator.precalc_saved_flops,
         )

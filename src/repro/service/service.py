@@ -42,7 +42,7 @@ from ..gpu.simulator import GPUSimulator
 from ..kernels.layout import to_device_layout, validate_series
 from ..precision.modes import policy_for
 from .admission import AdmissionController, LoadEstimator
-from .cache import ResultCache, cache_key
+from .cache import PrecalcStatsCache, ResultCache, cache_key
 from .job import Job, JobOutcome, JobRequest, JobStatus, QueuedJob, series_digest
 from .metrics import ServiceMetrics
 from .scheduler import HealthPolicy, TileRetryExhaustedError, TileScheduler
@@ -118,20 +118,31 @@ class MatrixProfileService:
             corruptor = fault_plan.corruptor
             if failure_injector is None:
                 failure_injector = fault_plan.injector
+        self.cache = cache if cache is not None else (
+            ResultCache() if use_cache else None
+        )
+        self.metrics = ServiceMetrics(clock)
+        # Cross-job window-statistics store: enabled alongside the result
+        # cache (same dominant traffic pattern — repeated series).  Even
+        # when the *result* misses (different tiling, m, or mode pairing)
+        # the stats planes often hit, and the engine then skips the
+        # O(n·m·d) precalc statistics pass.
+        self.stats_cache = (
+            PrecalcStatsCache(on_lookup=self.metrics.record_stats_cache)
+            if self.cache is not None
+            else None
+        )
         self.scheduler = TileScheduler(
             self.sim, max_retries=max_retries,
             failure_injector=failure_injector, clock=clock,
             health=health_policy, corruptor=corruptor,
             oom_split=oom_tile_split,
+            stats_cache=self.stats_cache,
         )
         self.estimator = estimator or LoadEstimator(self.sim.spec)
         self.admission = admission or AdmissionController(
             self.estimator, parallelism=n_workers
         )
-        self.cache = cache if cache is not None else (
-            ResultCache() if use_cache else None
-        )
-        self.metrics = ServiceMetrics(clock)
         self.n_workers = n_workers
         self.max_replans = max_replans
         self.clock = clock
@@ -374,6 +385,7 @@ class MatrixProfileService:
             timeline=execution.timeline,
             merge_time=merge_time,
             costs=execution.costs,
+            precalc_saved_flops=execution.precalc_saved_flops,
             escalations=dict(execution.escalations),
         )
 
