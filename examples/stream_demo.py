@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The streaming ingestion tier: exact increments, sketch gating, tenancy.
+
+Drives the `repro.streams` subsystem through its three headline
+behaviours:
+
+1. **Bit-identical incremental profiles** — a stream grown by arbitrary
+   append schedules equals a batch recompute over its equivalent tile
+   list, bit for bit, even in FP16.
+2. **Sketch-gated escalation** — a gated tenant sketches every window
+   online and spends exact tile work only on discord alarms, suppressing
+   most of the exact columns while still catching a planted anomaly.
+3. **Multi-tenant serving** — exact, gated, sliding-retention and
+   deadline-shed tenants share one simulated GPU pool, with per-tenant
+   counters and the service metrics stream section.
+
+Run:  python examples/stream_demo.py
+"""
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.tiling import assign_tiles
+from repro.engine.accumulate import ProfileAccumulator
+from repro.engine.backends import NumericBackend
+from repro.engine.dispatch import execute_plan
+from repro.engine.plan import JobSpec
+from repro.gpu.simulator import GPUSimulator
+from repro.reporting import banner, render_service_metrics, render_stream_tenants
+from repro.streams import IncrementalMatrixProfile, StreamIngestService, TenantPolicy
+
+
+def main() -> None:
+    rng = np.random.default_rng(1234)
+    m = 16
+    n = 600
+    wave = np.sin(np.linspace(0, n / 12, n))[:, None]
+    series = wave + 0.05 * rng.standard_normal((n, 1))
+    at = 480
+    # Planted discord: a noise burst (shape anomaly) — per-window
+    # z-normalisation makes pure offset bumps look ordinary.
+    series[at : at + m] = rng.standard_normal((m, 1))
+
+    banner("1. Incremental profile == batch recompute, bit for bit (FP16)")
+    cfg = RunConfig(mode="FP16")
+    inc = IncrementalMatrixProfile(m, cfg)
+    for start in range(0, n, 75):  # eight appends
+        inc.append(series[start : start + 75])
+    p_inc, i_inc = inc.profile()
+
+    tiles = list(inc.equivalent_tiles())
+    spec = JobSpec.from_layouts(
+        inc._stream, inc._stream, m, cfg, exclusion_zone=inc.exclusion_zone
+    )
+    sim = GPUSimulator(cfg.device, cfg.n_gpus, cfg.n_streams)
+    plan = spec.plan(tiles=tiles, assignment=assign_tiles(tiles, sim.n_gpus))
+    acc = ProfileAccumulator(spec.d, inc.n_q_seg, cfg.policy)
+    execute_plan(plan, NumericBackend(), sim, accumulator=acc)
+    identical = np.array_equal(
+        p_inc.view(np.uint8), acc.host_profile().view(np.uint8)
+    ) and np.array_equal(i_inc, acc.host_index())
+    print(f"{len(tiles)} band tiles over 8 appends; "
+          f"bit-identical to batch recompute: {identical}")
+    print(f"top discord at segment {int(np.argmax(p_inc[:, 0]))} "
+          f"(planted at {at})")
+
+    banner("2. Sketch gate: exact work only on discord alarms")
+    svc = StreamIngestService(device="A100", n_gpus=2)
+    svc.register("exact", TenantPolicy(m=m, mode="FP32"))
+    svc.register(
+        "gated",
+        TenantPolicy(m=m, mode="FP32", sketch_gate=True,
+                     sketch_warmup=24, sketch_seed=1),
+    )
+    for start in range(0, n, 25):
+        chunk = series[start : start + 25]
+        svc.ingest("exact", chunk)
+        svc.ingest("gated", chunk)
+    gated = svc.tenant("gated").counters
+    alarmed = [s.position for s in svc.scores("gated") if s.alarm]
+    hit = any(at - m < p < at + m for p in alarmed)
+    print(f"gated tenant: {gated.segments} segments, {gated.alarms} alarms, "
+          f"{gated.suppression_ratio:.0%} of exact columns suppressed")
+    print(f"planted discord alarmed: {hit}")
+
+    banner("3. Multi-tenant pool: sliding retention + deadline shedding")
+    svc.register(
+        "sliding",
+        TenantPolicy(m=m, mode="FP32", window="sliding", retention=150),
+    )
+    svc.register("shed", TenantPolicy(m=m, mode="FP64", deadline=1e-9))
+    for start in range(0, n, 25):
+        chunk = series[start : start + 25]
+        svc.ingest("sliding", chunk)
+        report = svc.ingest("shed", chunk)
+    print(f"shed tenant last step ran at {report.mode.value} "
+          f"({report.shed_steps} ladder steps below FP64)")
+    print()
+    print(render_stream_tenants(svc.tenant(t) for t in svc.tenants()))
+    print()
+    print(render_service_metrics(svc.metrics.snapshot()))
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,11 @@ from .core import (
 from .gpu import A100, SKYLAKE16, V100, GPUSimulator, get_device
 from .precision import PrecisionMode, policy_for
 from .service import JobRequest, JobStatus, MatrixProfileService
+from .streams import (
+    IncrementalMatrixProfile,
+    StreamIngestService,
+    TenantPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -51,6 +56,9 @@ __all__ = [
     "MatrixProfileService",
     "JobRequest",
     "JobStatus",
+    "IncrementalMatrixProfile",
+    "StreamIngestService",
+    "TenantPolicy",
     "A100",
     "V100",
     "SKYLAKE16",

@@ -8,6 +8,7 @@ Gives downstream users a zero-code path to the main workflows:
 * ``model``     — print modelled execution times for a problem size
 * ``devices``   — list the simulated devices and their specs
 * ``serve``     — drive a synthetic workload through the job service
+* ``stream``    — drive tenant streams through the online ingestion tier
 * ``submit``    — run one CSV job through the service (deadline-aware)
 """
 
@@ -136,6 +137,24 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--show-ladder", action="store_true",
         help="also print the precision ladder's relative-cost factors",
+    )
+
+    st = sub.add_parser(
+        "stream", help="drive synthetic tenant streams through the online "
+        "ingestion tier (exact, sketch-gated, deadline-shed, sliding)"
+    )
+    st.add_argument("-n", type=int, default=600, help="samples per stream")
+    st.add_argument("-d", "--dims", type=int, default=2)
+    st.add_argument("-m", "--window", type=int, default=24)
+    st.add_argument("--batch", type=int, default=25, help="samples per ingest call")
+    st.add_argument("--mode", default="FP32", help="exact tenant precision mode")
+    st.add_argument("--device", default="A100")
+    st.add_argument("--gpus", type=int, default=2)
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-append deadline for the shed tenant (enables precision "
+        "shedding; omit to skip that tenant)",
     )
 
     su = sub.add_parser(
@@ -417,6 +436,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .reporting import render_service_metrics, render_stream_tenants
+    from .streams import StreamIngestService, TenantPolicy
+
+    rng = np.random.default_rng(args.seed)
+    m = args.window
+    n = args.n
+    base = np.sin(np.linspace(0, n / 16, n))[:, None] * np.ones((1, args.dims))
+    series = base + 0.1 * rng.standard_normal((n, args.dims))
+    series[int(n * 0.75) : int(n * 0.75) + m] += 3.0  # planted discord
+
+    service = StreamIngestService(device=args.device, n_gpus=args.gpus)
+    service.register("exact", TenantPolicy(m=m, mode=args.mode))
+    service.register(
+        "gated", TenantPolicy(m=m, mode=args.mode, sketch_gate=True)
+    )
+    service.register(
+        "sliding",
+        TenantPolicy(m=m, mode=args.mode, window="sliding",
+                     retention=max(4 * m, args.batch * 4)),
+    )
+    if args.deadline is not None:
+        service.register(
+            "shed", TenantPolicy(m=m, mode="FP64", deadline=args.deadline)
+        )
+    for i in range(0, n, args.batch):
+        chunk = series[i : i + args.batch]
+        for tenant in service.tenants():
+            service.ingest(tenant, chunk)
+
+    profile, index = service.profile("exact")
+    if profile.size:
+        discord = int(np.argmax(profile[:, 0]))
+        print(f"exact tenant: {profile.shape[0]} segments; "
+              f"top discord at segment {discord} "
+              f"(planted at {int(n * 0.75)})")
+    sessions = [service.tenant(t) for t in service.tenants()]
+    print()
+    print(render_stream_tenants(sessions))
+    print()
+    print(render_service_metrics(service.metrics.snapshot()))
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import JobRequest, MatrixProfileService
 
@@ -458,6 +521,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "validate": _cmd_validate,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
     "submit": _cmd_submit,
 }
 

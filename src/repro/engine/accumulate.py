@@ -106,6 +106,35 @@ class ProfileAccumulator:
                 cost if name not in self.costs else self.costs[name] + cost
             )
 
+    def extend_columns(self, n_q_seg: int) -> None:
+        """Grow the accumulator to ``n_q_seg`` query columns in place.
+
+        New columns start at the storage dtype's distance limit with
+        index -1 — exactly the initial state — so a stream that appends
+        query segments and then merges the new-band tiles is in the same
+        state as an accumulator built at the larger size from scratch.
+        Existing columns are untouched (the arrays are copied, values
+        preserved bit for bit).
+        """
+        if n_q_seg < self.n_q_seg:
+            raise ValueError(
+                f"cannot shrink accumulator from {self.n_q_seg} to "
+                f"{n_q_seg} columns"
+            )
+        if n_q_seg == self.n_q_seg:
+            return
+        if self.profile is not None:
+            limit = self.policy.storage.type(DTYPE_MAX[self.policy.storage])
+            profile = np.full(
+                (self.d, n_q_seg), limit, dtype=self.policy.storage
+            )
+            index = np.full((self.d, n_q_seg), -1, dtype=INDEX_DTYPE)
+            profile[:, : self.n_q_seg] = self.profile
+            index[:, : self.n_q_seg] = self.index
+            self.profile = profile
+            self.index = index
+        self.n_q_seg = n_q_seg
+
     def state_arrays(self) -> dict[str, np.ndarray]:
         """The accumulator's mergeable state as plain arrays (for
         checkpoint journals; costs are serialised separately)."""

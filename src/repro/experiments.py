@@ -119,6 +119,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Amortised precalculation: plan-level stats cache vs per-tile restart",
         "bench_precalc_amortization.py", "precalc_amortization", "executed",
     ),
+    Experiment(
+        "streaming_ingest", "Sec. VII",
+        "Streaming ingestion: incremental band tiles + sketch-gated escalation vs recompute",
+        "bench_streaming_ingest.py", "streaming_ingest", "executed",
+    ),
 )
 
 

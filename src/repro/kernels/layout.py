@@ -16,7 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["to_device_layout", "to_host_layout", "validate_series"]
+__all__ = [
+    "to_device_layout",
+    "to_host_layout",
+    "validate_series",
+    "validate_stream_samples",
+]
 
 
 def validate_series(series: np.ndarray, name: str = "series") -> np.ndarray:
@@ -43,6 +48,45 @@ def validate_series(series: np.ndarray, name: str = "series") -> np.ndarray:
         where = (
             f"dimension {int(dims[0])}, indices {int(rows.min())}"
             f"..{int(rows.max())}"
+        )
+        if dims.size > 1:
+            where += f" (and {dims.size - 1} more dimension(s))"
+        raise ValueError(
+            f"{name} contains {int((~finite).sum())} non-finite values "
+            f"(NaN/inf) at {where}; impute or drop them before mining — "
+            "z-normalised distances are undefined there"
+        )
+    return arr
+
+
+def validate_stream_samples(
+    samples: np.ndarray, name: str = "samples", offset: int = 0
+) -> np.ndarray:
+    """Normalise an ingest batch to a 2-d float array of shape (k, d).
+
+    The streaming analogue of :func:`validate_series`: a batch may be a
+    single sample (k = 1 is fine), and non-finite values are reported at
+    their *global stream offsets* (``offset`` is the number of samples
+    the stream has already accepted), so the error names the exact live
+    positions rather than batch-local indices.
+    """
+    arr = np.asarray(samples)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-d or 2-d, got shape {arr.shape}")
+    if arr.shape[0] < 1:
+        raise ValueError(f"{name} must have at least 1 sample")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = np.nonzero(~finite)
+        dims = np.unique(bad[1])
+        rows = bad[0][bad[1] == dims[0]]
+        where = (
+            f"dimension {int(dims[0])}, stream offsets "
+            f"{int(rows.min()) + offset}..{int(rows.max()) + offset}"
         )
         if dims.size > 1:
             where += f" (and {dims.size - 1} more dimension(s))"

@@ -16,6 +16,7 @@ __all__ = [
     "banner",
     "render_service_metrics",
     "render_precalc_savings",
+    "render_stream_tenants",
 ]
 
 
@@ -73,6 +74,41 @@ def render_service_metrics(snapshot) -> str:
     """
     return format_table(["metric", "value"], snapshot.to_rows(),
                         title="service metrics")
+
+
+def render_stream_tenants(sessions) -> str:
+    """Per-tenant table for the streaming ingestion tier.
+
+    Accepts any iterable of objects with the :class:`repro.streams.
+    TenantStream` surface (``tenant_id``, ``policy``, ``counters``,
+    ``n_samples_global``), so the reporting layer stays import-
+    independent of the streams subsystem.
+    """
+    rows = []
+    for session in sessions:
+        policy = session.policy
+        c = session.counters
+        rows.append([
+            session.tenant_id,
+            policy.mode,
+            policy.window + ("*" if policy.sketch_gate else ""),
+            session.n_samples_global,
+            c.appends,
+            c.dropped,
+            c.alarms,
+            f"{c.suppression_ratio:.0%}",
+            c.exact_tiles,
+            c.shed_steps,
+            c.rebases,
+        ])
+    return format_table(
+        [
+            "tenant", "mode", "window", "samples", "appends", "dropped",
+            "alarms", "suppressed", "tiles", "shed", "rebases",
+        ],
+        rows,
+        title="stream tenants (* = sketch-gated)",
+    )
 
 
 def render_precalc_savings(result) -> str:

@@ -56,9 +56,51 @@ class MetricsSnapshot:
     tile_splits: int
     deadline_misses: int
     elapsed: float
+    # Streaming-tier counters (repro.streams); zero when no tenant has
+    # ingested, in which case to_rows() omits the stream section.
+    stream_appends: int = 0
+    stream_samples: int = 0
+    stream_dropped: int = 0
+    stream_segments: int = 0
+    stream_alarms: int = 0
+    stream_suppressed_columns: int = 0
+    stream_exact_columns: int = 0
+    stream_exact_tiles: int = 0
+    stream_shed_steps: int = 0
+    stream_escalations: int = 0
+    stream_tenants: int = 0
+
+    @property
+    def stream_suppression_ratio(self) -> float:
+        total = self.stream_suppressed_columns + self.stream_exact_columns
+        return self.stream_suppressed_columns / total if total else 0.0
 
     def to_rows(self) -> list[list[object]]:
         """(metric, value) rows for :func:`repro.reporting.format_table`."""
+        rows = self._base_rows()
+        if self.stream_appends:
+            rows += [
+                ["stream tenants", self.stream_tenants],
+                ["stream appends", self.stream_appends],
+                [
+                    "stream samples (dropped)",
+                    f"{self.stream_samples} ({self.stream_dropped})",
+                ],
+                ["stream segments", self.stream_segments],
+                ["sketch alarms", self.stream_alarms],
+                [
+                    "columns suppressed / exact",
+                    f"{self.stream_suppressed_columns} / "
+                    f"{self.stream_exact_columns}",
+                ],
+                ["sketch suppression", f"{self.stream_suppression_ratio:.1%}"],
+                ["stream exact tiles", self.stream_exact_tiles],
+                ["stream shed steps", self.stream_shed_steps],
+                ["stream escalations", self.stream_escalations],
+            ]
+        return rows
+
+    def _base_rows(self) -> list[list[object]]:
         return [
             ["jobs submitted", self.jobs_submitted],
             ["jobs completed", self.jobs_completed],
@@ -108,6 +150,17 @@ class ServiceMetrics:
         self.tile_splits = 0
         self.deadline_misses = 0
         self._latencies: list[float] = []
+        self.stream_appends = 0
+        self.stream_samples = 0
+        self.stream_dropped = 0
+        self.stream_segments = 0
+        self.stream_alarms = 0
+        self.stream_suppressed_columns = 0
+        self.stream_exact_columns = 0
+        self.stream_exact_tiles = 0
+        self.stream_shed_steps = 0
+        self.stream_escalations = 0
+        self._stream_tenants: set = set()
 
     def record_submission(self) -> None:
         with self._lock:
@@ -160,6 +213,36 @@ class ServiceMetrics:
             if deadline_missed:
                 self.deadline_misses += 1
 
+    def record_stream(
+        self,
+        tenant_id: str,
+        appends: int = 0,
+        samples: int = 0,
+        dropped: int = 0,
+        segments: int = 0,
+        alarms: int = 0,
+        suppressed: int = 0,
+        exact_columns: int = 0,
+        exact_tiles: int = 0,
+        shed_steps: int = 0,
+        escalations: int = 0,
+    ) -> None:
+        """One streaming ingest step's deltas (repro.streams tier)."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+            self._stream_tenants.add(tenant_id)
+            self.stream_appends += appends
+            self.stream_samples += samples
+            self.stream_dropped += dropped
+            self.stream_segments += segments
+            self.stream_alarms += alarms
+            self.stream_suppressed_columns += suppressed
+            self.stream_exact_columns += exact_columns
+            self.stream_exact_tiles += exact_tiles
+            self.stream_shed_steps += shed_steps
+            self.stream_escalations += escalations
+
     def record_failure(self, latency: float, retries: int = 0) -> None:
         with self._lock:
             self.jobs_failed += 1
@@ -198,4 +281,15 @@ class ServiceMetrics:
                 tile_splits=self.tile_splits,
                 deadline_misses=self.deadline_misses,
                 elapsed=elapsed,
+                stream_appends=self.stream_appends,
+                stream_samples=self.stream_samples,
+                stream_dropped=self.stream_dropped,
+                stream_segments=self.stream_segments,
+                stream_alarms=self.stream_alarms,
+                stream_suppressed_columns=self.stream_suppressed_columns,
+                stream_exact_columns=self.stream_exact_columns,
+                stream_exact_tiles=self.stream_exact_tiles,
+                stream_shed_steps=self.stream_shed_steps,
+                stream_escalations=self.stream_escalations,
+                stream_tenants=len(self._stream_tenants),
             )

@@ -1,0 +1,44 @@
+"""`repro.streams`: the online matrix-profile ingestion tier.
+
+The batch engine answers "what is the matrix profile of this series";
+this package answers "keep it current as the series grows".  Three
+layers, bottom up:
+
+* :mod:`~repro.streams.incremental` — the exact tier.
+  :class:`IncrementalMatrixProfile` extends a self-join or AB-join
+  profile when new samples arrive by covering the new L-shaped band with
+  ordinary engine tiles, appending to cached window-statistics planes
+  (:class:`StreamPlaneCache`) instead of recomputing them.  Bit-identical
+  to a batch recompute over :meth:`~IncrementalMatrixProfile.
+  equivalent_tiles` in all five precision modes.
+* :mod:`~repro.streams.sketch` — the approximate gate.
+  :class:`SketchMonitor` keeps Johnson–Lindenstrauss sketches of every
+  window online and scores each append's approximate discord distance;
+  only alarms admit exact tile work.
+* :mod:`~repro.streams.tenant` / :mod:`~repro.streams.ingest` — the
+  serving tier.  :class:`StreamIngestService` multiplexes per-tenant
+  :class:`TenantPolicy` streams (windowing, retention, backpressure,
+  deadlines) over a :class:`~repro.service.MatrixProfileService`'s GPU
+  pool, reusing its admission shedding, health escalation, fault
+  injection and metrics.
+
+``repro stream`` runs a synthetic multi-tenant demo from the CLI.
+"""
+
+from .incremental import AppendResult, IncrementalMatrixProfile, StreamPlaneCache
+from .ingest import IngestReport, StreamIngestService
+from .sketch import SketchMonitor, SketchScore
+from .tenant import StreamCounters, TenantPolicy, TenantStream
+
+__all__ = [
+    "AppendResult",
+    "IncrementalMatrixProfile",
+    "IngestReport",
+    "SketchMonitor",
+    "SketchScore",
+    "StreamCounters",
+    "StreamIngestService",
+    "StreamPlaneCache",
+    "TenantPolicy",
+    "TenantStream",
+]

@@ -1,0 +1,658 @@
+"""Incremental matrix profile: extend a join when new rows arrive.
+
+The tiling argument that makes the engine's tiles independent (each tile
+restarts the diagonal recurrence from its own naive ``qt_row0``/
+``qt_col0`` seeds, Section IV) also makes the matrix profile *extensible*:
+when ``k`` new samples arrive, the segment grid grows by ``k`` rows/
+columns and the only uncovered region is an L-shaped band.  Covering the
+band with ordinary engine tiles and min/argmin-merging them into the
+running accumulator yields the profile a full recompute over the same
+tile list would produce — bit for bit, in all five precision modes:
+
+* the window-statistics planes ``mu``/``inv``/``df``/``dg`` are strictly
+  window-local, so the new windows' entries are computed from the suffix
+  of the series with the exact per-window ``_Accumulator`` (Kahan for
+  FP16C) semantics of :mod:`repro.kernels.precalc` and appended to the
+  cached planes (:class:`StreamPlaneCache`, the streaming sibling of the
+  PR-5 :class:`~repro.engine.precalc_cache.PrecalcPlaneCache`);
+* the per-tile seeds are naive centred dots evaluated per output column,
+  so computing them over the band's column slice is bit-identical to the
+  full-pass-then-slice values;
+* the strict-``<`` merge keeps the earliest reference row on ties, and
+  the band decomposition below merges every query column's tiles in
+  strictly increasing row order — the same order a batch dispatch of the
+  equivalent tile list uses.
+
+For a **self-join** the step from ``old`` to ``new`` covered segments
+emits two tiles, merged B-then-A so per-column row order stays
+increasing::
+
+    B: rows [0, old)    x cols [old, new)   (history vs new columns)
+    A: rows [old, new)  x cols [0, new)     (new rows vs everything)
+
+For an **AB join** (fixed reference, streaming query) one tile suffices:
+all reference rows x the new query columns.
+
+Because tiling *changes* the numerics in reduced precision (each tile
+restarts the recurrence), "bit-identical" is pinned against a full
+recompute over the stream's :meth:`~IncrementalMatrixProfile.
+equivalent_tiles` — the deterministic tile list the append schedule
+induces.  ``tests/test_streams_incremental.py`` pins this across modes,
+join types and append schedules.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import RunConfig, default_exclusion_zone
+from ..core.tiling import Tile, assign_tiles
+from ..engine.accumulate import ProfileAccumulator
+from ..engine.backends import NumericBackend
+from ..engine.dispatch import DispatchReport, execute_plan
+from ..engine.plan import JobSpec
+from ..gpu.simulator import GPUSimulator
+from ..gpu.stream import Timeline
+from ..kernels.layout import to_device_layout, validate_stream_samples
+from ..kernels.precalc import (
+    PrecalcResult,
+    PreparedPrecalc,
+    _delta_coefficients,
+    _window_stats,
+    plane_cost,
+    seed_cost,
+    seed_qt_rows,
+)
+from ..precision.modes import PrecisionMode
+
+__all__ = ["StreamPlaneCache", "IncrementalMatrixProfile", "AppendResult"]
+
+
+class _StreamRole:
+    """One series role's growing planes in one precision mode."""
+
+    __slots__ = ("series_pd", "mu_pd", "mu", "inv", "df", "dg", "n_seg")
+
+    def __init__(self, d: int, pdtype, sdtype):
+        self.series_pd = np.empty((d, 0), dtype=pdtype)
+        self.mu_pd = np.empty((d, 0), dtype=pdtype)
+        self.mu = np.empty((d, 0), dtype=sdtype)
+        self.inv = np.empty((d, 0), dtype=sdtype)
+        self.df = np.empty((d, 0), dtype=sdtype)
+        self.dg = np.empty((d, 0), dtype=sdtype)
+        self.n_seg = 0
+
+
+class _StreamModePlanes:
+    """Per-mode pair of role entries plus the pending plane charge."""
+
+    __slots__ = ("r", "q", "pending_charge")
+
+    def __init__(self, r: _StreamRole, q: _StreamRole):
+        self.r = r
+        self.q = q  # aliases ``r`` for self-joins
+        self.pending_charge = None  # KernelCost of un-claimed plane work
+
+
+class StreamPlaneCache:
+    """Incrementally extending window-statistics planes for a stream.
+
+    Duck-types the :class:`~repro.engine.precalc_cache.PrecalcPlaneCache`
+    ``prepare(plan, tile)`` contract the
+    :class:`~repro.engine.backends.NumericBackend` consumes, but instead
+    of building full-series planes once, it *appends* to them as the
+    plan's layouts grow between calls: new windows' ``mu``/``inv`` come
+    from a suffix :func:`~repro.kernels.precalc._window_stats` pass and
+    ``df``/``dg`` from a one-window-overlap suffix
+    :func:`~repro.kernels.precalc._delta_coefficients` pass — both
+    bit-identical to the full-pass values because every output element is
+    a function of its own ``m`` samples only.
+
+    Seeds are *not* cached: each stream tile's band/column-slice pair is
+    used exactly once, so :meth:`prepare` evaluates
+    :func:`~repro.kernels.precalc.seed_qt_rows` over the tile's slices
+    directly (bit-identical to slicing a full-width pass, the
+    accumulation being per-output-column).
+
+    Planes are keyed per precision mode and derived from the *plan's*
+    layouts, so health escalation and admission shedding (which dispatch
+    the same tiles through :meth:`ExecutionPlan.escalated`) lazily grow a
+    consistent per-mode copy — escalated layouts are deterministic casts
+    of the base layouts, so suffix extension of an escalated mode's
+    planes matches a from-scratch build.
+
+    Cost accounting mirrors the batch cache: tiles are charged their
+    seed-dot work; plane work accrues per extension and is claimed by the
+    next prepared tile of that mode, so aggregates stay honest without a
+    plan-global carrier.
+    """
+
+    def __init__(self):
+        self._modes: dict[PrecisionMode, _StreamModePlanes] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def modes_built(self) -> tuple:
+        with self._lock:
+            return tuple(self._modes)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _extend_role(role: _StreamRole, layout, m: int, policy) -> int:
+        """Append planes for ``layout``'s new windows; returns new segs."""
+        pdtype = policy.precalc
+        sdtype = policy.storage
+        n_seg = max(0, layout.shape[1] - m + 1)
+        old = role.n_seg
+        if n_seg <= old:
+            return 0
+        series_pd = layout.astype(pdtype, copy=False)
+        # The already-cached prefix is a cast of the same layout prefix —
+        # only the suffix is new (layouts grow by appending samples).
+        role.series_pd = np.concatenate(
+            [role.series_pd, series_pd[:, role.series_pd.shape[1]:]], axis=1
+        )
+        mu_new, inv_new = _window_stats(series_pd[:, old:], m, policy)
+        role.mu_pd = np.concatenate([role.mu_pd, mu_new], axis=1)
+        role.mu = np.concatenate([role.mu, mu_new.astype(sdtype)], axis=1)
+        role.inv = np.concatenate([role.inv, inv_new.astype(sdtype)], axis=1)
+        if old == 0:
+            df_new, dg_new = _delta_coefficients(
+                series_pd, role.mu_pd, m, pdtype
+            )
+        else:
+            # One window of overlap supplies T[i-1] and mu[i-1] for the
+            # first new window; its own (recomputed) column 0 is dropped.
+            df_loc, dg_loc = _delta_coefficients(
+                series_pd[:, old - 1:], role.mu_pd[:, old - 1:], m, pdtype
+            )
+            df_new, dg_new = df_loc[:, 1:], dg_loc[:, 1:]
+        role.df = np.concatenate([role.df, df_new.astype(sdtype)], axis=1)
+        role.dg = np.concatenate([role.dg, dg_new.astype(sdtype)], axis=1)
+        role.n_seg = n_seg
+        return n_seg - old
+
+    def _sync(self, plan) -> _StreamModePlanes:
+        spec = plan.spec
+        policy = spec.policy
+        mode = PrecisionMode.parse(spec.config.mode)
+        self_join = plan.tq_layout is plan.tr_layout
+        entry = self._modes.get(mode)
+        if entry is None:
+            r = _StreamRole(spec.d, policy.precalc, policy.storage)
+            q = r if self_join else _StreamRole(
+                spec.d, policy.precalc, policy.storage
+            )
+            entry = _StreamModePlanes(r, q)
+            self._modes[mode] = entry
+        new_r = self._extend_role(entry.r, plan.tr_layout, spec.m, policy)
+        new_q = (
+            new_r
+            if entry.q is entry.r
+            else self._extend_role(entry.q, plan.tq_layout, spec.m, policy)
+        )
+        if new_r or new_q:
+            # Self-joins charge both roles, matching the batch cache's
+            # historical per-tile accounting convention.
+            charge = plane_cost(
+                new_r, new_r if entry.q is entry.r else new_q, spec.d, policy
+            )
+            entry.pending_charge = (
+                charge
+                if entry.pending_charge is None
+                else entry.pending_charge + charge
+            )
+        return entry
+
+    def _seed(self, fixed: _StreamRole, start: int, other: _StreamRole,
+              c0: int, c1: int, m: int, policy):
+        """Naive centred seed dot of one fixed segment vs a column slice."""
+        return seed_qt_rows(
+            fixed.series_pd,
+            [start],
+            other.series_pd[:, c0 : c1 + m - 1],
+            fixed.mu_pd,
+            other.mu_pd[:, c0:c1],
+            m,
+            policy,
+        )[0].astype(policy.storage)
+
+    def prepare(self, plan, tile) -> PreparedPrecalc:
+        """Assemble ``tile``'s precalculation from the growing planes."""
+        spec = plan.spec
+        policy = spec.policy
+        m = spec.m
+        with self._lock:
+            planes = self._sync(plan)
+            r0, r1 = tile.row_start, tile.row_stop
+            c0, c1 = tile.col_start, tile.col_stop
+            df_r = planes.r.df[:, r0:r1].copy()
+            dg_r = planes.r.dg[:, r0:r1].copy()
+            df_r[:, 0] = 0
+            dg_r[:, 0] = 0
+            df_q = planes.q.df[:, c0:c1].copy()
+            dg_q = planes.q.dg[:, c0:c1].copy()
+            df_q[:, 0] = 0
+            dg_q[:, 0] = 0
+            result = PrecalcResult(
+                m=m,
+                mu_r=planes.r.mu[:, r0:r1],
+                inv_r=planes.r.inv[:, r0:r1],
+                df_r=df_r,
+                dg_r=dg_r,
+                mu_q=planes.q.mu[:, c0:c1],
+                inv_q=planes.q.inv[:, c0:c1],
+                df_q=df_q,
+                dg_q=dg_q,
+                qt_row0=self._seed(planes.r, r0, planes.q, c0, c1, m, policy),
+                qt_col0=self._seed(planes.q, c0, planes.r, r0, r1, m, policy),
+            )
+            cost = seed_cost(
+                tile.n_rows,
+                tile.n_cols,
+                spec.d,
+                m,
+                tile.n_rows + m - 1,
+                tile.n_cols + m - 1,
+                policy,
+                spec.config.launch,
+            )
+            saved = plane_cost(tile.n_rows, tile.n_cols, spec.d, policy).flops
+            if planes.pending_charge is not None:
+                cost = cost + planes.pending_charge
+                saved -= planes.pending_charge.flops
+                planes.pending_charge = None
+            return PreparedPrecalc(result=result, cost=cost, saved_flops=saved)
+
+
+@dataclass
+class AppendResult:
+    """Outcome of one stream step (append, cover or probe)."""
+
+    new_segments: int
+    tiles: tuple[Tile, ...]
+    mode: PrecisionMode
+    n_q_seg: int
+    report: DispatchReport | None = None
+
+    @property
+    def tiles_executed(self) -> int:
+        return 0 if self.report is None else self.report.tiles_completed
+
+
+class IncrementalMatrixProfile:
+    """An online matrix profile grown one append at a time.
+
+    Two join shapes:
+
+    * ``reference=None`` — **self-join stream**: the appended samples form
+      the one series; every append extends both the row and the column
+      axis of the segment grid (exclusion zone applies as usual).
+    * ``reference=<series>`` — **AB join**: the reference is fixed, the
+      appended samples extend the query axis only.
+
+    :meth:`append` validates + ingests samples and immediately covers the
+    new band with exact engine tiles (the incremental tier).  Gated
+    tenants instead use :meth:`ingest` (extend only) plus :meth:`probe`
+    (exact columns on sketch alarms) — see :mod:`repro.streams.sketch`.
+
+    The engine hooks (``health``, ``failure_injector``, ``corruptor``,
+    ``oom_split``, ``max_retries``, shared ``lock``/``placement``) are the
+    same knobs the service's :class:`~repro.service.scheduler.
+    TileScheduler` threads into :func:`~repro.engine.dispatch.
+    execute_plan`, so a stream dispatched by the ingest service shares the
+    pool's retry/escalation/split machinery.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        config: RunConfig | None = None,
+        *,
+        reference: np.ndarray | None = None,
+        initial: np.ndarray | None = None,
+        sim: GPUSimulator | None = None,
+        max_retries: int = 0,
+        failure_injector=None,
+        health=None,
+        corruptor=None,
+        oom_split: bool = False,
+        placement=None,
+        lock=None,
+        clock=time.monotonic,
+    ):
+        if m < 2:
+            raise ValueError(f"segment length m must be >= 2, got {m}")
+        self.m = m
+        self.config = config or RunConfig()
+        self.policy = self.config.policy
+        self.self_join = reference is None
+        self.sim = sim if sim is not None else GPUSimulator(
+            self.config.device, self.config.n_gpus, self.config.n_streams
+        )
+        self.max_retries = max_retries
+        self.failure_injector = failure_injector
+        self.health = health
+        self.corruptor = corruptor
+        self.oom_split = oom_split
+        self.clock = clock
+        self._placement = placement
+        self._lock = lock
+        self._backend = NumericBackend(lock=lock, label="stream")
+        self.timeline = Timeline()
+
+        if self.self_join:
+            self._ref_layout = None
+            zone = self.config.exclusion_zone
+            self.exclusion_zone = (
+                zone if zone is not None else default_exclusion_zone(m)
+            )
+        else:
+            self._ref_layout = to_device_layout(reference, self.policy.storage)
+            if self._ref_layout.shape[1] < m:
+                raise ValueError(
+                    f"m={m} too long for reference of "
+                    f"{self._ref_layout.shape[1]} samples"
+                )
+            self.exclusion_zone = self.config.exclusion_zone
+
+        self.d = None if self._ref_layout is None else self._ref_layout.shape[0]
+        self._stream: np.ndarray | None = (
+            None
+            if self.d is None
+            else np.empty((self.d, 0), dtype=self.policy.storage)
+        )
+        self.samples_ingested = 0
+        self._covered = 0  # stream segments covered by exact L-step tiles
+        self._next_tile_id = 0
+        self._tiles: list[Tile] = []
+        self._acc: ProfileAccumulator | None = None
+        self._planes = StreamPlaneCache() if self.config.amortize_precalc else None
+        self.tile_retries = 0
+        self.tiles_split = 0
+        self.health_failures = 0
+        self.escalations: dict[int, PrecisionMode] = {}
+        if initial is not None:
+            self.append(initial)
+
+    # ------------------------------------------------------------------
+    # Geometry
+
+    @property
+    def n_samples(self) -> int:
+        return 0 if self._stream is None else self._stream.shape[1]
+
+    @property
+    def n_q_seg(self) -> int:
+        """Completed stream (query) segments."""
+        return max(0, self.n_samples - self.m + 1)
+
+    @property
+    def n_r_seg(self) -> int:
+        """Reference segments the stream joins against."""
+        if self.self_join:
+            return self.n_q_seg
+        return self._ref_layout.shape[1] - self.m + 1
+
+    @property
+    def covered_segments(self) -> int:
+        return self._covered
+
+    def equivalent_tiles(self) -> tuple[Tile, ...]:
+        """The executed tile list, in merge order.
+
+        A batch dispatch of exactly these tiles over the final series
+        (``JobSpec.plan(tiles=...)``) reproduces the stream's profile bit
+        for bit — the definition of incremental correctness under tiled
+        reduced-precision numerics.  (OOM splits replace a planned tile
+        with its children at dispatch time; the list records the planned
+        geometry.)
+        """
+        return tuple(self._tiles)
+
+    def window(self, seg: int) -> np.ndarray:
+        """The ``(d, m)`` float64 samples of stream segment ``seg``."""
+        if seg < 0 or seg >= self.n_q_seg:
+            raise IndexError(f"segment {seg} out of range 0..{self.n_q_seg - 1}")
+        return self._stream[:, seg : seg + self.m].astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Ingest / cover / probe
+
+    def ingest(self, samples: np.ndarray) -> tuple[int, int]:
+        """Validate + append samples without computing anything.
+
+        Returns ``(old_n_q_seg, new_n_q_seg)``.  Non-finite samples are
+        rejected with their dimension and global stream offset named —
+        the entry-point contract of :func:`repro.kernels.layout.
+        validate_series`, adapted to an unbounded stream.
+        """
+        arr = validate_stream_samples(
+            samples, name="stream samples", offset=self.samples_ingested
+        )
+        if self.d is None:
+            self.d = arr.shape[1]
+            self._stream = np.empty((self.d, 0), dtype=self.policy.storage)
+        elif arr.shape[1] != self.d:
+            raise ValueError(
+                f"stream has d={self.d} but samples have d={arr.shape[1]}"
+            )
+        old = self.n_q_seg
+        # Chunked casts append-equal the one-shot ``to_device_layout``
+        # cast of the full host series: the cast is elementwise.
+        self._stream = np.concatenate(
+            [
+                self._stream,
+                np.ascontiguousarray(arr.T, dtype=self.policy.storage),
+            ],
+            axis=1,
+        )
+        self.samples_ingested += arr.shape[0]
+        return old, self.n_q_seg
+
+    def append(self, samples: np.ndarray, mode=None) -> AppendResult:
+        """Ingest samples and cover the new band with exact tiles.
+
+        ``mode`` optionally dispatches this step's tiles at a different
+        precision (admission shedding); the merged accumulator stays in
+        the stream's base storage dtype.  Bit-identity to a batch
+        recompute holds for un-shed streams (same mode every step).
+        """
+        self.ingest(samples)
+        return self.cover(mode=mode)
+
+    def cover(self, mode=None) -> AppendResult:
+        """Cover all uncovered stream segments with the L-step tiles."""
+        n_seg = self.n_q_seg
+        old = self._covered
+        eff = PrecisionMode.parse(mode if mode is not None else self.config.mode)
+        if n_seg <= old:
+            return AppendResult(0, (), eff, n_seg)
+        tiles = []
+        if self.self_join:
+            if old > 0:
+                tiles.append(Tile(self._next_tile_id, 0, old, old, n_seg))
+                self._next_tile_id += 1
+            tiles.append(Tile(self._next_tile_id, old, n_seg, 0, n_seg))
+            self._next_tile_id += 1
+        else:
+            tiles.append(Tile(self._next_tile_id, 0, self.n_r_seg, old, n_seg))
+            self._next_tile_id += 1
+        report = self._dispatch(tiles, eff)
+        self._covered = n_seg
+        return AppendResult(n_seg - old, tuple(tiles), eff, n_seg, report)
+
+    def probe(self, col_start: int, col_stop: int, mode=None) -> AppendResult:
+        """Exact distances for columns ``[col_start, col_stop)`` against
+        all current reference rows (the sketch-alarm escalation path).
+
+        Unlike :meth:`cover` this leaves the coverage frontier untouched:
+        a gated stream's profile is exact only at probed columns, columns
+        never probed keep the accumulator's upper-bound initial state.
+        """
+        if not 0 <= col_start < col_stop <= self.n_q_seg:
+            raise ValueError(
+                f"probe range [{col_start}, {col_stop}) outside "
+                f"0..{self.n_q_seg}"
+            )
+        eff = PrecisionMode.parse(mode if mode is not None else self.config.mode)
+        tile = Tile(self._next_tile_id, 0, self.n_r_seg, col_start, col_stop)
+        self._next_tile_id += 1
+        report = self._dispatch([tile], eff)
+        return AppendResult(0, (tile,), eff, self.n_q_seg, report)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, tiles: list[Tile], mode: PrecisionMode) -> DispatchReport:
+        tr = self._stream if self.self_join else self._ref_layout
+        spec = JobSpec.from_layouts(
+            tr, self._stream, self.m, self.config,
+            exclusion_zone=self.exclusion_zone,
+        )
+        plan = spec.plan(
+            tiles=tiles, assignment=assign_tiles(tiles, self.sim.n_gpus)
+        )
+        plan.precalc_cache = self._planes
+        if mode != PrecisionMode.parse(self.config.mode):
+            plan = plan.escalated(mode)
+        if self._acc is None:
+            self._acc = ProfileAccumulator(self.d, self.n_q_seg, self.policy)
+        else:
+            self._acc.extend_columns(self.n_q_seg)
+        report = execute_plan(
+            plan,
+            self._backend,
+            self.sim,
+            accumulator=self._acc,
+            placement=self._placement,
+            timeline=self.timeline,
+            max_retries=self.max_retries,
+            clock=self.clock,
+            failure_injector=self.failure_injector,
+            label="stream",
+            flush_per_tile=True,
+            lock=self._lock,
+            health=self.health,
+            corruptor=self.corruptor,
+            oom_split=self.oom_split,
+        )
+        self._tiles.extend(tiles)
+        self.tile_retries += report.tile_retries
+        self.tiles_split += len(report.splits)
+        self.health_failures += report.health_failures
+        self.escalations.update(report.escalations)
+        return report
+
+    # ------------------------------------------------------------------
+    # Results
+
+    @property
+    def accumulator(self) -> ProfileAccumulator | None:
+        return self._acc
+
+    def profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """Host ``(n_q_seg, d)`` float64 profile + int64 index."""
+        if self._acc is None:
+            d = self.d or 0
+            return (
+                np.empty((0, d)),
+                np.empty((0, d), dtype=np.int64),
+            )
+        return self._acc.host_profile(), self._acc.host_index()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+
+    def save(self, path) -> None:
+        """Checkpoint the stream to ``path`` (npz).
+
+        Saves the stream layout, accumulator state and tile bookkeeping;
+        :meth:`load` resumes bit-identically (modelled cost aggregates
+        and the timeline restart empty — they are observability, not
+        state).
+        """
+        if self._acc is None:
+            raise ValueError("nothing to checkpoint: no segments covered yet")
+        meta = {
+            "m": self.m,
+            "mode": PrecisionMode.parse(self.config.mode).value,
+            "self_join": self.self_join,
+            "exclusion_zone": self.exclusion_zone,
+            "covered": self._covered,
+            "next_tile_id": self._next_tile_id,
+            "samples_ingested": self.samples_ingested,
+        }
+        tiles = np.array(
+            [
+                [t.tile_id, t.row_start, t.row_stop, t.col_start, t.col_stop]
+                for t in self._tiles
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 5)
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            stream=self._stream,
+            reference=(
+                np.empty((0, 0)) if self._ref_layout is None else self._ref_layout
+            ),
+            tiles=tiles,
+            profile=self._acc.profile,
+            index=self._acc.index,
+            merge_elements=np.int64(self._acc.merge_elements),
+            h2d_saved_bytes=np.float64(self._acc.h2d_saved_bytes),
+            precalc_saved_flops=np.float64(self._acc.precalc_saved_flops),
+        )
+
+    @classmethod
+    def load(cls, path, config: RunConfig | None = None, **kwargs) -> "IncrementalMatrixProfile":
+        """Restore a checkpointed stream; engine hooks via ``kwargs``.
+
+        ``config`` defaults to ``RunConfig(mode=<saved mode>)``; a config
+        whose storage dtype disagrees with the checkpoint is rejected
+        (resume is bit-identical, not a cast).
+        """
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            stream = data["stream"]
+            reference = data["reference"]
+            tiles = data["tiles"]
+            profile = data["profile"]
+            index = data["index"]
+            merge_elements = int(data["merge_elements"])
+            h2d_saved = float(data["h2d_saved_bytes"])
+            saved_flops = float(data["precalc_saved_flops"])
+        config = config or RunConfig(mode=meta["mode"])
+        if config.policy.storage != stream.dtype:
+            raise ValueError(
+                f"checkpoint storage dtype {stream.dtype} does not match "
+                f"config mode {config.mode} (storage "
+                f"{np.dtype(config.policy.storage)})"
+            )
+        obj = cls(
+            meta["m"],
+            config.with_(exclusion_zone=meta["exclusion_zone"])
+            if meta["self_join"]
+            else config,
+            reference=None if meta["self_join"] else reference.T,
+            **kwargs,
+        )
+        obj.d = stream.shape[0]
+        obj._stream = stream
+        obj.exclusion_zone = meta["exclusion_zone"]
+        obj.samples_ingested = meta["samples_ingested"]
+        obj._covered = meta["covered"]
+        obj._next_tile_id = meta["next_tile_id"]
+        obj._tiles = [Tile(*(int(v) for v in row)) for row in tiles]
+        obj._acc = ProfileAccumulator(obj.d, profile.shape[1], obj.policy)
+        obj._acc.restore_state(
+            profile, index, merge_elements, h2d_saved,
+            precalc_saved_flops=saved_flops,
+        )
+        return obj

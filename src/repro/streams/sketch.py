@@ -1,0 +1,187 @@
+"""Online normalized-projection sketches: the work-shedding gate.
+
+Yeh et al.'s *Sketching Multidimensional Time Series for Fast Discord
+Mining* (PAPERS.md) is the work-shedding analogue of the paper's
+precision ladder: instead of making every exact distance cheaper, keep a
+cheap random-projection sketch of every window online and spend exact
+(reduced-precision) tile work only where the sketch says something
+interesting is happening.
+
+:class:`SketchMonitor` maintains, per window, the Johnson–Lindenstrauss
+projection of the per-dimension z-normalised window (unit-normed, so the
+projected Euclidean distance estimates the z-normalised distance the
+matrix profile measures, up to the ``sqrt(2m)`` scale).  Each append is
+scored in O(history x k): the estimated nearest-neighbour distance of
+the new window against all sketched history, shrunk by a confidence
+factor into a *lower-bound style* score.  A score above the tenant
+threshold is a **discord alarm** — only then does the ingest tier admit
+an exact tile job (:meth:`~repro.streams.incremental.
+IncrementalMatrixProfile.probe`); everything else is suppressed and
+counted as saved exact work.
+
+The threshold can be a fixed float (sketch-distance units) or
+``"auto"``: alarm when the score exceeds ``mean + zscore * std`` of all
+previously seen scores, with the first ``warmup`` windows always
+escalated while the baseline accumulates.  Sketching is a host-side
+float64 filter — deliberately precision-independent, so the gate
+behaves identically for every tenant mode and never perturbs the exact
+tier's bit-identical numerics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SketchMonitor", "SketchScore"]
+
+
+@dataclass(frozen=True)
+class SketchScore:
+    """One window's sketch verdict."""
+
+    position: int  # global segment index of the scored window
+    estimate: float  # shrunk approximate NN distance (sketch units)
+    threshold: float  # threshold in force when scored (inf during warmup)
+    alarm: bool
+
+    @property
+    def suppressed(self) -> bool:
+        return not self.alarm
+
+
+class SketchMonitor:
+    """Scores each appended window's approximate discord distance.
+
+    Parameters
+    ----------
+    m, d:
+        Window length and dimensionality of the stream.
+    k:
+        Sketch width (projection dimension); O(history x k) per score.
+    threshold:
+        Fixed alarm threshold in sketch-distance units, or ``"auto"``
+        (mean + ``zscore`` x std of past scores, warmup always alarms).
+    zscore, warmup:
+        Auto-threshold parameters.
+    shrink:
+        Confidence factor in (0, 1]: the raw JL estimate is multiplied
+        by this to act as a lower-bound style score (JL concentrates but
+        does not strictly bound; shrinking trades a few extra alarms for
+        not missing discords).
+    exclusion:
+        Trivial-match radius: the most recent ``exclusion`` windows are
+        excluded from a new window's neighbour search (defaults to
+        ``ceil(m / 4)``, the profile's own exclusion zone).
+    seed:
+        Projection RNG seed (the projection is fixed per monitor).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        d: int,
+        k: int = 16,
+        threshold: "float | str" = "auto",
+        zscore: float = 3.0,
+        warmup: int = 16,
+        shrink: float = 0.75,
+        exclusion: int | None = None,
+        seed: int = 0,
+    ):
+        if m < 2 or d < 1 or k < 1:
+            raise ValueError(f"invalid sketch geometry m={m}, d={d}, k={k}")
+        if not 0.0 < shrink <= 1.0:
+            raise ValueError(f"shrink must be in (0, 1], got {shrink}")
+        if threshold != "auto" and not isinstance(threshold, (int, float)):
+            raise ValueError(f"threshold must be a float or 'auto', got {threshold!r}")
+        self.m = m
+        self.d = d
+        self.k = k
+        self.threshold = threshold
+        self.zscore = zscore
+        self.warmup = warmup
+        self.shrink = shrink
+        self.exclusion = (
+            exclusion if exclusion is not None else math.ceil(m / 4)
+        )
+        rng = np.random.default_rng(seed)
+        # JL projection of the flattened (d*m) z-normalised window;
+        # 1/sqrt(k) makes projected distances estimate input distances.
+        self._proj = rng.standard_normal((k, d * m)) / math.sqrt(k)
+        self._sketches = np.empty((0, k), dtype=np.float64)
+        # Running score statistics for the auto threshold (Welford).
+        self._n_scores = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_windows(self) -> int:
+        return self._sketches.shape[0]
+
+    def _sketch(self, window: np.ndarray) -> np.ndarray:
+        """Project one (d, m) window, z-normalised per dimension."""
+        w = np.asarray(window, dtype=np.float64)
+        if w.shape != (self.d, self.m):
+            raise ValueError(
+                f"window must have shape ({self.d}, {self.m}), got {w.shape}"
+            )
+        centered = w - w.mean(axis=1, keepdims=True)
+        norms = np.linalg.norm(centered, axis=1, keepdims=True)
+        z = centered / np.maximum(norms, np.finfo(np.float64).tiny)
+        return self._proj @ z.ravel()
+
+    def _current_threshold(self) -> float:
+        if self.threshold != "auto":
+            return float(self.threshold)
+        if self._n_scores < self.warmup:
+            return float("inf")  # placeholder; warmup always alarms
+        var = self._m2 / max(self._n_scores - 1, 1)
+        return self._mean + self.zscore * math.sqrt(max(var, 0.0))
+
+    def _observe(self, score: float) -> None:
+        if not math.isfinite(score):
+            return
+        self._n_scores += 1
+        delta = score - self._mean
+        self._mean += delta / self._n_scores
+        self._m2 += delta * (score - self._mean)
+
+    # ------------------------------------------------------------------
+
+    def prime(self, windows) -> None:
+        """Add historical windows ((d, m) each) without scoring them."""
+        for w in windows:
+            self._sketches = np.vstack([self._sketches, self._sketch(w)])
+
+    def score(self, window: np.ndarray) -> SketchScore:
+        """Score one new window against sketched history, then add it."""
+        s = self._sketch(window)
+        position = self.n_windows
+        eligible = self._sketches[: max(position - self.exclusion, 0)]
+        if eligible.shape[0] == 0:
+            # Nothing to compare against: cannot suppress what we cannot
+            # bound, so the first windows escalate.
+            estimate = float("inf")
+            alarm = True
+            threshold = self._current_threshold()
+        else:
+            nn = float(np.sqrt(((eligible - s) ** 2).sum(axis=1).min()))
+            estimate = self.shrink * nn
+            threshold = self._current_threshold()
+            in_warmup = (
+                self.threshold == "auto" and self._n_scores < self.warmup
+            )
+            alarm = in_warmup or estimate > threshold
+            self._observe(estimate)
+        self._sketches = np.vstack([self._sketches, s])
+        return SketchScore(
+            position=position,
+            estimate=estimate,
+            threshold=threshold,
+            alarm=alarm,
+        )

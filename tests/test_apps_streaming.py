@@ -78,3 +78,38 @@ class TestStreaming:
         stream = StreamingMatrixProfile(rng.normal(size=(50, 2)), 8)
         profiles, indices = stream.result()
         assert profiles.shape == (0, 2)
+
+    @pytest.mark.parametrize("mode", ["FP64", "FP32", "Mixed", "FP16", "FP16C"])
+    def test_extend_bitwise_matches_appends(self, rng, mode):
+        """The batched extend path must equal per-sample appends bit for
+        bit — including extends that straddle the window boundary."""
+        ref = rng.normal(size=(120, 3)).cumsum(axis=0)
+        qry = rng.normal(size=(90, 3)).cumsum(axis=0)
+        one = StreamingMatrixProfile(ref, 12, RunConfig(mode=mode))
+        many = StreamingMatrixProfile(ref, 12, RunConfig(mode=mode))
+        for row in qry:
+            one.append(row)
+        off = 0
+        for step in (5, 1, 40, 2, 42):
+            many.extend(qry[off : off + step])
+            off += step
+        p1, i1 = one.result()
+        p2, i2 = many.result()
+        np.testing.assert_array_equal(
+            np.asarray(p1).view(np.uint8), np.asarray(p2).view(np.uint8)
+        )
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_non_finite_rejected_with_stream_offset(self, rng):
+        ref = rng.normal(size=(60, 2))
+        stream = StreamingMatrixProfile(ref, 8)
+        stream.extend(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="dimension 0, stream offsets 10..10"):
+            stream.append(np.array([np.nan, 1.0]))
+        bad = rng.normal(size=(6, 2))
+        bad[4, 1] = np.inf
+        with pytest.raises(ValueError, match="dimension 1, stream offsets 14..14"):
+            stream.extend(bad)
+        # Rejected batches are not ingested; the stream continues cleanly.
+        assert stream.samples_seen == 10
+        assert stream.n_segments == 3

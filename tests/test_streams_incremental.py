@@ -1,0 +1,347 @@
+"""Tests for the streaming ingestion tier (repro.streams).
+
+The central contract: a stream grown by any append schedule produces the
+profile a batch dispatch of its ``equivalent_tiles()`` produces — bit
+for bit, in all five precision modes, for self-joins and AB joins.
+Plus: the sketch gate's recall/suppression, the tenant service's
+admission shedding, backpressure and sliding retention, and
+checkpoint/resume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.tiling import assign_tiles
+from repro.engine.accumulate import ProfileAccumulator
+from repro.engine.backends import NumericBackend
+from repro.engine.dispatch import execute_plan
+from repro.engine.plan import JobSpec
+from repro.gpu.simulator import GPUSimulator
+from repro.kernels.layout import validate_stream_samples
+from repro.streams import (
+    IncrementalMatrixProfile,
+    SketchMonitor,
+    StreamIngestService,
+    TenantPolicy,
+)
+
+MODES = ("FP64", "FP32", "Mixed", "FP16", "FP16C")
+
+# Append schedules: single rows, bursts, and mixed bursts that straddle
+# the tile boundaries earlier steps created.
+SCHEDULES = (
+    [40] + [1] * 6,
+    [23, 23, 23],
+    [40, 1, 1, 25, 3],
+)
+
+
+def _series(rng, n, d):
+    return rng.normal(size=(n, d)).cumsum(axis=0)
+
+
+def _batch_profile(inc, cfg):
+    """Full recompute over the stream's equivalent tile list."""
+    tiles = list(inc.equivalent_tiles())
+    tr = inc._stream if inc.self_join else inc._ref_layout
+    spec = JobSpec.from_layouts(
+        tr, inc._stream, inc.m, cfg, exclusion_zone=inc.exclusion_zone
+    )
+    sim = GPUSimulator(cfg.device, cfg.n_gpus, cfg.n_streams)
+    plan = spec.plan(tiles=tiles, assignment=assign_tiles(tiles, sim.n_gpus))
+    acc = ProfileAccumulator(spec.d, inc.n_q_seg, cfg.policy)
+    execute_plan(plan, NumericBackend(), sim, accumulator=acc)
+    return acc.host_profile(), acc.host_index()
+
+
+def _assert_bit_identical(got, want):
+    gp, gi = got
+    wp, wi = want
+    np.testing.assert_array_equal(gp.view(np.uint8), wp.view(np.uint8))
+    np.testing.assert_array_equal(gi, wi)
+
+
+class TestIncrementalBitIdentity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=("singles", "bursts", "mixed"))
+    def test_self_join_matches_batch(self, rng, mode, schedule):
+        series = _series(rng, sum(schedule), 2)
+        cfg = RunConfig(mode=mode)
+        inc = IncrementalMatrixProfile(12, cfg)
+        off = 0
+        for step in schedule:
+            inc.append(series[off : off + step])
+            off += step
+        _assert_bit_identical(inc.profile(), _batch_profile(inc, cfg))
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=("singles", "bursts", "mixed"))
+    def test_ab_join_matches_batch(self, rng, mode, schedule):
+        ref = _series(rng, 80, 3)
+        qry = _series(rng, sum(schedule), 3)
+        cfg = RunConfig(mode=mode)
+        inc = IncrementalMatrixProfile(10, cfg, reference=ref)
+        off = 0
+        for step in schedule:
+            inc.append(qry[off : off + step])
+            off += step
+        _assert_bit_identical(inc.profile(), _batch_profile(inc, cfg))
+
+    @pytest.mark.parametrize("mode", ("FP64", "FP16C"))
+    def test_plane_cache_matches_uncached(self, rng, mode):
+        """amortize_precalc=False recomputes planes per tile; the stream
+        cache must not perturb a single bit."""
+        series = _series(rng, 90, 2)
+        a = IncrementalMatrixProfile(12, RunConfig(mode=mode))
+        b = IncrementalMatrixProfile(
+            12, RunConfig(mode=mode, amortize_precalc=False)
+        )
+        off = 0
+        for step in (40, 1, 49):
+            a.append(series[off : off + step])
+            b.append(series[off : off + step])
+            off += step
+        _assert_bit_identical(a.profile(), b.profile())
+        assert a.accumulator.precalc_saved_flops > 0
+
+    def test_single_append_matches_one_shot(self, rng):
+        """One big append equals constructing with initial=..."""
+        series = _series(rng, 100, 1)
+        a = IncrementalMatrixProfile(16, RunConfig(mode="FP32"))
+        a.append(series)
+        b = IncrementalMatrixProfile(16, RunConfig(mode="FP32"), initial=series)
+        _assert_bit_identical(a.profile(), b.profile())
+
+    def test_checkpoint_resume_bit_identical(self, rng, tmp_path):
+        series = _series(rng, 120, 2)
+        cfg = RunConfig(mode="FP16C")
+        full = IncrementalMatrixProfile(12, cfg)
+        full.append(series[:70])
+        full.append(series[70:])
+
+        half = IncrementalMatrixProfile(12, cfg)
+        half.append(series[:70])
+        path = tmp_path / "stream.npz"
+        half.save(path)
+        resumed = IncrementalMatrixProfile.load(path)
+        resumed.append(series[70:])
+        _assert_bit_identical(resumed.profile(), full.profile())
+        assert resumed.equivalent_tiles() == full.equivalent_tiles()
+
+    def test_checkpoint_rejects_mode_mismatch(self, rng, tmp_path):
+        inc = IncrementalMatrixProfile(8, RunConfig(mode="FP16"))
+        inc.append(_series(rng, 30, 1))
+        path = tmp_path / "stream.npz"
+        inc.save(path)
+        with pytest.raises(ValueError, match="storage dtype"):
+            IncrementalMatrixProfile.load(path, RunConfig(mode="FP64"))
+
+
+class TestStreamValidation:
+    def test_non_finite_rejected_with_offset(self):
+        inc = IncrementalMatrixProfile(8, RunConfig())
+        inc.append(np.zeros((20, 2)) + np.arange(20)[:, None])
+        bad = np.ones((5, 2))
+        bad[3, 1] = np.nan
+        # The reported offset is global to the stream, not batch-local.
+        with pytest.raises(ValueError, match="dimension 1, stream offsets 23..23"):
+            inc.append(bad)
+        # The rejected batch must not have been ingested.
+        assert inc.n_samples == 20
+
+    def test_validate_stream_samples_contract(self):
+        arr = validate_stream_samples([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+        with pytest.raises(ValueError, match="at least 1 sample"):
+            validate_stream_samples(np.empty((0, 2)))
+        bad = np.zeros((4, 3))
+        bad[1, 2] = np.inf
+        with pytest.raises(ValueError, match="dimension 2, stream offsets 101..101"):
+            validate_stream_samples(bad, offset=100)
+
+    def test_dimension_change_rejected(self):
+        inc = IncrementalMatrixProfile(8, RunConfig())
+        inc.ingest(np.zeros((10, 2)))
+        with pytest.raises(ValueError, match="d=2"):
+            inc.ingest(np.zeros((5, 3)))
+
+
+class TestAccumulatorExtension:
+    def test_extend_columns_preserves_and_initialises(self):
+        from repro.precision.modes import policy_for
+
+        policy = policy_for("FP16")
+        acc = ProfileAccumulator(2, 4, policy)
+        acc.profile[:, :] = 1.5
+        acc.index[:, :] = 7
+        acc.extend_columns(6)
+        assert acc.profile.shape == (2, 6)
+        assert np.all(acc.profile[:, :4] == np.float16(1.5))
+        assert np.all(acc.index[:, :4] == 7)
+        assert np.all(acc.index[:, 4:] == -1)
+        fresh = ProfileAccumulator(2, 6, policy)
+        assert np.array_equal(acc.profile[:, 4:], fresh.profile[:, 4:])
+        with pytest.raises(ValueError, match="shrink"):
+            acc.extend_columns(3)
+
+
+class TestSketchGate:
+    def _discord_stream(self, rng, n, m, at):
+        series = np.sin(np.linspace(0, n / 12, n)) + 0.05 * rng.normal(size=n)
+        series[at : at + m] += 4.0
+        return series[:, None]
+
+    def test_recall_and_suppression(self, rng):
+        m = 16
+        n = 480
+        at = 360
+        series = self._discord_stream(rng, n, m, at)
+        monitor = SketchMonitor(m, d=1, warmup=24, seed=1)
+        alarms = []
+        for seg in range(n - m + 1):
+            score = monitor.score(series[seg : seg + m].T)
+            if score.alarm:
+                alarms.append(seg)
+        n_seg = n - m + 1
+        # The planted discord must alarm (recall on the top-1 discord)...
+        assert any(at - m < a < at + m for a in alarms)
+        # ...while most of the periodic stream is suppressed.
+        assert len(alarms) <= 0.5 * n_seg
+
+    def test_gated_tenant_counts_suppressed_work(self, rng):
+        m = 16
+        n = 480
+        at = 360
+        series = self._discord_stream(rng, n, m, at)
+        svc = StreamIngestService(n_gpus=1)
+        svc.register(
+            "t",
+            TenantPolicy(m=m, sketch_gate=True, sketch_warmup=24, sketch_seed=1),
+        )
+        for i in range(0, n, 20):
+            svc.ingest("t", series[i : i + 20])
+        c = svc.tenant("t").counters
+        assert c.segments == n - m + 1
+        assert c.suppressed_columns + c.exact_columns == c.segments
+        assert c.suppression_ratio >= 0.5  # the acceptance floor
+        # Zero missed top-1 discords: an alarm fires within m of the
+        # planted discord, and the probed profile there is exact (finite,
+        # not the accumulator's untouched upper bound).
+        alarmed = [s.position for s in svc.scores("t") if s.alarm]
+        hits = [p for p in alarmed if at - m < p < at + m]
+        assert hits
+        profile, _ = svc.profile("t")
+        limit = np.finfo(profile.dtype).max
+        assert all(profile[p, 0] < limit for p in hits)
+        # Post-warmup, the probed region around the discord dominates:
+        # every post-warmup alarm is near the planted position.
+        post = [p for p in alarmed if p >= 2 * c.alarms]
+        assert post and all(at - m < p < at + m for p in post)
+
+    def test_fixed_threshold_and_validation(self):
+        with pytest.raises(ValueError, match="shrink"):
+            SketchMonitor(8, 1, shrink=0.0)
+        with pytest.raises(ValueError, match="threshold"):
+            SketchMonitor(8, 1, threshold="bogus")
+        monitor = SketchMonitor(8, 1, threshold=1e9)
+        monitor.prime(np.zeros((6, 1, 8)) + np.arange(8))
+        score = monitor.score(np.arange(8, dtype=float)[None, :])
+        assert not score.alarm and score.suppressed
+
+
+class TestIngestService:
+    def test_exact_tenant_matches_standalone_stream(self, rng):
+        """The service path (shared pool, admission) must not perturb the
+        exact tier's numerics."""
+        series = _series(rng, 150, 2)
+        svc = StreamIngestService(n_gpus=2)
+        svc.register("t", TenantPolicy(m=12, mode="FP16"))
+        solo = IncrementalMatrixProfile(12, RunConfig(mode="FP16"))
+        for i in range(0, 150, 30):
+            svc.ingest("t", series[i : i + 30])
+            solo.append(series[i : i + 30])
+        _assert_bit_identical(svc.profile("t"), solo.profile())
+        _assert_bit_identical(svc.profile("t"), _batch_profile(solo, solo.config))
+
+    def test_deadline_sheds_precision(self, rng):
+        svc = StreamIngestService(n_gpus=1)
+        svc.register("t", TenantPolicy(m=16, mode="FP64", deadline=1e-12))
+        report = svc.ingest("t", _series(rng, 80, 2))
+        assert report.shed_steps > 0
+        assert report.mode.value != "FP64"
+        assert svc.tenant("t").counters.shed_steps == report.shed_steps
+        snap = svc.metrics.snapshot()
+        assert snap.stream_shed_steps == report.shed_steps
+        assert snap.precision_downgrades == report.shed_steps
+
+    def test_backpressure_drops_and_counts(self, rng):
+        svc = StreamIngestService(n_gpus=1)
+        svc.register("t", TenantPolicy(m=8, max_batch=32))
+        report = svc.ingest("t", _series(rng, 100, 1))
+        assert report.accepted == 32 and report.dropped == 68
+        assert svc.tenant("t").stream.n_samples == 32
+        assert svc.metrics.snapshot().stream_dropped == 68
+
+    def test_sliding_window_rebases(self, rng):
+        svc = StreamIngestService(n_gpus=1)
+        svc.register("t", TenantPolicy(m=8, window="sliding", retention=64))
+        for i in range(0, 300, 20):
+            svc.ingest("t", _series(rng, 20, 1))
+        session = svc.tenant("t")
+        assert session.counters.rebases > 0
+        assert session.stream.n_samples <= int(64 * 1.5)
+        assert session.n_samples_global == 300
+        # The retained window's profile matches a fresh stream over the
+        # same suffix appended in one step (the re-base is one batch).
+        assert session.stream.profile()[0].shape[0] == session.stream.n_q_seg
+
+    def test_metrics_snapshot_stream_section(self, rng):
+        svc = StreamIngestService(n_gpus=1)
+        svc.register("t", TenantPolicy(m=8))
+        svc.ingest("t", _series(rng, 40, 1))
+        snap = svc.metrics.snapshot()
+        assert snap.stream_appends == 1
+        assert snap.stream_tenants == 1
+        assert snap.stream_samples == 40
+        rows = dict((r[0], r[1]) for r in snap.to_rows())
+        assert rows["stream appends"] == 1
+        # No stream rows when nothing streamed.
+        from repro.service.metrics import ServiceMetrics
+
+        empty = ServiceMetrics().snapshot()
+        assert all(not str(r[0]).startswith("stream") for r in empty.to_rows())
+
+    def test_checkpoint_restore_roundtrip(self, rng, tmp_path):
+        series = _series(rng, 120, 2)
+        svc = StreamIngestService(n_gpus=1)
+        policy = TenantPolicy(m=12, mode="FP32")
+        svc.register("t", policy)
+        svc.ingest("t", series[:70])
+        path = tmp_path / "tenant.npz"
+        svc.checkpoint("t", path)
+
+        svc2 = StreamIngestService(n_gpus=1)
+        svc2.restore("t", path, policy)
+        svc2.ingest("t", series[70:])
+
+        solo = IncrementalMatrixProfile(12, RunConfig(mode="FP32"))
+        solo.append(series[:70])
+        solo.append(series[70:])
+        _assert_bit_identical(svc2.profile("t"), solo.profile())
+
+    def test_duplicate_and_unknown_tenants(self, rng):
+        svc = StreamIngestService(n_gpus=1)
+        svc.register("t", TenantPolicy(m=8))
+        with pytest.raises(ValueError, match="already registered"):
+            svc.register("t", TenantPolicy(m=8))
+        with pytest.raises(KeyError, match="unknown tenant"):
+            svc.ingest("ghost", np.zeros((4, 1)))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="retention"):
+            TenantPolicy(m=8, window="sliding")
+        with pytest.raises(ValueError, match="window"):
+            TenantPolicy(m=8, window="hopping")
+        with pytest.raises(ValueError, match="max_batch"):
+            TenantPolicy(m=8, max_batch=0)
