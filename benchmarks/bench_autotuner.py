@@ -1,0 +1,185 @@
+"""Roofline autotuner bench — auto vs default vs exhaustive search.
+
+The autotuner (``RunConfig.auto()`` / :class:`repro.autotune.AutoTuner`)
+predicts host wall time for every candidate configuration of a job —
+``row_block`` x ``parallel_workers`` x tiling x precalc strategy — from
+measured calibration constants and picks the fastest.  Tuned knobs are
+all cache-key-excluded performance parameters, so the profile is pinned
+bit-identical to the default config's (``tests/test_autotune.py``); the
+only question is how close the *predicted* winner is to the *measured*
+one.
+
+Three measurements per job on a small shape grid:
+
+1. **default** — the shipped constructor defaults, timed end to end;
+2. **auto** — ``matrix_profile(..., auto=True)`` with a measured
+   calibration profile, timed end to end (includes the planner pass);
+3. **exhaustive** — every viable candidate the tuner considered, each
+   timed, keeping the measured optimum.
+
+Acceptance (the ROADMAP bar): the tuner's chosen candidate is never
+more than 10% slower than the exhaustive-search optimum, measured
+within the same loop so timing noise hits both sides equally.
+
+Results are archived to ``benchmarks/results/autotuner.txt`` and, for
+machine consumption, ``BENCH_autotuner.json`` at the repo root.
+``REPRO_BENCH_SMOKE=1`` shrinks the grid and relaxes the bar for CI
+smoke runs on noisy single-core boxes.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.autotune import AutoTuner
+from repro.core.api import matrix_profile
+from repro.gpu.calibration import measure_host_profile
+from repro.reporting import format_table
+
+from _harness import emit
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+REPEATS = 2 if SMOKE else 3
+#: The acceptance bar: measured time of the tuner's pick vs the measured
+#: exhaustive optimum over the same candidate set.  CI smoke boxes are
+#: noisy single-core runners; the 1.10 bar is asserted at full scale.
+MAX_OVERHEAD = 1.5 if SMOKE else 1.10
+
+#: (n_seg, d, m, mode) job grid.
+JOBS = (
+    [(192, 4, 32, "FP32"), (160, 8, 24, "FP16")]
+    if SMOKE
+    else [
+        (256, 4, 32, "FP32"),
+        (384, 2, 48, "FP64"),
+        (256, 8, 24, "FP16"),
+        (320, 4, 64, "Mixed"),
+    ]
+)
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_autotuner.json"
+
+
+def _series(n_seg, d, m, seed=31):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n_seg + m - 1, d)).cumsum(axis=0)
+
+
+def _timed(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.mark.benchmark(group="autotuner")
+def test_autotuner_vs_exhaustive(benchmark):
+    calibration = measure_host_profile(n_seg=96 if SMOKE else 160)
+    tuner = AutoTuner(device="A100", calibration=calibration)
+    rows = []
+    record = {
+        "smoke": SMOKE,
+        "repeats": REPEATS,
+        "max_overhead": MAX_OVERHEAD,
+        "calibration_source": calibration.source,
+        "jobs": [],
+    }
+    worst_overhead = 0.0
+
+    for n_seg, d, m, mode in JOBS:
+        series = _series(n_seg, d, m)
+        label = f"{mode} n={n_seg} d={d} m={m}"
+
+        default_result, t_default = _timed(
+            lambda: matrix_profile(series, m=m, mode=mode)
+        )
+        auto_result, t_auto_e2e = _timed(
+            lambda: matrix_profile(series, m=m, mode=mode, auto=True,
+                                   tuner=tuner)
+        )
+        # The bit-identity contract: no error target, identical output.
+        assert np.array_equal(
+            auto_result.profile, default_result.profile, equal_nan=True
+        )
+        assert np.array_equal(auto_result.index, default_result.index)
+
+        # Exhaustive search over the tuner's own candidate set, timing
+        # the chosen candidate inside the same loop so both sides of the
+        # acceptance ratio see the same machine state.
+        decision = tuner.tune(n_seg, n_seg, d, m, mode=mode)
+        t_best = float("inf")
+        t_chosen = None
+        best_candidate = None
+        for cand in decision.candidates:
+            if cand.rejected:
+                continue
+            _, t_cand = _timed(
+                lambda c=cand: matrix_profile(
+                    series, m=m, mode=mode, n_tiles=c.n_tiles,
+                    row_block=c.row_block,
+                    parallel_workers=c.parallel_workers,
+                )
+            )
+            if t_cand < t_best:
+                t_best, best_candidate = t_cand, cand
+            if cand == decision.chosen:
+                t_chosen = t_cand
+        overhead = t_chosen / t_best
+        worst_overhead = max(worst_overhead, overhead)
+
+        rows.append([label, f"{t_default * 1e3:8.1f}",
+                     f"{t_auto_e2e * 1e3:8.1f}", f"{t_best * 1e3:8.1f}",
+                     f"rb={decision.chosen.row_block} "
+                     f"w={decision.chosen.parallel_workers}",
+                     f"rb={best_candidate.row_block} "
+                     f"w={best_candidate.parallel_workers}",
+                     f"{overhead:.3f}x"])
+        record["jobs"].append({
+            "n_seg": n_seg, "d": d, "m": m, "mode": mode,
+            "default_s": t_default,
+            "auto_end_to_end_s": t_auto_e2e,
+            "exhaustive_best_s": t_best,
+            "chosen_s": t_chosen,
+            "chosen": {"row_block": decision.chosen.row_block,
+                       "parallel_workers": decision.chosen.parallel_workers,
+                       "n_tiles": decision.chosen.n_tiles},
+            "optimum": {"row_block": best_candidate.row_block,
+                        "parallel_workers": best_candidate.parallel_workers,
+                        "n_tiles": best_candidate.n_tiles},
+            "candidates_searched": sum(
+                1 for c in decision.candidates if not c.rejected
+            ),
+            "overhead_vs_optimum": overhead,
+            "bit_identical_to_default": True,
+        })
+
+    record["worst_overhead"] = worst_overhead
+    table = format_table(
+        ["job", "default ms", "auto ms", "best ms", "chosen", "optimum",
+         "vs opt"],
+        rows,
+        f"Autotuner vs exhaustive search (best of {REPEATS}, "
+        f"bar {MAX_OVERHEAD:.2f}x)",
+    )
+    emit("autotuner", table)
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    n0, d0, m0, mode0 = JOBS[0]
+    s0 = _series(n0, d0, m0)
+    benchmark.pedantic(
+        lambda: matrix_profile(s0, m=m0, mode=mode0, auto=True, tuner=tuner),
+        rounds=1, iterations=1,
+    )
+
+    assert worst_overhead <= MAX_OVERHEAD, (
+        f"autotuned config {worst_overhead:.3f}x slower than the "
+        f"exhaustive optimum (bar {MAX_OVERHEAD:.2f}x)"
+    )

@@ -17,6 +17,7 @@ Quickstart::
     print(result.profile.shape, result.modeled_time)
 """
 
+from .autotune import AutoTuner
 from .core import (
     MatrixProfileResult,
     RunConfig,
@@ -46,6 +47,7 @@ __all__ = [
     "plan_tiles",
     "MatrixProfileResult",
     "RunConfig",
+    "AutoTuner",
     "compute_single_tile",
     "compute_multi_tile",
     "model_multi_tile",

@@ -1,0 +1,19 @@
+"""Roofline-driven autotuner (ISSUE 7).
+
+Entry points: :meth:`repro.core.config.RunConfig.auto` for the one-shot
+"give me the fastest config" call, :class:`AutoTuner` for a reusable
+tuner with calibration/feedback state, and
+:meth:`TuneDecision.explain` for the roofline + candidate report.
+"""
+
+from .cost import HostCostModel, modeled_device_seconds, roofline_breakdown
+from .planner import AutoTuner, Candidate, TuneDecision
+
+__all__ = [
+    "AutoTuner",
+    "Candidate",
+    "TuneDecision",
+    "HostCostModel",
+    "roofline_breakdown",
+    "modeled_device_seconds",
+]

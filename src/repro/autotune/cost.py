@@ -1,0 +1,227 @@
+"""Cost model behind the autotuner: host wall time + device roofline.
+
+Two clocks matter when ranking candidate configurations:
+
+* **host wall time** — the kernels execute as real numpy on this machine,
+  so the knobs the tuner owns (``row_block``, ``parallel_workers``, tile
+  count, precalc strategy) trade python dispatch overhead against
+  vectorised throughput.  :class:`HostCostModel` predicts it from the
+  measured :class:`~repro.gpu.calibration.CalibrationProfile` constants,
+  optionally re-anchored online by the service's learned
+  seconds-per-cell EMA (:class:`~repro.service.admission.LoadEstimator`).
+* **modelled device time** — the paper's roofline model
+  (:mod:`repro.gpu.perfmodel`), which prices precision modes and exposes
+  each kernel's binding resource.  :func:`roofline_breakdown` reproduces
+  the ``busy = max(dram, l2, l1, flops)`` decision per kernel so the
+  :meth:`~repro.autotune.TuneDecision.explain` report can show *which*
+  ceiling each kernel sits under and how far from the ridge it is.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..gpu import calibration as cal
+from ..gpu.calibration import CalibrationProfile, default_profile
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.kernel import LaunchConfig
+from ..gpu.perfmodel import single_tile_costs, single_tile_timing
+from ..precision.modes import policy_for
+
+__all__ = ["HostCostModel", "roofline_breakdown", "modeled_device_seconds"]
+
+
+class HostCostModel:
+    """Predicts host wall seconds for one candidate configuration.
+
+    The per-cell rate comes from the live ``estimator`` when one is
+    attached (the service's EMA, which improves online as jobs complete)
+    and from the calibration profile otherwise; the structural overheads
+    (per-super-step, per-tile, per-worker) always come from calibration.
+    """
+
+    def __init__(
+        self,
+        calibration: CalibrationProfile | None = None,
+        estimator=None,
+    ):
+        self.calibration = calibration or default_profile()
+        self.estimator = estimator
+
+    # ------------------------------------------------------------------
+
+    def cell_time(self, mode) -> float:
+        """Host seconds per distance-matrix cell-dimension at ``mode``."""
+        if self.estimator is not None:
+            return self.estimator.seconds_per_cell * self.estimator.mode_factor(
+                mode
+            )
+        return self.calibration.cell_time(mode)
+
+    def _spill_penalty(self, row_block: int, plane_elems: int, mode) -> float:
+        """Per-cell multiplier once the block workspace outgrows cache.
+
+        ``run_tile`` keeps ~4 row-block-sized planes live per super-step;
+        past the calibrated cache budget the per-cell rate degrades
+        linearly up to ``spill_factor``.
+        """
+        c = self.calibration
+        itemsize = policy_for(mode).itemsize
+        workspace = 4.0 * row_block * plane_elems * itemsize
+        if workspace <= c.workspace_bytes:
+            return 1.0
+        frac = min((workspace - c.workspace_bytes) / (3.0 * c.workspace_bytes), 1.0)
+        return 1.0 + (c.spill_factor - 1.0) * frac
+
+    def tile_time(
+        self, rows: int, cols: int, d: int, mode, row_block: int
+    ) -> float:
+        """Predicted host seconds for one tile of the main loop."""
+        c = self.calibration
+        steps = math.ceil(rows / max(row_block, 1))
+        penalty = self._spill_penalty(row_block, cols * d, mode)
+        cells = float(rows) * cols * d
+        return (
+            c.tile_overhead
+            + steps * c.step_time(mode)
+            + cells * self.cell_time(mode) * penalty
+        )
+
+    def precalc_time(
+        self, n_r_seg: int, n_q_seg: int, d: int, m: int, mode, strategy: str
+    ) -> float:
+        """Predicted host seconds of the amortised seed-QT evaluation.
+
+        ``"exact"`` streams a length-``m`` dot per segment-dimension;
+        ``"fft"`` replaces it with an O(n log n) convolution whose
+        vectorised constant is ~4x the streaming path's per-element one —
+        it wins once ``m`` outgrows ``4 * log2(n)``.
+        """
+        rate = self.cell_time(mode)
+        elems = float(n_r_seg + n_q_seg) * d
+        if strategy == "fft":
+            n = max(n_q_seg + m - 1, 2)
+            return elems * math.log2(n) * rate * 4.0
+        return elems * m * rate
+
+    def job_time(
+        self,
+        tiles,
+        d: int,
+        m: int,
+        mode,
+        row_block: int,
+        workers: int,
+        precalc_strategy: str = "exact",
+        n_r_seg: int | None = None,
+        n_q_seg: int | None = None,
+    ) -> float:
+        """Predicted host wall seconds for a whole tiled job.
+
+        ``tiles`` is an iterable of ``(rows, cols)`` tile geometries or
+        ``(rows, cols, count)`` weighted geometries — a near-square grid
+        has at most four distinct geometries however many tiles it holds,
+        so weighting keeps pricing O(1) in the tile count.  Parallel
+        workers scale the serial tile time by the calibrated thread-pool
+        efficiency, floored at the longest single tile (critical path),
+        plus a per-worker spawn cost.
+        """
+        times = [
+            (self.tile_time(t[0], t[1], d, mode, row_block),
+             t[2] if len(t) > 2 else 1)
+            for t in tiles
+        ]
+        if not times:
+            return 0.0
+        serial = sum(time * count for time, count in times)
+        if n_r_seg is not None and n_q_seg is not None:
+            serial += self.precalc_time(
+                n_r_seg, n_q_seg, d, m, mode, precalc_strategy
+            )
+        if workers <= 1:
+            return serial
+        c = self.calibration
+        concurrent = serial / (1.0 + c.parallel_efficiency * (workers - 1))
+        longest = max(time for time, _ in times)
+        return max(concurrent, longest) + workers * c.worker_overhead
+
+
+# ---------------------------------------------------------------------------
+# Device-side roofline reporting
+
+
+def roofline_breakdown(
+    n_r_seg: int,
+    n_q_seg: int,
+    d: int,
+    m: int,
+    mode,
+    device: "DeviceSpec | str",
+) -> dict[str, dict]:
+    """Per-kernel roofline position on the modelled device.
+
+    Returns ``{kernel: {"busy": s, "bound": name, "intensity": flop/byte,
+    "ridge": flop/byte}}`` — ``bound`` is the term winning the
+    ``max(dram, l2, l1, flops)`` race inside
+    :func:`~repro.gpu.perfmodel.kernel_time`, ``ridge`` the device's
+    DRAM ridge point at this dtype (kernels left of it are memory-bound,
+    as Section V-C observes all four are).
+    """
+    device = get_device(device)
+    policy = policy_for(mode)
+    launch = LaunchConfig.tuned_for(device)
+    costs = single_tile_costs(
+        n_r_seg,
+        n_q_seg,
+        d,
+        m,
+        policy.itemsize,
+        launch,
+        precalc_itemsize=policy.precalc.itemsize,
+        compensated=policy.compensated,
+    )
+    scale = cal.device_scale(device.name)
+    out: dict[str, dict] = {}
+    for name, cost in costs.items():
+        itemsize = (
+            policy.precalc.itemsize if name == "precalculation" else policy.itemsize
+        )
+        eff_dram = cal.dram_efficiency(name, itemsize) * device.mem_bandwidth * scale
+        terms = {
+            "dram": cost.bytes_dram / eff_dram,
+            "l2": cost.bytes_l2
+            / (cal.L2_EFFICIENCY * device.l2_bandwidth * scale),
+            "l1": cost.bytes_l1
+            / (cal.l1_efficiency(itemsize) * device.l1_bandwidth * scale)
+            if cost.bytes_l1
+            else 0.0,
+            "flops": cost.flops
+            / (cal.SM_EFFICIENCY * device.peak_flops(itemsize)),
+        }
+        bound = max(terms, key=terms.get)
+        traffic = max(cost.bytes_dram, 1.0)
+        out[name] = {
+            "busy": terms[bound],
+            "bound": bound,
+            "intensity": cost.flops / traffic,
+            "ridge": device.peak_flops(itemsize) / device.mem_bandwidth,
+        }
+    return out
+
+
+def modeled_device_seconds(
+    n_r_seg: int, n_q_seg: int, d: int, m: int, mode, device
+) -> float:
+    """Total modelled busy seconds of one tile on the simulated device."""
+    policy = policy_for(mode)
+    timing = single_tile_timing(
+        n_r_seg,
+        n_q_seg,
+        d,
+        m,
+        device,
+        policy.itemsize,
+        precalc_itemsize=policy.precalc.itemsize,
+        compensated=policy.compensated,
+    )
+    return timing.compute_total

@@ -10,6 +10,8 @@ Gives downstream users a zero-code path to the main workflows:
 * ``serve``     — drive a synthetic workload through the job service
 * ``stream``    — drive tenant streams through the online ingestion tier
 * ``submit``    — run one CSV job through the service (deadline-aware)
+* ``plan``      — tile planning; ``--explain`` prints the autotuner report
+* ``calibrate`` — measure host constants into a calibration profile
 """
 
 from __future__ import annotations
@@ -53,9 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
         "1 = original per-row execution; any value is bit-exact)",
     )
     p.add_argument(
-        "--tile-workers", type=int, default=1, metavar="W",
+        "--tile-workers", type=int, default=None, metavar="W",
         help="host threads executing independent tiles concurrently "
         "(deterministic tile-id merge order; default 1 = serial)",
+    )
+    p.add_argument(
+        "--auto", action="store_true",
+        help="let the roofline autotuner pick row_block / tile workers / "
+        "tiling for this job (bit-identical to the default config); "
+        "explicit knob flags override its choices",
+    )
+    p.add_argument(
+        "--target-error", type=float, default=None, metavar="EPS",
+        help="error budget for --auto: the tuner may then also pick a "
+        "cheaper precision mode whose Section V-B bound stays inside it",
     )
     p.add_argument(
         "--precalc-strategy", choices=("exact", "fft"), default=None,
@@ -190,6 +203,27 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--mode", default="FP16")
     pl.add_argument("--device", default="A100")
     pl.add_argument("--target-error", type=float, default=None)
+    pl.add_argument(
+        "--explain", action="store_true",
+        help="run the roofline autotuner and print its full report "
+        "(roofline position per kernel, occupancy, every candidate "
+        "configuration with its predicted time and rejection reason)",
+    )
+
+    ca = sub.add_parser(
+        "calibrate", help="measure host-execution constants and write a "
+        "calibration profile the autotuner can start from"
+    )
+    ca.add_argument("--device", default="A100", help="simulated device")
+    ca.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="profile path (default calibration_<device>.json)",
+    )
+    ca.add_argument(
+        "-n", type=int, default=160,
+        help="segments per measurement series (larger = steadier rates)",
+    )
+    ca.add_argument("--repeats", type=int, default=2, help="best-of repeats")
     return parser
 
 
@@ -258,6 +292,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         parallel_workers=args.tile_workers,
         amortize_precalc=False if args.no_amortize_precalc else None,
         precalc_strategy=args.precalc_strategy,
+        auto=args.auto,
+        target_error=args.target_error,
         **_fault_tolerance_kwargs(args.fault_tolerant),
     )
     _print_result_summary(result, args.top, None)
@@ -354,6 +390,19 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .core.planner import plan_tiles
 
+    if args.explain:
+        from .autotune import AutoTuner
+
+        decision = AutoTuner(device=args.device).tune(
+            args.n,
+            args.n,
+            args.dims,
+            args.window,
+            mode=args.mode,
+            target_error=args.target_error,
+        )
+        print(decision.explain())
+        return 0
     plan = plan_tiles(
         args.n,
         args.n,
@@ -389,7 +438,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .reporting import render_service_metrics
+    from .reporting import render_autotune_choices, render_service_metrics
     from .service import JobRequest, MatrixProfileService
 
     rng = np.random.default_rng(args.seed)
@@ -431,8 +480,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             note += f" downgraded {out.requested_mode}->{out.effective_mode}"
         print(f"job {job.job_id}: {out.status} {out.effective_mode} "
               f"{out.latency * 1e3:.1f} ms{note}")
+    snapshot = service.metrics.snapshot()
     print()
-    print(render_service_metrics(service.metrics.snapshot()))
+    print(render_service_metrics(snapshot))
+    tuned = render_autotune_choices(snapshot)
+    if tuned:
+        print()
+        print(tuned)
     return 0
 
 
@@ -511,6 +565,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if outcome.status in ("completed", "partial") else 1
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .gpu.calibration import measure_host_profile, save_profile
+
+    print(f"measuring host-execution constants on {args.device} "
+          f"(n={args.n}, best of {args.repeats})...")
+    profile = measure_host_profile(
+        device=args.device, n_seg=args.n, repeats=args.repeats
+    )
+    output = args.output or f"calibration_{profile.device}.json"
+    path = save_profile(profile, output)
+    rows = [
+        [mode, f"{profile.seconds_per_cell[mode]:.3e}",
+         f"{profile.superstep_overhead[mode]:.3e}"]
+        for mode in profile.seconds_per_cell
+    ]
+    print_table(
+        ["mode", "s/cell-dim", "s/super-step"], rows,
+        title="measured host rates",
+    )
+    print(f"tile overhead {profile.tile_overhead:.3e} s; "
+          f"parallel efficiency {profile.parallel_efficiency:.2f}")
+    print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "profile": _cmd_profile,
     "resume": _cmd_resume,
@@ -519,6 +598,7 @@ _COMMANDS = {
     "devices": _cmd_devices,
     "experiments": _cmd_experiments,
     "plan": _cmd_plan,
+    "calibrate": _cmd_calibrate,
     "validate": _cmd_validate,
     "serve": _cmd_serve,
     "stream": _cmd_stream,

@@ -32,9 +32,12 @@ def matrix_profile(
     journal=None,
     observers=(),
     row_block: int | None = None,
-    parallel_workers: int = 1,
+    parallel_workers: int | None = None,
     amortize_precalc: bool | None = None,
     precalc_strategy: str | None = None,
+    auto: bool = False,
+    target_error: float | None = None,
+    tuner=None,
 ) -> MatrixProfileResult:
     """Compute the multi-dimensional matrix profile of ``query`` against
     ``reference`` on simulated GPU hardware.
@@ -88,6 +91,21 @@ def matrix_profile(
         streaming accumulator; ``"fft"`` batches them through an FFT
         convolution (FP64/FP32 only; see
         :attr:`~repro.core.config.RunConfig.precalc_strategy`).
+    auto:
+        Run the roofline autotuner (:class:`~repro.core.config.RunConfig`
+        ``.auto()``) to pick ``row_block``, ``parallel_workers``, tiling
+        and precalc strategy for this job's shape.  Without a
+        ``target_error`` the tuned knobs are numerics-inert, so the
+        profile stays bit-identical to the untuned call.  Explicit
+        knob arguments (``row_block`` etc.) override the tuner's choice.
+    target_error:
+        Error budget for the autotuner (implies ``auto``): the tuner may
+        then also change the precision mode and enable the FFT precalc
+        path, constrained to candidates whose Section V-B bound stays
+        inside the budget.
+    tuner:
+        Optional prebuilt :class:`~repro.autotune.AutoTuner` to reuse
+        calibration and feedback state across calls.
 
     Returns
     -------
@@ -115,11 +133,50 @@ def matrix_profile(
     )
     if row_block is not None:
         config_kwargs["row_block"] = row_block
+    if parallel_workers is not None:
+        config_kwargs["parallel_workers"] = parallel_workers
     if amortize_precalc is not None:
         config_kwargs["amortize_precalc"] = amortize_precalc
     if precalc_strategy is not None:
         config_kwargs["precalc_strategy"] = precalc_strategy
     config = RunConfig(**config_kwargs)
+    if auto or target_error is not None or tuner is not None:
+        from ..autotune import AutoTuner
+
+        ref = np.asarray(reference)
+        n_r_seg = ref.shape[0] - m + 1
+        d = 1 if ref.ndim == 1 else ref.shape[1]
+        if query is None:
+            n_q_seg, self_join = n_r_seg, True
+        else:
+            n_q_seg, self_join = np.asarray(query).shape[0] - m + 1, False
+        if tuner is None:
+            tuner = AutoTuner(device=config.device)
+        decision = tuner.tune(
+            n_r_seg,
+            n_q_seg,
+            d,
+            m,
+            mode=config.mode,
+            self_join=self_join,
+            target_error=target_error,
+            n_gpus=n_gpus,
+            n_streams=n_streams,
+            exclusion_zone=exclusion_zone,
+            n_tiles=n_tiles if n_tiles > 1 else None,
+        )
+        chosen = decision.chosen
+        tuned = {"n_tiles": chosen.n_tiles}
+        # Explicit knob arguments always win over the tuner's choice.
+        if row_block is None:
+            tuned["row_block"] = chosen.row_block
+        if parallel_workers is None:
+            tuned["parallel_workers"] = chosen.parallel_workers
+        if target_error is not None:
+            tuned["mode"] = chosen.mode
+            if precalc_strategy is None:
+                tuned["precalc_strategy"] = chosen.precalc_strategy
+        config = config.with_(**tuned)
     fault_tolerant = (
         health is not None
         or fault_plan is not None
@@ -127,7 +184,7 @@ def matrix_profile(
         or oom_split
         or journal is not None
         or bool(observers)
-        or parallel_workers > 1
+        or config.parallel_workers > 1
     )
     if config.n_tiles == 1 and config.n_gpus == 1 and not fault_tolerant:
         return compute_single_tile(reference, query, m, config)
@@ -142,5 +199,4 @@ def matrix_profile(
         oom_split=oom_split,
         journal=journal,
         observers=observers,
-        parallel_workers=parallel_workers,
     )

@@ -69,6 +69,11 @@ class RunConfig:
     #: the analytic dot-product bound, and it *does* enter
     #: ``cache_key()``).
     precalc_strategy: str = "exact"
+    #: Host threads executing independent tiles concurrently.  Results
+    #: merge in tile-id order, so the output is deterministic and
+    #: bit-identical to serial dispatch — like ``row_block`` this is a
+    #: pure host-execution knob, excluded from ``cache_key()``.
+    parallel_workers: int = 1
 
     def __post_init__(self) -> None:
         # Resolve defaults for device/launch at construction so the frozen
@@ -91,6 +96,10 @@ class RunConfig:
             )
         if self.row_block < 1:
             raise ValueError(f"row_block must be >= 1, got {self.row_block}")
+        if self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
         if self.precalc_strategy not in ("exact", "fft"):
             raise ValueError(
                 f"precalc_strategy must be 'exact' or 'fft', got "
@@ -111,6 +120,57 @@ class RunConfig:
     @property
     def policy(self) -> PrecisionPolicy:
         return policy_for(self.mode)
+
+    @classmethod
+    def auto(
+        cls,
+        n_r_seg: int,
+        n_q_seg: int | None = None,
+        d: int = 1,
+        m: int = 64,
+        *,
+        mode: "PrecisionMode | str" = PrecisionMode.FP64,
+        device: "DeviceSpec | str" = "A100",
+        target_error: float | None = None,
+        n_gpus: int = 1,
+        n_streams: int | None = None,
+        exclusion_zone: int | None = None,
+        self_join: bool = True,
+        tuner=None,
+        **tuner_kwargs,
+    ) -> "RunConfig":
+        """Planner-chosen configuration for one job (the roofline autotuner).
+
+        Evaluates candidate ``row_block`` / ``parallel_workers`` / tile
+        counts (and, under an explicit ``target_error``, precision mode
+        and ``precalc_strategy``) against the calibrated cost model and
+        returns the predicted-fastest config.  Absent a ``target_error``
+        every tuned knob is numerics-inert, so the profile is
+        bit-identical to the default configuration's.
+
+        Pass a prebuilt :class:`~repro.autotune.AutoTuner` as ``tuner``
+        to reuse its calibration/feedback state; ``tuner_kwargs`` are
+        forwarded to a fresh tuner otherwise.  Use
+        :meth:`repro.autotune.AutoTuner.tune` directly to also get the
+        :meth:`~repro.autotune.TuneDecision.explain` report.
+        """
+        from ..autotune import AutoTuner
+
+        if tuner is None:
+            tuner = AutoTuner(device=device, **tuner_kwargs)
+        decision = tuner.tune(
+            n_r_seg,
+            n_q_seg if n_q_seg is not None else n_r_seg,
+            d,
+            m,
+            mode=mode,
+            self_join=self_join,
+            target_error=target_error,
+            n_gpus=n_gpus,
+            n_streams=n_streams,
+            exclusion_zone=exclusion_zone,
+        )
+        return decision.config
 
     def with_(self, **changes) -> "RunConfig":
         """Return a copy with the given fields replaced."""
@@ -137,6 +197,7 @@ class RunConfig:
             "row_block": self.row_block,
             "amortize_precalc": self.amortize_precalc,
             "precalc_strategy": self.precalc_strategy,
+            "parallel_workers": self.parallel_workers,
         }
 
     @classmethod
@@ -154,16 +215,17 @@ class RunConfig:
         Two configs share a key iff :meth:`to_dict` agrees on every field
         that can change the result — the numerics knobs (mode, tile
         count, exclusion zone, sort strategy, 1-d fast path) and the
-        performance-model knobs.  ``row_block`` and ``amortize_precalc``
-        are excluded: row-blocked execution and amortised precalculation
-        are bit-exact and cost-identical, so cached results are shared
-        across those knobs.  ``precalc_strategy`` *is* included — the
-        FFT seeds are not bit-identical.
+        performance-model knobs.  ``row_block``, ``amortize_precalc``
+        and ``parallel_workers`` are excluded: row-blocked execution,
+        amortised precalculation and parallel tile dispatch are bit-exact
+        and cost-identical, so cached results are shared across those
+        knobs.  ``precalc_strategy`` *is* included — the FFT seeds are
+        not bit-identical.
         """
         fields = {
             k: v
             for k, v in self.to_dict().items()
-            if k not in ("row_block", "amortize_precalc")
+            if k not in ("row_block", "amortize_precalc", "parallel_workers")
         }
         payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]

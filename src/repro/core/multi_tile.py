@@ -52,7 +52,7 @@ def compute_multi_tile(
     oom_split: bool = False,
     journal: "RunJournal | str | None" = None,
     observers=(),
-    parallel_workers: int = 1,
+    parallel_workers: int | None = None,
 ) -> MatrixProfileResult:
     """Matrix profile via the tiling scheme on simulated multi-GPU hardware.
 
@@ -75,9 +75,13 @@ def compute_multi_tile(
       :func:`~repro.engine.checkpoint.resume_plan`;
     * ``parallel_workers`` — host threads executing independent tiles
       concurrently (results merge in tile-id order, so the output is
-      deterministic and matches the serial dispatch bit for bit).
+      deterministic and matches the serial dispatch bit for bit);
+      defaults to ``config.parallel_workers`` so autotuned configs carry
+      the knob without every caller threading it through.
     """
     config = config or RunConfig()
+    if parallel_workers is None:
+        parallel_workers = config.parallel_workers
     spec = JobSpec.from_arrays(reference, query, m, config)
     plan = spec.plan()
     failure_injector = corruptor = None

@@ -19,7 +19,7 @@ from ..gpu.device import DeviceSpec, get_device
 from ..kernels.update import INDEX_DTYPE
 from ..precision.errors import streaming_qt_error_bound, tile_edge_for_target_error
 from ..precision.modes import PrecisionMode, policy_for
-from .tiling import compute_tile_list, tile_grid_shape
+from .tiling import tile_grid_shape
 
 __all__ = ["TilePlan", "tile_memory_bytes", "plan_tiles"]
 
@@ -115,10 +115,11 @@ def plan_tiles(
             accuracy_tiles *= 2
 
     n_tiles = max(memory_tiles, accuracy_tiles)
-    tiles = compute_tile_list(n_r_seg, n_q_seg, n_tiles)
     g = tile_grid_shape(n_tiles)
-    rows = max(t.n_rows for t in tiles)
-    cols = max(t.n_cols for t in tiles)
+    # The grid splits each axis into near-equal chunks, so the largest
+    # tile edge is the ceiling split — no need to materialise the list.
+    rows = math.ceil(n_r_seg / min(g[0], n_r_seg))
+    cols = math.ceil(n_q_seg / min(g[1], n_q_seg))
     return TilePlan(
         n_tiles=n_tiles,
         grid=g,

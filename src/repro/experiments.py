@@ -124,6 +124,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Streaming ingestion: incremental band tiles + sketch-gated escalation vs recompute",
         "bench_streaming_ingest.py", "streaming_ingest", "executed",
     ),
+    Experiment(
+        "autotuner", "Secs. III-B, V",
+        "Roofline autotuner: predicted-fastest config vs default and exhaustive search",
+        "bench_autotuner.py", "autotuner", "executed",
+    ),
 )
 
 

@@ -108,6 +108,8 @@ class MatrixProfileService:
         health: "HealthPolicy | None" = None,
         fault_plan=None,
         oom_tile_split: bool = False,
+        autotune: bool = True,
+        calibration=None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -143,6 +145,23 @@ class MatrixProfileService:
         self.admission = admission or AdmissionController(
             self.estimator, parallelism=n_workers
         )
+        # Roofline autotuner: every admitted job's row_block comes from
+        # the planner instead of the constructor default.  The tuner
+        # shares the admission estimator, so its seconds-per-cell EMA
+        # (updated by ``estimator.observe`` after each completion) feeds
+        # straight back into the cost model — predictions improve online.
+        # Tile-level parallelism inside one job stays at 1: the service's
+        # worker threads are the parallelism here.
+        self.tuner = None
+        if autotune:
+            from ..autotune import AutoTuner
+
+            self.tuner = AutoTuner(
+                device=self.sim.spec,
+                calibration=calibration,
+                estimator=self.estimator,
+                workers=(1,),
+            )
         self.n_workers = n_workers
         self.max_replans = max_replans
         self.clock = clock
@@ -333,6 +352,23 @@ class MatrixProfileService:
             exclusion_zone=request.exclusion_zone,
         )
         config = config.with_(n_tiles=self._plan_tiles(job, config))
+        if self.tuner is not None:
+            tune = self.tuner.tune(
+                n_r_seg, n_q_seg, d, m,
+                mode=decision.effective, self_join=self_join,
+                n_gpus=self.sim.n_gpus, n_streams=self.sim.n_streams,
+                exclusion_zone=request.exclusion_zone,
+                n_tiles=config.n_tiles if config.n_tiles > 1 else None,
+            )
+            # Numerics-preserving tier: only the cache-key-excluded host
+            # knob moves.  Mode stays the admission decision's, and the
+            # tile count stays with `_plan_tiles` — the service planner
+            # owns tiling (OOM recovery bumps it reactively), so the
+            # tuner's own memory floor is advisory here.
+            config = config.with_(row_block=tune.chosen.row_block)
+            self.metrics.record_autotune(
+                tune.chosen.row_block, tune.chosen.predicted_seconds
+            )
 
         ref_digest = series_digest(reference)
         qry_digest = None if self_join else series_digest(query)

@@ -31,6 +31,7 @@ tier's bit-identical numerics.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +78,14 @@ class SketchMonitor:
         ``ceil(m / 4)``, the profile's own exclusion zone).
     seed:
         Projection RNG seed (the projection is fixed per monitor).
+    rolling:
+        Auto-threshold memory: ``None`` accumulates score statistics over
+        the monitor's whole life (the original behaviour), an integer
+        ``N`` computes them over only the last ``N`` scores.  A rolling
+        baseline tracks a drifting tenant — after a level shift the
+        cumulative mean/std stay inflated forever and mask subsequent
+        discords, while the rolling window re-centres within ``N``
+        appends.
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class SketchMonitor:
         shrink: float = 0.75,
         exclusion: int | None = None,
         seed: int = 0,
+        rolling: int | None = None,
     ):
         if m < 2 or d < 1 or k < 1:
             raise ValueError(f"invalid sketch geometry m={m}, d={d}, k={k}")
@@ -111,11 +121,19 @@ class SketchMonitor:
         # JL projection of the flattened (d*m) z-normalised window;
         # 1/sqrt(k) makes projected distances estimate input distances.
         self._proj = rng.standard_normal((k, d * m)) / math.sqrt(k)
+        if rolling is not None and rolling < 2:
+            raise ValueError(f"rolling must be >= 2, got {rolling}")
+        self.rolling = rolling
         self._sketches = np.empty((0, k), dtype=np.float64)
-        # Running score statistics for the auto threshold (Welford).
+        # Running score statistics for the auto threshold: cumulative
+        # Welford, plus (when ``rolling``) the bounded recent-score
+        # window the threshold is actually computed from.
         self._n_scores = 0
         self._mean = 0.0
         self._m2 = 0.0
+        self._recent: "deque[float] | None" = (
+            deque(maxlen=rolling) if rolling is not None else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -140,6 +158,11 @@ class SketchMonitor:
             return float(self.threshold)
         if self._n_scores < self.warmup:
             return float("inf")  # placeholder; warmup always alarms
+        if self._recent is not None:
+            scores = np.asarray(self._recent)
+            mean = float(scores.mean())
+            var = float(scores.var(ddof=1)) if scores.size > 1 else 0.0
+            return mean + self.zscore * math.sqrt(max(var, 0.0))
         var = self._m2 / max(self._n_scores - 1, 1)
         return self._mean + self.zscore * math.sqrt(max(var, 0.0))
 
@@ -150,6 +173,8 @@ class SketchMonitor:
         delta = score - self._mean
         self._mean += delta / self._n_scores
         self._m2 += delta * (score - self._mean)
+        if self._recent is not None:
+            self._recent.append(score)
 
     # ------------------------------------------------------------------
 

@@ -61,9 +61,24 @@ class TenantPolicy:
     sketch_warmup: int = 16
     sketch_shrink: float = 0.75
     sketch_seed: int = 0
+    #: Auto-threshold memory for the sketch gate: ``None`` keeps the
+    #: cumulative baseline, an integer computes mean/std over only the
+    #: last that-many scores (recovers from baseline drift; see
+    #: :class:`~repro.streams.sketch.SketchMonitor`).
+    sketch_rolling: int | None = None
     exclusion_zone: int | None = None
     n_tiles: int = 1
     row_block: int = 32
+    #: Route every exact micro-job (cover/probe band) through the
+    #: roofline autotuner: ``row_block`` is then picked per band geometry
+    #: instead of taken from this policy.  Numerics-inert — tuned knobs
+    #: are cache-key-excluded, so gated/ungated outputs are unchanged.
+    autotune: bool = False
+    #: Error budget for the autotuner: when set, the tuner may also pick
+    #: a cheaper precision mode per band, provided its Section V-B bound
+    #: stays inside the budget (combined with admission shedding by
+    #: taking the faster of the two on the downgrade ladder).
+    target_error: float | None = None
 
     def __post_init__(self):
         if self.m < 2:

@@ -87,6 +87,32 @@ class TestCommands:
         assert "tiles" in out
         assert "limited by" in out
 
+    def test_plan_explain(self, capsys):
+        assert main(
+            ["plan", "-n", "512", "-d", "2", "--mode", "FP16", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "autotune report" in out
+        assert "chosen:" in out
+        assert "row_block" in out
+
+    def test_profile_auto_flag(self, tmp_path, capsys, rng):
+        csv = tmp_path / "ts.csv"
+        np.savetxt(csv, rng.normal(size=(150, 2)), delimiter=",")
+        assert main(["profile", str(csv), "-m", "16", "--auto"]) == 0
+        assert "modelled device time" in capsys.readouterr().out
+
+    def test_calibrate_writes_profile(self, tmp_path, capsys):
+        out_path = tmp_path / "cal.json"
+        assert main(
+            ["calibrate", "-n", "64", "--repeats", "1",
+             "--output", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out_path.exists()
+        assert "measured host rates" in out
+        assert "wrote" in out
+
     def test_experiments_listing(self, capsys):
         assert main(["experiments"]) == 0
         out = capsys.readouterr().out

@@ -248,6 +248,59 @@ class TestSketchGate:
         monitor.prime(np.zeros((6, 1, 8)) + np.arange(8))
         score = monitor.score(np.arange(8, dtype=float)[None, :])
         assert not score.alarm and score.suppressed
+        with pytest.raises(ValueError, match="rolling"):
+            SketchMonitor(8, 1, rolling=1)
+
+    def test_rolling_threshold_recentres_after_drift(self, rng):
+        """Regression: a drifting tenant must not poison the auto
+        threshold forever.  A noisy drift phase inflates the cumulative
+        mean/std for the rest of the stream, masking later discords; the
+        rolling baseline re-centres within its window and still catches
+        them."""
+        m = 16
+        calm = np.sin(np.linspace(0, 25, 300))
+        drift = 3.0 * rng.normal(size=240)  # shape-shifting regime
+        tail = np.sin(np.linspace(25, 40, 180))
+        at = 300 + 240 + 90  # moderate discord planted after the drift
+        tail[90 : 90 + m] += 1.5
+        series = np.concatenate([calm, drift, tail])[:, None]
+
+        def run(**kw):
+            mon = SketchMonitor(m, d=1, warmup=24, seed=3, **kw)
+            scores = [
+                mon.score(series[s : s + m].T)
+                for s in range(len(series) - m + 1)
+            ]
+            return mon, scores
+
+        cumulative, cum_scores = run()
+        rolling, roll_scores = run(rolling=64)
+        # Same inputs, same projection: the estimates agree everywhere —
+        # only the thresholds differ.
+        assert [s.estimate for s in cum_scores] == [
+            s.estimate for s in roll_scores
+        ]
+        # After the calm tail the rolling baseline has re-centred while
+        # the cumulative one still remembers the drift phase.
+        assert rolling._current_threshold() < cumulative._current_threshold()
+        def hits(scores):
+            return [
+                s.position
+                for s in scores
+                if s.alarm and at - m < s.position < at + m
+            ]
+        assert hits(roll_scores), "rolling monitor missed the discord"
+        assert not hits(cum_scores), (
+            "cumulative monitor caught the discord — the regression this "
+            "test pins no longer reproduces; strengthen the drift phase"
+        )
+
+    def test_tenant_rolling_param_reaches_monitor(self):
+        svc = StreamIngestService(n_gpus=1)
+        svc.register(
+            "t", TenantPolicy(m=8, sketch_gate=True, sketch_rolling=48)
+        )
+        assert svc.tenant("t").monitor.rolling == 48
 
 
 class TestIngestService:
