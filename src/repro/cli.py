@@ -8,6 +8,7 @@ Gives downstream users a zero-code path to the main workflows:
 * ``model``     — print modelled execution times for a problem size
 * ``devices``   — list the simulated devices and their specs
 * ``serve``     — drive a synthetic workload through the job service
+* ``cluster``   — run jobs over a sharded node fleet, optionally under a storm
 * ``stream``    — drive tenant streams through the online ingestion tier
 * ``submit``    — run one CSV job through the service (deadline-aware)
 * ``plan``      — tile planning; ``--explain`` prints the autotuner report
@@ -151,6 +152,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-ladder", action="store_true",
         help="also print the precision ladder's relative-cost factors",
     )
+
+    cl = sub.add_parser(
+        "cluster", help="drive a synthetic workload over a sharded node "
+        "fleet — node storms, quotas, backpressure, autoscaling — and "
+        "print the cluster health report"
+    )
+    cl.add_argument("--jobs", type=int, default=4, help="jobs to submit")
+    cl.add_argument("-n", type=int, default=300, help="samples per series")
+    cl.add_argument("-d", "--dims", type=int, default=2)
+    cl.add_argument("-m", "--window", type=int, default=24)
+    cl.add_argument("--mode", default="FP64", help="requested precision mode")
+    cl.add_argument("--device", default="A100")
+    cl.add_argument("--nodes", type=int, default=4, help="fleet size")
+    cl.add_argument("--gpus-per-node", type=int, default=2)
+    cl.add_argument(
+        "--placement", choices=("round_robin", "block"), default="round_robin"
+    )
+    cl.add_argument(
+        "--kill", type=int, default=0, metavar="K",
+        help="deterministically crash the first K nodes mid-run",
+    )
+    cl.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="per-node seeded crash probability (composes with --kill)",
+    )
+    cl.add_argument(
+        "--straggler-rate", type=float, default=0.0,
+        help="per-node seeded straggler probability (4x slowdown)",
+    )
+    cl.add_argument(
+        "--degraded-rate", type=float, default=0.0,
+        help="per-node seeded degraded-NIC probability (0.25x bandwidth)",
+    )
+    cl.add_argument("--storm-seed", type=int, default=0, help="fault-plan seed")
+    cl.add_argument(
+        "--autoscale-max", type=int, default=None, metavar="N",
+        help="enable the EMA-backlog autoscaler with this node ceiling",
+    )
+    cl.add_argument(
+        "--quota-pending", type=int, default=None, metavar="Q",
+        help="per-tenant pending-job quota (excess submits are shed)",
+    )
+    cl.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="Q",
+        help="global queue-depth backpressure cap",
+    )
+    cl.add_argument(
+        "--tenants", type=int, default=2, help="distinct tenants to cycle"
+    )
+    cl.add_argument("--seed", type=int, default=0, help="workload seed")
 
     st = sub.add_parser(
         "stream", help="drive synthetic tenant streams through the online "
@@ -490,6 +541,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import (
+        BackpressureError,
+        ClusterAutoscaler,
+        ClusterSpec,
+        NodeFaultPlan,
+        QuotaExceededError,
+        TenantQuota,
+    )
+    from .reporting import render_cluster_health, render_service_metrics
+    from .service import JobRequest, MatrixProfileService
+
+    rng = np.random.default_rng(args.seed)
+    series = rng.normal(size=(args.n, args.dims)).cumsum(axis=0)
+    node_faults = None
+    if args.kill or args.crash_rate or args.straggler_rate or args.degraded_rate:
+        node_faults = NodeFaultPlan(
+            seed=args.storm_seed,
+            crash_nodes=tuple(range(args.kill)),
+            crash_rate=args.crash_rate,
+            straggler_rate=args.straggler_rate,
+            degraded_link_rate=args.degraded_rate,
+        )
+    autoscaler = None
+    if args.autoscale_max is not None:
+        autoscaler = ClusterAutoscaler(
+            min_nodes=1, max_nodes=args.autoscale_max,
+            scale_up_backlog=0.01, scale_down_backlog=0.001, cooldown=0,
+        )
+    service = MatrixProfileService(
+        device=args.device,
+        n_gpus=args.gpus_per_node,
+        n_workers=1,
+        cluster=ClusterSpec(
+            n_nodes=args.nodes,
+            gpus_per_node=args.gpus_per_node,
+            device=args.device,
+            placement=args.placement,
+        ),
+        node_faults=node_faults,
+        autoscaler=autoscaler,
+        default_quota=(
+            TenantQuota(max_pending=args.quota_pending)
+            if args.quota_pending is not None else None
+        ),
+        max_queue_depth=args.max_queue_depth,
+    )
+    jobs = []
+    for i in range(args.jobs):
+        tenant = f"tenant-{i % max(args.tenants, 1)}"
+        try:
+            jobs.append(service.submit(JobRequest(
+                reference=series, m=args.window, mode=args.mode,
+                tenant=tenant,
+            )))
+        except (QuotaExceededError, BackpressureError) as exc:
+            print(f"job shed ({type(exc).__name__}): {exc}")
+    service.process_all()
+    for job in jobs:
+        out = job.outcome
+        note = " cache" if out.cache_hit else ""
+        print(f"job {job.job_id} [{job.request.tenant}]: {out.status} "
+              f"{out.effective_mode} {out.tiles_completed}/{out.tiles_total} "
+              f"tiles{note}")
+    run = service.cluster_dispatcher.last_run
+    print()
+    if run is not None:
+        print(render_cluster_health(run))
+        print()
+    print(render_service_metrics(service.metrics.snapshot()))
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .reporting import render_service_metrics, render_stream_tenants
     from .streams import StreamIngestService, TenantPolicy
@@ -601,6 +725,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "validate": _cmd_validate,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "stream": _cmd_stream,
     "submit": _cmd_submit,
 }

@@ -1,0 +1,44 @@
+"""repro.cluster — sharded multi-node execution that survives its fleet.
+
+The paper's Section VII multi-node extension as a real tier (not the old
+analytic adapter): :class:`ClusterSpec` names the fleet,
+:class:`ClusterDispatcher` shards the tile grid across simulated nodes
+through the one true :func:`~repro.engine.dispatch.execute_plan` loop,
+:class:`NodeFaultPlan`/:class:`HeartbeatDetector` make node storms
+deterministic, and :func:`resume_cluster` continues a journaled run
+after a coordinator crash — bit-identical throughout.  The elasticity
+guards (:class:`TenantQuota`, :class:`BackpressureError`,
+:class:`ClusterAutoscaler`) plug the fleet into
+:class:`~repro.service.MatrixProfileService`.
+"""
+
+from .dispatcher import (
+    ClusterDispatcher,
+    ClusterRunResult,
+    NodeShard,
+    resume_cluster,
+)
+from .elastic import (
+    BackpressureError,
+    ClusterAutoscaler,
+    QuotaExceededError,
+    TenantQuota,
+)
+from .faults import HeartbeatDetector, NodeFaultEvent, NodeFaultPlan
+from .spec import PLACEMENTS, ClusterSpec
+
+__all__ = [
+    "PLACEMENTS",
+    "ClusterSpec",
+    "ClusterDispatcher",
+    "ClusterRunResult",
+    "NodeShard",
+    "resume_cluster",
+    "NodeFaultPlan",
+    "NodeFaultEvent",
+    "HeartbeatDetector",
+    "TenantQuota",
+    "QuotaExceededError",
+    "BackpressureError",
+    "ClusterAutoscaler",
+]

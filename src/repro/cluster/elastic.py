@@ -1,0 +1,147 @@
+"""Elasticity around the fleet: quotas, backpressure, autoscaling.
+
+A cluster serving many tenants needs three guards the single-pool
+service never did:
+
+* :class:`TenantQuota` — per-tenant admission ceilings (pending jobs and
+  profile cells in flight), so one tenant cannot starve the fleet;
+* queue-depth **backpressure** — a hard cap on total pending jobs, shed
+  *at submission* with :class:`BackpressureError` (clients retry with
+  their own :class:`~repro.core.config.RetryPolicy` backoff) rather than
+  letting the queue grow unbounded;
+* :class:`ClusterAutoscaler` — grows/shrinks the node pool from the
+  admission controller's EMA backlog signal (seconds of queued work),
+  with hysteresis and a cooldown so storms do not flap the fleet.
+
+All three are pure decision objects: the service owns the state they
+inspect and applies what they decide, so every decision is unit-testable
+without a fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "QuotaExceededError",
+    "BackpressureError",
+    "TenantQuota",
+    "ClusterAutoscaler",
+]
+
+
+class QuotaExceededError(RuntimeError):
+    """A tenant exceeded its admission quota (per-tenant, not global)."""
+
+    def __init__(self, tenant: str, field_name: str, used, limit):
+        self.tenant = tenant
+        self.field_name = field_name
+        self.used = used
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant!r} over quota: {field_name} {used} >= "
+            f"limit {limit}"
+        )
+
+
+class BackpressureError(RuntimeError):
+    """The global queue is full; the job was shed at submission."""
+
+    def __init__(self, queue_depth: int, max_queue_depth: int):
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"queue depth {queue_depth} at the {max_queue_depth} cap; "
+            f"retry with backoff"
+        )
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission ceilings (None = unlimited)."""
+
+    max_pending: int | None = None
+    max_cells: float | None = None  # profile cells in flight (n_r * n_q * d)
+
+    def __post_init__(self) -> None:
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.max_cells is not None and self.max_cells <= 0:
+            raise ValueError(f"max_cells must be > 0, got {self.max_cells}")
+
+    def check(self, tenant: str, pending: int, cells: float) -> None:
+        """Raise :class:`QuotaExceededError` if admitting one more job
+        with ``cells`` profile cells would break this quota."""
+        if self.max_pending is not None and pending >= self.max_pending:
+            raise QuotaExceededError(
+                tenant, "max_pending", pending, self.max_pending
+            )
+        if self.max_cells is not None and cells > self.max_cells:
+            raise QuotaExceededError(
+                tenant, "max_cells", cells, self.max_cells
+            )
+
+
+class ClusterAutoscaler:
+    """Backlog-driven node-pool sizing with hysteresis and cooldown.
+
+    ``observe(backlog_seconds)`` returns the target pool size: scale up
+    (by ``step``) while the EMA backlog exceeds ``scale_up_backlog``
+    seconds, scale down while it sits below ``scale_down_backlog``, hold
+    otherwise.  At least ``cooldown`` observations must pass between
+    resizes — crash storms spike the backlog for a few jobs, and
+    replacing nodes faster than the detector confirms deaths just
+    thrashes placement.
+    """
+
+    def __init__(
+        self,
+        min_nodes: int = 1,
+        max_nodes: int = 8,
+        scale_up_backlog: float = 10.0,
+        scale_down_backlog: float = 1.0,
+        step: int = 1,
+        cooldown: int = 3,
+    ):
+        if min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {min_nodes}")
+        if max_nodes < min_nodes:
+            raise ValueError(
+                f"max_nodes must be >= min_nodes ({min_nodes}), got "
+                f"{max_nodes}"
+            )
+        if scale_down_backlog > scale_up_backlog:
+            raise ValueError(
+                f"scale_down_backlog ({scale_down_backlog}) must not "
+                f"exceed scale_up_backlog ({scale_up_backlog})"
+            )
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.scale_up_backlog = scale_up_backlog
+        self.scale_down_backlog = scale_down_backlog
+        self.step = step
+        self.cooldown = cooldown
+        self._since_resize = cooldown  # first observation may act
+        #: (backlog_seconds, old_size, new_size) per resize decision.
+        self.events: list[tuple[float, int, int]] = []
+
+    def observe(self, backlog_seconds: float, current: int) -> int:
+        """Target pool size for the observed EMA backlog."""
+        self._since_resize += 1
+        if self._since_resize <= self.cooldown:
+            return current
+        target = current
+        if backlog_seconds > self.scale_up_backlog:
+            target = min(current + self.step, self.max_nodes)
+        elif backlog_seconds < self.scale_down_backlog:
+            target = max(current - self.step, self.min_nodes)
+        if target != current:
+            self.events.append((backlog_seconds, current, target))
+            self._since_resize = 0
+        return target

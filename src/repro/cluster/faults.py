@@ -1,0 +1,172 @@
+"""Node-level fault schedules: PR 3's deterministic storms, one tier up.
+
+:class:`NodeFaultPlan` lifts :class:`~repro.engine.faults.FaultPlan`'s
+counter-based draws from (tile, attempt) to *nodes*: every decision
+hashes ``(seed, kind, node)`` through the shared
+:func:`~repro.engine.faults.seeded_uniform` primitive, so the same seed
+reproduces the same node storm regardless of placement, dispatch order,
+or pool size.  Three node-level hazards, matching what a real fleet
+sees:
+
+* **crash** — the node dies mid-shard: it completes a seeded fraction of
+  its pending tiles, stops heartbeating, and its unfinished tiles are
+  re-sharded to survivors (the recovery path).  Crashed nodes stay dead.
+* **straggler** — the node's whole shard runs at a seeded slowdown
+  factor (thermal throttling, a noisy neighbour); work completes, late.
+* **degraded link** — the node's NIC drops to a fraction of its
+  bandwidth, stretching the broadcast/gather collectives that touch it.
+
+:class:`HeartbeatDetector` models the failure detector: a crash is
+*observed* only after ``miss_threshold`` silent heartbeat intervals plus
+seeded jitter — that detection latency is the price of recovery, and it
+is deterministic so chaos runs reproduce to the bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.faults import seeded_uniform
+
+__all__ = ["NodeFaultEvent", "NodeFaultPlan", "HeartbeatDetector"]
+
+#: Crash points are mapped into this fraction range of the node's pending
+#: shard — never 0 (a node that dies before its first tile is just a
+#: smaller cluster) and never 1 (that would be a clean finish).
+_CRASH_FRACTION_RANGE = (0.2, 0.8)
+
+
+@dataclass(frozen=True)
+class NodeFaultEvent:
+    """One injected node-level fault, for post-run assertions."""
+
+    kind: str  # "crash" | "straggler" | "degraded_link"
+    node: int
+    detail: float  # crash fraction / slowdown factor / bandwidth factor
+
+
+class NodeFaultPlan:
+    """Seedable per-node fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Base of every hashed draw; same seed => same storm.
+    crash_rate, straggler_rate, degraded_link_rate:
+        Per-node probabilities in [0, 1] for each hazard.
+    crash_nodes:
+        Node ids that crash *unconditionally* (exact-kill chaos tests —
+        "kill 25% of the fleet" needs a precise victim set, not a rate).
+    straggler_factor:
+        Slowdown multiplier (>= 1) applied to a straggler's shard time.
+    degraded_link_factor:
+        NIC bandwidth multiplier in (0, 1] for a degraded node.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        degraded_link_rate: float = 0.0,
+        crash_nodes: "tuple[int, ...] | frozenset[int]" = (),
+        straggler_factor: float = 4.0,
+        degraded_link_factor: float = 0.25,
+    ):
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("straggler_rate", straggler_rate),
+            ("degraded_link_rate", degraded_link_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1, got {straggler_factor}"
+            )
+        if not 0.0 < degraded_link_factor <= 1.0:
+            raise ValueError(
+                f"degraded_link_factor must be in (0, 1], got "
+                f"{degraded_link_factor}"
+            )
+        self.seed = seed
+        self.crash_rate = crash_rate
+        self.straggler_rate = straggler_rate
+        self.degraded_link_rate = degraded_link_rate
+        self.crash_nodes = frozenset(crash_nodes)
+        self.straggler_factor = straggler_factor
+        self.degraded_link_factor = degraded_link_factor
+        self.events: list[NodeFaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # The per-node schedule (pure draws; recording happens on injection)
+
+    def crashes(self, node: int) -> bool:
+        """Whether ``node`` crashes at some point during the run."""
+        if node in self.crash_nodes:
+            return True
+        return seeded_uniform(self.seed, "node-crash", node) < self.crash_rate
+
+    def crash_fraction(self, node: int) -> float:
+        """Fraction of the node's pending shard completed before death."""
+        lo, hi = _CRASH_FRACTION_RANGE
+        return lo + (hi - lo) * seeded_uniform(self.seed, "crash-frac", node)
+
+    def straggler(self, node: int) -> float:
+        """Slowdown multiplier for ``node``'s shard time (1.0 = healthy)."""
+        if seeded_uniform(self.seed, "straggler", node) < self.straggler_rate:
+            return self.straggler_factor
+        return 1.0
+
+    def link_factor(self, node: int) -> float:
+        """NIC bandwidth multiplier for ``node`` (1.0 = healthy)."""
+        if (
+            seeded_uniform(self.seed, "degraded-link", node)
+            < self.degraded_link_rate
+        ):
+            return self.degraded_link_factor
+        return 1.0
+
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, node: int, detail: float) -> None:
+        self.events.append(NodeFaultEvent(kind, node, detail))
+
+    def event_counts(self) -> dict[str, int]:
+        """Injected events by kind (empty kinds omitted)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class HeartbeatDetector:
+    """Seeded phi-style failure detector (interval x misses + jitter).
+
+    A node is declared dead ``miss_threshold`` silent intervals after its
+    last heartbeat, plus up to one interval of seeded jitter (the
+    heartbeats are not phase-aligned with the crash).  Deterministic
+    given the seed, so the detection latency a chaos run pays is
+    reproducible.
+    """
+
+    interval: float = 0.5
+    miss_threshold: int = 3
+    seed: int = 0
+    _latencies: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+
+    def detection_latency(self, node: int) -> float:
+        """Seconds between ``node``'s crash and the coordinator noticing."""
+        jitter = seeded_uniform(self.seed, "heartbeat", node)
+        latency = self.interval * (self.miss_threshold + jitter)
+        self._latencies[node] = latency
+        return latency

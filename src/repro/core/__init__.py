@@ -3,7 +3,7 @@ multi-dimensional matrix profile with reduced-precision modes."""
 
 from .anytime import AnytimeState, anytime_matrix_profile, convergence_curve
 from .api import matrix_profile
-from .config import RunConfig, default_exclusion_zone
+from .config import RetryPolicy, RunConfig, default_exclusion_zone
 from .multi_tile import compute_multi_tile, merge_tile_outputs, model_multi_tile
 from .pan import PanMatrixProfile, geometric_window_range, pan_matrix_profile
 from .planner import TilePlan, plan_tiles, tile_memory_bytes
@@ -31,6 +31,7 @@ __all__ = [
     "geometric_window_range",
     "pan_matrix_profile",
     "matrix_profile",
+    "RetryPolicy",
     "RunConfig",
     "default_exclusion_zone",
     "MatrixProfileResult",

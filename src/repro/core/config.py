@@ -16,12 +16,71 @@ from ..gpu.device import DeviceSpec, get_device
 from ..gpu.kernel import LaunchConfig
 from ..precision.modes import PrecisionMode, PrecisionPolicy, policy_for
 
-__all__ = ["RunConfig", "default_exclusion_zone"]
+__all__ = ["RunConfig", "RetryPolicy", "default_exclusion_zone"]
 
 
 def default_exclusion_zone(m: int) -> int:
     """STUMPY's convention for self-join trivial-match exclusion: ceil(m/4)."""
     return int(math.ceil(m / 4))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded, jittered exponential backoff for failed-work re-dispatch.
+
+    ``delay(key, attempt)`` returns the wall seconds to wait before retry
+    ``attempt`` (0-based: the delay *after* the first failure) of the work
+    item identified by ``key``:
+
+        base_delay * multiplier**attempt * (1 - jitter * u)   capped at max_delay
+
+    where ``u`` in [0, 1) is a counter-based uniform hashed from
+    ``(seed, key, attempt)`` — the same seed reproduces the same backoff
+    schedule regardless of dispatch order, exactly like
+    :class:`~repro.engine.faults.FaultPlan` storms.  The default
+    ``base_delay=0.0`` preserves the engine's historical immediate-retry
+    behaviour (every delay is exactly zero), which is why the policy is
+    excluded from :meth:`RunConfig.cache_key`.
+    """
+
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, key: object, attempt: int) -> float:
+        """Backoff before retry ``attempt`` of the work item ``key``."""
+        if self.base_delay == 0.0:
+            return 0.0
+        token = f"{self.seed}:backoff:{key}:{attempt}"
+        digest = hashlib.sha256(token.encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0**64
+        raw = self.base_delay * self.multiplier**attempt
+        return min(raw, self.max_delay) * (1.0 - self.jitter * u)
+
+    def to_dict(self) -> dict:
+        return {
+            "base_delay": self.base_delay,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -74,6 +133,12 @@ class RunConfig:
     #: bit-identical to serial dispatch — like ``row_block`` this is a
     #: pure host-execution knob, excluded from ``cache_key()``.
     parallel_workers: int = 1
+    #: Backoff schedule applied between per-tile retry attempts.  ``None``
+    #: (and the ``RetryPolicy()`` default) mean immediate retry — the
+    #: engine's historical behaviour.  Retry pacing never changes which
+    #: tiles run or how they merge, so like ``parallel_workers`` it is
+    #: excluded from ``cache_key()``.
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         # Resolve defaults for device/launch at construction so the frozen
@@ -198,6 +263,9 @@ class RunConfig:
             "amortize_precalc": self.amortize_precalc,
             "precalc_strategy": self.precalc_strategy,
             "parallel_workers": self.parallel_workers,
+            "retry_policy": (
+                self.retry_policy.to_dict() if self.retry_policy else None
+            ),
         }
 
     @classmethod
@@ -207,6 +275,9 @@ class RunConfig:
         launch = data.get("launch")
         if isinstance(launch, dict):
             data["launch"] = LaunchConfig(**launch)
+        policy = data.get("retry_policy")
+        if isinstance(policy, dict):
+            data["retry_policy"] = RetryPolicy.from_dict(policy)
         return cls(**data)
 
     def cache_key(self) -> str:
@@ -225,7 +296,13 @@ class RunConfig:
         fields = {
             k: v
             for k, v in self.to_dict().items()
-            if k not in ("row_block", "amortize_precalc", "parallel_workers")
+            if k
+            not in (
+                "row_block",
+                "amortize_precalc",
+                "parallel_workers",
+                "retry_policy",
+            )
         }
         payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]

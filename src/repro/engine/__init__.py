@@ -52,7 +52,7 @@ from .dispatch import (
     TransientDeviceError,
     execute_plan,
 )
-from .faults import FaultEvent, FaultPlan
+from .faults import FaultEvent, FaultPlan, seeded_uniform
 from .health import (
     ESCALATION_LADDER,
     HealthPolicy,
@@ -98,6 +98,7 @@ __all__ = [
     "escalation_next",
     "preflight_tile_risk",
     "FaultPlan",
+    "seeded_uniform",
     "FaultEvent",
     "RunJournal",
     "resume_plan",

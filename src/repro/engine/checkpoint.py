@@ -72,8 +72,20 @@ class RunJournal:
     # Creation / opening
 
     @classmethod
-    def create(cls, path: "str | Path", spec: JobSpec, plan: ExecutionPlan) -> "RunJournal":
-        """Start a fresh journal for ``plan`` (refuses an existing one)."""
+    def create(
+        cls,
+        path: "str | Path",
+        spec: JobSpec,
+        plan: ExecutionPlan,
+        extra: dict | None = None,
+    ) -> "RunJournal":
+        """Start a fresh journal for ``plan`` (refuses an existing one).
+
+        ``extra`` is an optional JSON-serialisable dict stored verbatim
+        under ``meta["extra"]`` — higher tiers (the cluster dispatcher)
+        stash their own context (e.g. the :class:`ClusterSpec`) there so
+        a coordinator crash can resume with the same sharding.
+        """
         if spec.reference is None:
             raise ValueError(
                 "journaling needs host series (JobSpec.from_arrays); "
@@ -98,6 +110,8 @@ class RunJournal:
             ],
             "assignment": list(plan.assignment),
         }
+        if extra is not None:
+            meta["extra"] = extra
         arrays = {"reference": spec.reference}
         if spec.query is not None:
             arrays["query"] = spec.query
@@ -120,6 +134,10 @@ class RunJournal:
 
     def meta(self) -> dict:
         return json.loads(self.meta_path.read_text())
+
+    def extra(self) -> dict:
+        """The creator-supplied ``extra`` metadata ({} when absent)."""
+        return self.meta().get("extra", {})
 
     # ------------------------------------------------------------------
     # The dispatch-facing protocol

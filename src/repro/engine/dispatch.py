@@ -88,18 +88,26 @@ class TileRetryExhaustedError(RuntimeError):
         attempts: int,
         last: Exception,
         gpu_ids: tuple[int, ...] = (),
+        node_ids: tuple[int, ...] = (),
     ):
         self.tile_id = tile_id
         self.attempts = attempts
         self.last = last
         self.gpu_ids = tuple(gpu_ids)
+        self.node_ids = tuple(node_ids)
         tried = (
             f" (GPUs tried: {', '.join(str(g) for g in self.gpu_ids)})"
             if self.gpu_ids
             else ""
         )
+        nodes = (
+            f" (nodes tried: {', '.join(str(n) for n in self.node_ids)})"
+            if self.node_ids
+            else ""
+        )
         super().__init__(
-            f"tile {tile_id} failed after {attempts} attempts{tried}: {last}"
+            f"tile {tile_id} failed after {attempts} attempts{tried}{nodes}: "
+            f"{last}"
         )
 
 
@@ -288,10 +296,27 @@ class DispatchReport:
     health_failures: int = 0
     #: tiles skipped because a journal already had them (resume).
     tiles_restored: int = 0
+    #: wall seconds spent in retry backoff (``RetryPolicy`` delays).
+    backoff_seconds: float = 0.0
 
     @property
     def partial(self) -> bool:
         return self.tiles_completed < self.tiles_total
+
+
+def _retry_backoff(policy, tile, attempt, sleeper, report) -> None:
+    """Pace one re-dispatch: seeded delay keyed on tile geometry.
+
+    Geometry (not tile id) keys the draw so the schedule survives OOM
+    splits and cross-placement renumbering, matching ``FaultPlan``.
+    """
+    if policy is None:
+        return
+    key = (tile.row_start, tile.row_stop, tile.col_start, tile.col_stop)
+    delay = policy.delay(key, attempt)
+    if delay > 0.0:
+        report.backoff_seconds += delay
+        sleeper(delay)
 
 
 def execute_plan(
@@ -315,6 +340,8 @@ def execute_plan(
     oom_split: bool = False,
     journal=None,
     parallel_workers: int = 1,
+    retry_policy=None,
+    sleeper: Callable[[float], None] = time.sleep,
 ) -> DispatchReport:
     """Run every tile of ``plan`` on ``sim`` through ``backend``.
 
@@ -343,6 +370,14 @@ def execute_plan(
     .RunJournal`-like object) records completed tiles and skips tiles it
     already holds.
 
+    ``retry_policy`` (a :class:`~repro.core.config.RetryPolicy`; defaults
+    to ``plan.spec.config.retry_policy``) paces re-dispatch after a
+    transient failure with seeded, jittered exponential backoff — keyed
+    on tile *geometry* so schedules reproduce across renumbering, like
+    :class:`~repro.engine.faults.FaultPlan` draws.  ``sleeper`` is the
+    injectable wait primitive (tests pass a recorder; cluster simulation
+    prices delays into the modelled makespan instead of sleeping).
+
     ``parallel_workers > 1`` executes independent tiles concurrently on a
     thread pool (see :func:`_execute_plan_parallel`): workers run only
     the numerics, the coordinator keeps every non-thread-safe decision
@@ -357,6 +392,8 @@ def execute_plan(
         raise ValueError(
             f"parallel_workers must be >= 1, got {parallel_workers}"
         )
+    if retry_policy is None:
+        retry_policy = getattr(plan.spec.config, "retry_policy", None)
     if parallel_workers > 1:
         return _execute_plan_parallel(
             plan, backend, sim,
@@ -368,6 +405,7 @@ def execute_plan(
             keep_executions=keep_executions, health=health,
             corruptor=corruptor, oom_split=oom_split, journal=journal,
             workers=parallel_workers,
+            retry_policy=retry_policy, sleeper=sleeper,
         )
     timeline = timeline if timeline is not None else sim.timeline
     placement = placement if placement is not None else StaticPlacement(plan)
@@ -429,6 +467,9 @@ def execute_plan(
                 ) from exc
             for obs in observers:
                 obs.on_tile_retry(item.tile, gpu_id, item.attempt, exc)
+            _retry_backoff(
+                retry_policy, item.tile, item.attempt, sleeper, report
+            )
             item.attempt += 1
             item.excluded.add(gpu_id)
             report.tile_retries += 1
@@ -539,6 +580,8 @@ def _execute_plan_parallel(
     oom_split,
     journal,
     workers: int,
+    retry_policy=None,
+    sleeper: Callable[[float], None] = time.sleep,
 ) -> DispatchReport:
     """The ``parallel_workers > 1`` body of :func:`execute_plan`.
 
@@ -644,6 +687,10 @@ def _execute_plan_parallel(
                             ) from exc
                         for obs in observers:
                             obs.on_tile_retry(item.tile, gpu_id, item.attempt, exc)
+                        _retry_backoff(
+                            retry_policy, item.tile, item.attempt,
+                            sleeper, report,
+                        )
                         item.attempt += 1
                         item.excluded.add(gpu_id)
                         report.tile_retries += 1

@@ -37,7 +37,20 @@ import numpy as np
 from ..gpu.memory import DeviceOutOfMemoryError
 from .dispatch import TransientDeviceError
 
-__all__ = ["FaultEvent", "FaultPlan"]
+__all__ = ["FaultEvent", "FaultPlan", "seeded_uniform"]
+
+
+def seeded_uniform(seed: int, kind: str, key: object, attempt: int = 0) -> float:
+    """Counter-based uniform draw in [0, 1) from ``(seed, kind, key, attempt)``.
+
+    The shared primitive behind every deterministic schedule in the repo:
+    :class:`FaultPlan` tile storms, :class:`~repro.core.config.RetryPolicy`
+    jitter, and :class:`~repro.cluster.NodeFaultPlan` node storms.  Same
+    inputs => same draw, independent of call order or process.
+    """
+    token = f"{seed}:{kind}:{key}:{attempt}"
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
 
 #: Values the corruptor writes, cycled: silent-loss (NaN, +inf — strict-<
 #: merge would drop them) and merge-poisoning (negative wins every min).
@@ -107,9 +120,7 @@ class FaultPlan:
 
     def _draw(self, kind: str, tile, attempt: int) -> float:
         """Deterministic uniform in [0, 1) for one (kind, tile, attempt)."""
-        token = f"{self.seed}:{kind}:{self._key(tile)}:{attempt}"
-        digest = hashlib.sha256(token.encode()).digest()
-        return int.from_bytes(digest[:8], "big") / 2.0**64
+        return seeded_uniform(self.seed, kind, self._key(tile), attempt)
 
     def _record(self, kind: str, tile, gpu_id: int, attempt: int) -> None:
         self.events.append(

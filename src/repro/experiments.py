@@ -129,6 +129,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Roofline autotuner: predicted-fastest config vs default and exhaustive search",
         "bench_autotuner.py", "autotuner", "executed",
     ),
+    Experiment(
+        "multinode_scaling", "Sec. VII",
+        "Cluster tier: multi-node weak scaling + 10%-node-storm recovery overhead",
+        "bench_multinode_scaling.py", "multinode_scaling", "modelled",
+    ),
 )
 
 

@@ -1,59 +1,28 @@
-"""Multi-node scaling model — the paper's future-work item:
+"""Multi-node scaling model — now a thin adapter over ``repro.cluster``.
 
-    "our implementation could be further extended to multiple nodes
-    (e.g., using MPI or a Cloud-based solution)" (Section VII).
-
-The workload is not communication-bound (Section I), so a multi-node
-deployment distributes tiles across nodes exactly like the single-node
-scheme distributes them across GPUs, plus three communication phases an
-MPI deployment would add: broadcasting the input series, gathering the
-per-node partial profiles, and the root-side final merge.  This module
-models that deployment over the simulated GPU substrate and reports the
-strong-scaling behaviour.
+The paper's Section VII future-work item ("our implementation could be
+further extended to multiple nodes, e.g., using MPI or a Cloud-based
+solution") grew into the full sharded execution tier in
+:mod:`repro.cluster`: topology-aware placement, deterministic node
+storms, node-loss recovery, journaled resume.  This module keeps the
+original analytic modelling surface — :func:`model_multi_node` and the
+:class:`MultiNodeResult` strong-scaling report — as a compatibility
+facade that delegates to :class:`~repro.cluster.ClusterDispatcher` on a
+fault-free fleet.  The numbers are unchanged: the dispatcher's
+fault-free path prices exactly the same broadcast/compute/gather/merge
+phases this module used to compute inline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cluster import ClusterDispatcher, ClusterSpec
 from ..core.config import RunConfig
-from ..core.tiling import compute_tile_list
-from ..engine.backends import AnalyticBackend
-from ..engine.dispatch import execute_plan
 from ..engine.plan import JobSpec
-from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
-from ..gpu.device import DeviceSpec, get_device
-from ..gpu.simulator import GPUSimulator
 from ..precision.modes import PrecisionMode
 
 __all__ = ["ClusterSpec", "NodeTimeline", "MultiNodeResult", "model_multi_node"]
-
-
-@dataclass(frozen=True)
-class ClusterSpec:
-    """A homogeneous GPU cluster.
-
-    Defaults describe a Raven-like partition: 4 A100s per node on a
-    100 Gbit/s (12.5 GB/s effective) interconnect with 2 µs MPI latency.
-    """
-
-    n_nodes: int
-    gpus_per_node: int = 4
-    device: str = "A100"
-    interconnect_bandwidth: float = 12.5e9  # bytes/s per link
-    mpi_latency: float = 2.0e-6  # seconds per message
-
-    def __post_init__(self) -> None:
-        if self.n_nodes < 1 or self.gpus_per_node < 1:
-            raise ValueError("cluster needs at least one node and one GPU")
-
-    @property
-    def total_gpus(self) -> int:
-        return self.n_nodes * self.gpus_per_node
-
-    @property
-    def device_spec(self) -> DeviceSpec:
-        return get_device(self.device)
 
 
 @dataclass
@@ -99,71 +68,30 @@ def model_multi_node(
     n_tiles: int | None = None,
     mode: "PrecisionMode | str" = PrecisionMode.FP64,
 ) -> MultiNodeResult:
-    """Model one multi-node matrix profile run.
+    """Model one fault-free multi-node matrix profile run.
 
-    Tiles (default: 4 per GPU, the paper's oversubscription guidance) are
-    assigned round-robin across the flattened (node, gpu) list; each
-    node's GPUs are simulated with the stream scheduler; communication
-    adds a binomial-tree broadcast of both input series and a gather of
-    every node's partial profile to the root, which performs the final
-    min/argmin merge.
+    Tiles (default: 4 per GPU, the paper's oversubscription guidance)
+    shard per the cluster's placement; each node's GPUs are simulated
+    with the stream scheduler; communication adds a binomial-tree
+    broadcast of both input series and a reduce-tree gather of every
+    node's partial profile to the root, which performs the final
+    min/argmin merge.  For storms, journaling, and numeric execution use
+    :class:`repro.cluster.ClusterDispatcher` directly.
     """
-    device = cluster.device_spec
-    config = RunConfig(mode=mode, device=device)
+    config = RunConfig(mode=mode, device=cluster.device_spec)
     spec = JobSpec.modeled(n_seg, n_seg, d, m, config)
-    policy = spec.policy
-    n_tiles = n_tiles if n_tiles is not None else 4 * cluster.total_gpus
-    tiles = compute_tile_list(n_seg, n_seg, n_tiles)
-
-    result = MultiNodeResult(cluster=cluster, mode=policy.mode)
-
-    # Per-node simulation: tiles t with (t % total_gpus) // gpus_per_node
-    # landing on this node (round-robin over the flat GPU list); within the
-    # node each tile runs on its flat GPU modulo the node size.
-    for node in range(cluster.n_nodes):
-        node_tiles = [
-            tile
-            for tile in tiles
-            if (tile.tile_id % cluster.total_gpus) // cluster.gpus_per_node == node
-        ]
-        assignment = [
-            (tile.tile_id % cluster.total_gpus) % cluster.gpus_per_node
-            for tile in node_tiles
-        ]
-        sim = GPUSimulator(device, n_gpus=cluster.gpus_per_node)
-        execute_plan(
-            spec.plan(tiles=node_tiles, assignment=assignment),
-            AnalyticBackend(),
-            sim,
-        )
+    run = ClusterDispatcher(cluster).run(spec, n_tiles=n_tiles)
+    result = MultiNodeResult(
+        cluster=cluster,
+        mode=run.mode,
+        broadcast_time=run.broadcast_time,
+        gather_time=run.gather_time,
+        merge_time=run.merge_time,
+    )
+    for shard in run.nodes:
         result.nodes.append(
             NodeTimeline(
-                node=node, n_tiles=len(node_tiles), gpu_time=sim.timeline.makespan
+                node=shard.node, n_tiles=shard.n_tiles, gpu_time=shard.gpu_time
             )
         )
-
-    # Binomial-tree broadcast of both input series: ceil(log2 N) rounds.
-    input_bytes = 2.0 * (n_seg + m - 1) * d * policy.itemsize
-    rounds = max(cluster.n_nodes - 1, 0).bit_length()
-    result.broadcast_time = rounds * (
-        input_bytes / cluster.interconnect_bandwidth + cluster.mpi_latency
-    )
-
-    # Local tile merge runs concurrently on every node (each node merges
-    # only its own tiles), then an MPI_Reduce-style binomial tree combines
-    # the per-node partials: ceil(log2 N) rounds, each moving one partial
-    # profile and applying one element-wise min/argmin pass.
-    covering = max(1, round(len(tiles) ** 0.5))
-    local_merge = (
-        float(n_seg) * d * covering * MERGE_TIME_PER_ELEMENT / cluster.n_nodes
-        + len(tiles) * TILE_DISPATCH_OVERHEAD / cluster.n_nodes
-    )
-    partial_bytes = float(n_seg) * d * (policy.itemsize + 8)
-    reduce_rounds = max(cluster.n_nodes - 1, 0).bit_length()
-    result.gather_time = reduce_rounds * (
-        partial_bytes / cluster.interconnect_bandwidth + cluster.mpi_latency
-    )
-    result.merge_time = local_merge + reduce_rounds * (
-        float(n_seg) * d * MERGE_TIME_PER_ELEMENT
-    )
     return result

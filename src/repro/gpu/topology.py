@@ -27,6 +27,10 @@ __all__ = [
     "pcie_broadcast_time",
     "nvlink_broadcast_time",
     "best_broadcast_time",
+    "cluster_topology",
+    "degrade_link",
+    "cluster_broadcast_time",
+    "cluster_reduce_time",
 ]
 
 #: Per-link NVLink bandwidth (one direction), bytes/s.
@@ -143,3 +147,76 @@ def best_broadcast_time(
         }
     strategy = min(candidates, key=candidates.get)
     return candidates[strategy], strategy
+
+
+# ----------------------------------------------------------------------
+# Inter-node fabric (the cluster tier above the intra-node NVLink graphs)
+
+
+def cluster_topology(
+    n_nodes: int,
+    bandwidth: float = 12.5e9,
+    latency: float = 2.0e-6,
+) -> nx.Graph:
+    """The inter-node fabric as a node-attributed complete graph.
+
+    A full-bisection fat tree (the Raven interconnect) is all-to-all at
+    the NIC rate, so what bounds a collective is each *node's* ingress
+    link — modelled as a per-node ``nic_bandwidth`` attribute (bytes/s)
+    plus a graph-level ``latency`` (seconds per message).  Degraded-link
+    faults scale one node's NIC down via :func:`degrade_link`.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    graph = nx.complete_graph(n_nodes)
+    graph.name = "cluster"
+    graph.graph["latency"] = latency
+    for node in graph.nodes:
+        graph.nodes[node]["nic_bandwidth"] = bandwidth
+    return graph
+
+
+def degrade_link(graph: nx.Graph, node: int, factor: float) -> nx.Graph:
+    """Scale ``node``'s NIC bandwidth by ``factor`` (in place).
+
+    ``factor`` must lie in (0, 1]: a dead link is a node *crash*, a
+    different fault kind — the failure detector, not the cost model,
+    owns that transition.
+    """
+    if node not in graph:
+        raise ValueError(f"node {node} not in topology {graph.name!r}")
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    graph.nodes[node]["nic_bandwidth"] *= factor
+    return graph
+
+
+def _collective_round_time(
+    nbytes: float, graph: nx.Graph, nodes
+) -> tuple[int, float]:
+    """(rounds, seconds-per-round) of a binomial tree over ``nodes``."""
+    live = list(graph.nodes) if nodes is None else list(nodes)
+    if not live:
+        return 0, 0.0
+    rounds = max(len(live) - 1, 0).bit_length()
+    slowest = min(graph.nodes[n]["nic_bandwidth"] for n in live)
+    latency = graph.graph.get("latency", 0.0)
+    return rounds, nbytes / slowest + latency
+
+
+def cluster_broadcast_time(
+    nbytes: float, graph: nx.Graph, nodes=None
+) -> float:
+    """Binomial-tree broadcast of ``nbytes`` to every node in ``nodes``
+    (default: all): ceil(log2 N) store-and-forward rounds, each paced by
+    the slowest participating NIC plus the fabric latency."""
+    rounds, per_round = _collective_round_time(nbytes, graph, nodes)
+    return rounds * per_round
+
+
+def cluster_reduce_time(nbytes: float, graph: nx.Graph, nodes=None) -> float:
+    """MPI_Reduce-style gather of per-node partials to the root — the
+    same binomial-tree shape as the broadcast (each round halves the
+    number of live senders)."""
+    rounds, per_round = _collective_round_time(nbytes, graph, nodes)
+    return rounds * per_round

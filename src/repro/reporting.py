@@ -18,6 +18,7 @@ __all__ = [
     "render_precalc_savings",
     "render_stream_tenants",
     "render_autotune_choices",
+    "render_cluster_health",
 ]
 
 
@@ -137,6 +138,50 @@ def render_autotune_choices(snapshot) -> str:
         f"{table}\n{tuned} job(s) tuned; predicted host time "
         f"{format_seconds(predicted)} total"
     )
+
+
+def render_cluster_health(run) -> str:
+    """Health report for one cluster run: per-node shards, then the
+    resilience story (deaths, re-shards, recovery overhead).
+
+    Accepts any object with the :class:`repro.cluster.ClusterRunResult`
+    surface (``nodes`` of ``(node, round, n_tiles, gpu_time)`` shards,
+    ``node_deaths``, ``tiles_*``, ``recovery_overhead``, ...), so the
+    reporting layer stays import-independent of the cluster subsystem.
+    """
+    dead = set(getattr(run, "node_deaths", ()) or ())
+    per_node: dict[int, list] = {}
+    for shard in getattr(run, "nodes", ()):
+        per_node.setdefault(shard.node, []).append(shard)
+    rows = []
+    for node in sorted(set(per_node) | dead):
+        shards = per_node.get(node, [])
+        rows.append([
+            node,
+            "dead" if node in dead else "alive",
+            len(shards),
+            sum(s.n_tiles for s in shards),
+            format_seconds(sum(s.gpu_time for s in shards)),
+        ])
+    table = format_table(
+        ["node", "state", "rounds", "tiles", "gpu time"], rows,
+        title="cluster health",
+    )
+    lines = [
+        table,
+        f"tiles: {run.tiles_completed}/{run.tiles_total} completed, "
+        f"{run.tiles_resharded} re-sharded, {run.dropped_tiles} dropped",
+    ]
+    if dead:
+        lines.append(
+            f"node deaths: {sorted(dead)}; detection latency "
+            f"{format_seconds(run.detection_latency)}; recovery overhead "
+            f"{format_seconds(run.recovery_overhead)}"
+        )
+    restored = int(getattr(run, "tiles_restored", 0))
+    if restored:
+        lines.append(f"resumed: {restored} tile(s) restored from the journal")
+    return "\n".join(lines)
 
 
 def render_precalc_savings(result) -> str:

@@ -35,6 +35,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..cluster.elastic import BackpressureError, TenantQuota
 from ..engine.health import ESCALATION_LADDER
 from ..extensions.transprecision import SoftFormat, transprecision_itemsize
 from ..gpu.device import DeviceSpec, get_device
@@ -186,14 +187,37 @@ class AdmissionController:
     precision rather than shedding jobs, recording every downgrade.
     """
 
-    def __init__(self, estimator: LoadEstimator, parallelism: int = 1):
+    def __init__(
+        self,
+        estimator: LoadEstimator,
+        parallelism: int = 1,
+        quotas: "dict[str, TenantQuota] | None" = None,
+        default_quota: TenantQuota | None = None,
+        max_queue_depth: int | None = None,
+        backlog_ema_weight: float = 0.3,
+    ):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if not 0.0 < backlog_ema_weight <= 1.0:
+            raise ValueError(
+                f"backlog_ema_weight must be in (0, 1], got "
+                f"{backlog_ema_weight}"
+            )
         self.estimator = estimator
         self.parallelism = parallelism
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.max_queue_depth = max_queue_depth
+        self.backlog_ema_weight = backlog_ema_weight
         self.downgraded_jobs = 0
         self.downgrade_steps = 0
-        self._pending: dict[int, float] = {}
+        #: job_id -> (estimate_seconds, tenant, cells)
+        self._pending: dict[int, tuple[float, str, float]] = {}
+        self._backlog_ema = 0.0
         self._lock = threading.Lock()
 
     @property
@@ -203,7 +227,46 @@ class AdmissionController:
     def backlog_seconds(self) -> float:
         """Estimated wall seconds of admitted-but-unfinished work."""
         with self._lock:
-            return sum(self._pending.values())
+            return sum(est for est, _, _ in self._pending.values())
+
+    def ema_backlog_seconds(self) -> float:
+        """EMA-smoothed backlog — the autoscaler's signal (instantaneous
+        backlog flaps with every submission; the fleet should not)."""
+        with self._lock:
+            return self._backlog_ema
+
+    def _quota_for(self, tenant: str) -> TenantQuota | None:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def check_capacity(self, tenant: str, cells: float) -> None:
+        """Backpressure + per-tenant quota gate, before any ladder walk.
+
+        Raises :class:`~repro.cluster.BackpressureError` when the global
+        queue is at its depth cap, or
+        :class:`~repro.cluster.QuotaExceededError` when ``tenant`` is
+        over its own ceiling.  Best-effort and deadline jobs alike are
+        shed here — unlike precision shedding, an over-quota job must
+        not consume fleet time at *any* mode.
+        """
+        with self._lock:
+            depth = len(self._pending)
+            if (
+                self.max_queue_depth is not None
+                and depth >= self.max_queue_depth
+            ):
+                raise BackpressureError(depth, self.max_queue_depth)
+            quota = self._quota_for(tenant)
+            if quota is not None:
+                tenant_pending = sum(
+                    1 for _, t, _ in self._pending.values() if t == tenant
+                )
+                quota.check(tenant, tenant_pending, cells)
+
+    def _update_ema_locked(self) -> None:
+        backlog = sum(est for est, _, _ in self._pending.values())
+        self._backlog_ema += self.backlog_ema_weight * (
+            backlog - self._backlog_ema
+        )
 
     def admit(
         self,
@@ -213,12 +276,18 @@ class AdmissionController:
         d: int,
         mode: "PrecisionMode | str",
         slack: float | None,
+        tenant: str = "default",
     ) -> AdmissionDecision:
         """Decide the effective mode for a job and register its load.
 
         ``slack`` is the wall-seconds budget until the deadline (``None``
-        for best-effort jobs, which are never downgraded).
+        for best-effort jobs, which are never downgraded).  Capacity
+        guards (queue depth, ``tenant``'s quota) fire first — see
+        :meth:`check_capacity`.
         """
+        self.check_capacity(
+            tenant, float(n_r_seg) * float(n_q_seg) * float(d)
+        )
         requested = PrecisionMode.parse(mode)
         backlog = self.backlog_seconds() / self.parallelism
         start = _LADDER_POSITION[requested]
@@ -238,8 +307,10 @@ class AdmissionController:
             _LADDER_POSITION[effective] - _LADDER_POSITION[requested], 0
         )
         estimate = self.estimator.estimate(n_r_seg, n_q_seg, d, effective)
+        cells = float(n_r_seg) * float(n_q_seg) * float(d)
         with self._lock:
-            self._pending[job_id] = estimate
+            self._pending[job_id] = (estimate, tenant, cells)
+            self._update_ema_locked()
             if steps > 0:
                 self.downgraded_jobs += 1
                 self.downgrade_steps += steps
@@ -255,3 +326,4 @@ class AdmissionController:
         """Drop a finished (or failed) job from the backlog."""
         with self._lock:
             self._pending.pop(job_id, None)
+            self._update_ema_locked()

@@ -80,6 +80,9 @@ class JobRequest:
         memory.  ``None`` lets the planner choose alone.
     exclusion_zone:
         Self-join trivial-match radius override (see ``RunConfig``).
+    tenant:
+        Billing/quota identity; per-tenant admission ceilings
+        (:class:`repro.cluster.TenantQuota`) key on it.
     """
 
     reference: np.ndarray
@@ -90,6 +93,7 @@ class JobRequest:
     priority: int = 0
     n_tiles: int | None = None
     exclusion_zone: int | None = None
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         self.mode = PrecisionMode.parse(self.mode)
@@ -97,6 +101,8 @@ class JobRequest:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
         if self.m < 2:
             raise ValueError(f"m must be >= 2, got {self.m}")
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
 
 
 @dataclass

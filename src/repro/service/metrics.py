@@ -75,6 +75,16 @@ class MetricsSnapshot:
     #: ``{row_block: jobs}`` histogram of the tuner's choices.
     autotune_choices: dict = None  # type: ignore[assignment]
     autotune_predicted_seconds: float = 0.0
+    # Cluster-tier counters (repro.cluster); to_rows() omits the section
+    # when no job ran over a fleet and nothing was shed.
+    cluster_jobs: int = 0
+    cluster_nodes: int = 0
+    node_deaths: int = 0
+    tiles_resharded: int = 0
+    recovery_seconds: float = 0.0
+    backpressure_rejections: int = 0
+    quota_rejections: int = 0
+    autoscale_events: int = 0
 
     @property
     def stream_suppression_ratio(self) -> float:
@@ -116,6 +126,21 @@ class MetricsSnapshot:
                     "autotune predicted total (s)",
                     f"{self.autotune_predicted_seconds:.4f}",
                 ],
+            ]
+        if (
+            self.cluster_jobs
+            or self.backpressure_rejections
+            or self.quota_rejections
+        ):
+            rows += [
+                ["cluster jobs", self.cluster_jobs],
+                ["cluster nodes (current)", self.cluster_nodes],
+                ["node deaths", self.node_deaths],
+                ["tiles re-sharded", self.tiles_resharded],
+                ["recovery overhead (s)", f"{self.recovery_seconds:.4f}"],
+                ["backpressure rejections", self.backpressure_rejections],
+                ["quota rejections", self.quota_rejections],
+                ["autoscale events", self.autoscale_events],
             ]
         return rows
 
@@ -183,6 +208,14 @@ class ServiceMetrics:
         self.autotuned_jobs = 0
         self._autotune_choices: dict[int, int] = {}
         self.autotune_predicted_seconds = 0.0
+        self.cluster_jobs = 0
+        self.cluster_nodes = 0
+        self.node_deaths = 0
+        self.tiles_resharded = 0
+        self.recovery_seconds = 0.0
+        self.backpressure_rejections = 0
+        self.quota_rejections = 0
+        self.autoscale_events = 0
 
     def record_submission(self) -> None:
         with self._lock:
@@ -274,6 +307,37 @@ class ServiceMetrics:
             )
             self.autotune_predicted_seconds += predicted_seconds
 
+    def record_cluster(
+        self,
+        nodes: int,
+        deaths: int = 0,
+        resharded: int = 0,
+        recovery_seconds: float = 0.0,
+    ) -> None:
+        """One job executed over the cluster pool."""
+        with self._lock:
+            self.cluster_jobs += 1
+            self.cluster_nodes = nodes
+            self.node_deaths += deaths
+            self.tiles_resharded += resharded
+            self.recovery_seconds += recovery_seconds
+
+    def record_rejection(self, kind: str) -> None:
+        """A job shed at submission: ``"backpressure"`` or ``"quota"``."""
+        with self._lock:
+            if kind == "backpressure":
+                self.backpressure_rejections += 1
+            elif kind == "quota":
+                self.quota_rejections += 1
+            else:
+                raise ValueError(f"unknown rejection kind {kind!r}")
+
+    def record_autoscale(self, nodes: int) -> None:
+        """The autoscaler resized the pool to ``nodes``."""
+        with self._lock:
+            self.autoscale_events += 1
+            self.cluster_nodes = nodes
+
     def record_failure(self, latency: float, retries: int = 0) -> None:
         with self._lock:
             self.jobs_failed += 1
@@ -326,4 +390,12 @@ class ServiceMetrics:
                 autotuned_jobs=self.autotuned_jobs,
                 autotune_choices=dict(self._autotune_choices),
                 autotune_predicted_seconds=self.autotune_predicted_seconds,
+                cluster_jobs=self.cluster_jobs,
+                cluster_nodes=self.cluster_nodes,
+                node_deaths=self.node_deaths,
+                tiles_resharded=self.tiles_resharded,
+                recovery_seconds=self.recovery_seconds,
+                backpressure_rejections=self.backpressure_rejections,
+                quota_rejections=self.quota_rejections,
+                autoscale_events=self.autoscale_events,
             )

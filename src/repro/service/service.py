@@ -31,10 +31,18 @@ import time
 
 import numpy as np
 
+from ..cluster import (
+    BackpressureError,
+    ClusterAutoscaler,
+    ClusterDispatcher,
+    ClusterSpec,
+    QuotaExceededError,
+)
 from ..core.anytime import AnytimeState
 from ..core.config import RunConfig, default_exclusion_zone
 from ..core.planner import plan_tiles
 from ..core.result import MatrixProfileResult
+from ..engine.plan import JobSpec
 from ..gpu.calibration import MERGE_TIME_PER_ELEMENT, TILE_DISPATCH_OVERHEAD
 from ..gpu.device import DeviceSpec
 from ..gpu.memory import DeviceOutOfMemoryError
@@ -88,6 +96,19 @@ class MatrixProfileService:
     oom_tile_split:
         Split the offending tile in place on device OOM instead of
         re-planning the whole job with a finer tiling.
+    cluster:
+        Optional :class:`~repro.cluster.ClusterSpec` — jobs then execute
+        over a sharded node fleet (:class:`~repro.cluster
+        .ClusterDispatcher`) instead of the single GPU pool, with
+        node-loss recovery and, when ``autoscaler`` is given, EMA-
+        backlog-driven pool resizing.  ``node_faults`` injects a
+        deterministic node storm (chaos tests).
+    quotas / default_quota / max_queue_depth:
+        Per-tenant admission ceilings and the global queue-depth
+        backpressure cap, forwarded to the default
+        :class:`AdmissionController`.  Shed jobs raise
+        :class:`~repro.cluster.QuotaExceededError` /
+        :class:`~repro.cluster.BackpressureError` at :meth:`submit`.
     """
 
     def __init__(
@@ -110,6 +131,12 @@ class MatrixProfileService:
         oom_tile_split: bool = False,
         autotune: bool = True,
         calibration=None,
+        cluster: "ClusterSpec | None" = None,
+        node_faults=None,
+        autoscaler: "ClusterAutoscaler | None" = None,
+        quotas=None,
+        default_quota=None,
+        max_queue_depth: int | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -143,8 +170,25 @@ class MatrixProfileService:
         )
         self.estimator = estimator or LoadEstimator(self.sim.spec)
         self.admission = admission or AdmissionController(
-            self.estimator, parallelism=n_workers
+            self.estimator,
+            parallelism=n_workers,
+            quotas=quotas,
+            default_quota=default_quota,
+            max_queue_depth=max_queue_depth,
         )
+        # Cluster pool: jobs shard over a node fleet instead of the
+        # single simulated GPU pool.
+        self.autoscaler = autoscaler
+        self.cluster_dispatcher = None
+        if cluster is not None:
+            self.cluster_dispatcher = ClusterDispatcher(
+                cluster,
+                node_faults=node_faults,
+                fault_plan=fault_plan,
+                health=health_policy,
+                max_retries=max_retries,
+                oom_split=oom_tile_split,
+            )
         # Roofline autotuner: every admitted job's row_block comes from
         # the planner instead of the constructor default.  The tuner
         # shares the admission estimator, so its seconds-per-cell EMA
@@ -193,10 +237,17 @@ class MatrixProfileService:
         job.reference = reference
         job.query = None if self_join else query
         slack = request.deadline  # full budget at submission time
-        job.decision = self.admission.admit(
-            job.job_id, n_r_seg, n_q_seg, reference.shape[1],
-            request.mode, slack,
-        )
+        try:
+            job.decision = self.admission.admit(
+                job.job_id, n_r_seg, n_q_seg, reference.shape[1],
+                request.mode, slack, tenant=request.tenant,
+            )
+        except BackpressureError:
+            self.metrics.record_rejection("backpressure")
+            raise
+        except QuotaExceededError:
+            self.metrics.record_rejection("quota")
+            raise
         self.metrics.record_submission()
         self.metrics.record_downgrade(job.decision.downgrade_steps)
         self._queue.put(QueuedJob(request.priority, next(self._seq), job))
@@ -370,12 +421,28 @@ class MatrixProfileService:
                 tune.chosen.row_block, tune.chosen.predicted_seconds
             )
 
+        if self.cluster_dispatcher is not None:
+            self._autoscale()
+            fleet = self.cluster_dispatcher.cluster
+            config = config.with_(
+                device=fleet.device_spec,
+                n_gpus=fleet.gpus_per_node,
+                n_tiles=max(config.n_tiles, 4 * fleet.total_gpus),
+            )
+
         ref_digest = series_digest(reference)
         qry_digest = None if self_join else series_digest(query)
 
         cached = self._cache_lookup(ref_digest, qry_digest, m, config)
         if cached is not None:
             self._finish_from_cache(job, decision, cached)
+            return
+
+        if self.cluster_dispatcher is not None:
+            self._execute_cluster(
+                job, decision, config, reference, m,
+                n_r_seg, n_q_seg, d, started, ref_digest, qry_digest,
+            )
             return
 
         policy = policy_for(decision.effective)
@@ -472,6 +539,93 @@ class MatrixProfileService:
                 tile_retries=execution.tile_retries,
                 tile_escalations=len(execution.escalations),
                 tile_splits=execution.tiles_split,
+                deadline_missed=deadline_missed,
+                partial_state=partial_state,
+            )
+        )
+
+    def _autoscale(self) -> None:
+        """One autoscaler observation: resize the node fleet against the
+        admission controller's EMA backlog (no-op without an autoscaler)."""
+        if self.autoscaler is None or self.cluster_dispatcher is None:
+            return
+        current = self.cluster_dispatcher.cluster.n_nodes
+        target = self.autoscaler.observe(
+            self.admission.ema_backlog_seconds(), current
+        )
+        if target != current:
+            self.cluster_dispatcher.resize(target)
+            self.metrics.record_autoscale(target)
+
+    def _execute_cluster(
+        self, job, decision, config, reference, m,
+        n_r_seg, n_q_seg, d, started, ref_digest, qry_digest,
+    ) -> None:
+        """Run one job over the sharded node fleet.
+
+        Deadline jobs run in anytime mode: if the whole fleet dies the
+        dispatcher returns the merged prefix instead of raising, and the
+        job finishes PARTIAL with a valid anytime state (graceful
+        degradation).  Complete runs are cached exactly like pool runs.
+        """
+        request = job.request
+        dispatcher = self.cluster_dispatcher
+        spec = JobSpec.from_arrays(reference, job.query, m, config)
+        run = dispatcher.run(
+            spec, n_tiles=config.n_tiles,
+            anytime=job.deadline_at is not None,
+        )
+        result = run.to_result(spec)
+        partial = run.dropped_tiles > 0
+
+        finished = self.clock()
+        latency = finished - job.submitted_at
+        deadline_missed = (
+            job.deadline_at is not None and finished > job.deadline_at
+        )
+        partial_state = None
+        if partial:
+            partial_state = AnytimeState(
+                profile=result.profile,
+                index=result.index,
+                rows_done=run.tiles_completed,
+                rows_total=run.tiles_total,
+            )
+        else:
+            if self.cache is not None:
+                self.cache.put(
+                    cache_key(ref_digest, qry_digest, m, config), result
+                )
+            self.estimator.observe(
+                n_r_seg, n_q_seg, d, decision.effective, finished - started
+            )
+
+        self.metrics.record_cluster(
+            nodes=dispatcher.cluster.n_nodes,
+            deaths=len(run.node_deaths),
+            resharded=run.tiles_resharded,
+            recovery_seconds=run.recovery_overhead,
+        )
+        self.metrics.record_completion(
+            latency,
+            partial=partial,
+            tiles=run.tiles_completed,
+            deadline_missed=deadline_missed,
+            escalations=len(run.escalations),
+        )
+        self.admission.complete(job.job_id)
+        job.finish(
+            JobOutcome(
+                status=JobStatus.PARTIAL if partial else JobStatus.COMPLETED,
+                result=result,
+                requested_mode=decision.requested,
+                effective_mode=decision.effective,
+                downgrade_steps=decision.downgrade_steps,
+                cache_hit=False,
+                latency=latency,
+                tiles_total=run.tiles_total,
+                tiles_completed=run.tiles_completed,
+                tile_escalations=len(run.escalations),
                 deadline_missed=deadline_missed,
                 partial_state=partial_state,
             )
