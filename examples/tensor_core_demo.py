@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Tensor-core execution path: faster *and* tighter than the vector loop.
+
+Computes the same Mixed-precision self-join three ways on the simulated
+A100 — the paper's vector recurrence, the tensor-core packed-panel
+chained-GEMM path, and an FP64 oracle — then shows (a) both reduced-
+precision runs find the planted motif, (b) the tensor-core profile sits
+*closer* to the oracle (FP32 accumulation beats the FP16 running QT row),
+(c) the measured error respects the a-priori ``tc_gemm_error_bound``,
+and (d) how ineligible requests (FP64 mode, a device without tensor
+cores) fall back to the vector path with the reason recorded on the
+result.
+
+Run:  python examples/tensor_core_demo.py
+"""
+
+import numpy as np
+
+from repro import matrix_profile
+from repro.core.config import RunConfig
+from repro.precision.errors import tc_gemm_error_bound
+from repro.reporting import banner, print_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    n, d, m = 1024, 8, 64
+    n_seg = n - m + 1
+
+    t = np.arange(n)[:, None]
+    series = np.sin(2 * np.pi * t / (7.0 + np.arange(d)[None, :]))
+    series += 0.35 * rng.standard_normal((n, d))
+    wave = 2.0 * np.sin(np.linspace(0, 4 * np.pi, m))
+    a_pos, b_pos = 150, 700
+    series[a_pos : a_pos + m, 2] += wave
+    series[b_pos : b_pos + m, 2] += wave
+
+    banner("Mixed self-join: vector vs tensor-core vs FP64 oracle")
+    oracle = matrix_profile(series, m=m, mode="FP64")
+    vector = matrix_profile(series, m=m, mode="Mixed")
+    tensor = matrix_profile(series, m=m, mode="Mixed", backend="tensor_core")
+    assert tensor.backend == "tensor_core"
+
+    rows = []
+    for label, result in (("vector", vector), ("tensor-core", tensor)):
+        err = float(
+            np.nanmax(np.abs(result.profile - oracle.profile))
+        )
+        j, i = result.motif_location(k=1)
+        # The two planted windows sit |b_pos - a_pos| segments apart.
+        hit = abs(abs(j - i) - abs(b_pos - a_pos)) <= 1
+        rows.append([label, f"{err:.5f}", "yes" if hit else "no"])
+    print_table(["main loop", "max |P - P_fp64|", "motif found"], rows)
+
+    bound = tc_gemm_error_bound(
+        n_seg, m, "Mixed", row_block=RunConfig().row_block
+    )
+    print(f"\na-priori tensor-core bound (corr): {bound:.5f} — the panel's "
+          "FP32 accumulator")
+    print("keeps rounding per *block* in half precision, not per row.")
+
+    banner("Fallback routing: ineligible jobs take the vector path")
+    fp64 = matrix_profile(series, m=m, mode="FP64", backend="tensor_core")
+    print(f"FP64 request  -> backend={fp64.backend!r}")
+    print(f"                 reason: {fp64.backend_fallback_reason}")
+    cpu = matrix_profile(
+        series[:, :2], m=m, mode="Mixed", device="Skylake16",
+        backend="tensor_core",
+    )
+    print(f"CPU request   -> backend={cpu.backend!r}")
+    print(f"                 reason: {cpu.backend_fallback_reason}")
+
+
+if __name__ == "__main__":
+    main()

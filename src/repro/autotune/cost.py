@@ -40,6 +40,10 @@ class HostCostModel:
     (per-super-step, per-tile, per-worker) always come from calibration.
     """
 
+    #: EMA weight of the newest measurement in the per-candidate
+    #: correction factors (see :meth:`correct`).
+    CORRECTION_ALPHA: float = 0.5
+
     def __init__(
         self,
         calibration: CalibrationProfile | None = None,
@@ -47,6 +51,13 @@ class HostCostModel:
     ):
         self.calibration = calibration or default_profile()
         self.estimator = estimator
+        # Online per-candidate corrections: measured/predicted wall-time
+        # ratios keyed by the knob tuple, folded multiplicatively into
+        # job_time.  Unlike the estimator's global seconds-per-cell EMA
+        # (one anchor for *all* candidates), these shift candidates
+        # relative to each other, so a systematically mispredicted point
+        # gets re-ranked after it has been observed.
+        self._corrections: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -74,17 +85,36 @@ class HostCostModel:
         return 1.0 + (c.spill_factor - 1.0) * frac
 
     def tile_time(
-        self, rows: int, cols: int, d: int, mode, row_block: int
+        self,
+        rows: int,
+        cols: int,
+        d: int,
+        mode,
+        row_block: int,
+        backend: str = "numeric",
     ) -> float:
-        """Predicted host seconds for one tile of the main loop."""
+        """Predicted host seconds for one tile of the main loop.
+
+        ``backend="tensor_core"`` prices the packed-panel GEMM main loop:
+        the per-cell rate scales by the calibrated ``tc_cell_factor``
+        (< 1 — the fused panel replaces the per-row streaming recurrence)
+        and the super-step overhead by ``tc_step_factor`` (> 1 — panel
+        packing, shear views and the chained-GEMM dispatch cost more
+        python per block).
+        """
         c = self.calibration
         steps = math.ceil(rows / max(row_block, 1))
         penalty = self._spill_penalty(row_block, cols * d, mode)
         cells = float(rows) * cols * d
+        step_rate = c.step_time(mode)
+        cell_rate = self.cell_time(mode)
+        if backend == "tensor_core":
+            step_rate *= c.tc_step_factor
+            cell_rate *= c.tc_cell_factor
         return (
             c.tile_overhead
-            + steps * c.step_time(mode)
-            + cells * self.cell_time(mode) * penalty
+            + steps * step_rate
+            + cells * cell_rate * penalty
         )
 
     def precalc_time(
@@ -115,6 +145,7 @@ class HostCostModel:
         precalc_strategy: str = "exact",
         n_r_seg: int | None = None,
         n_q_seg: int | None = None,
+        backend: str = "numeric",
     ) -> float:
         """Predicted host wall seconds for a whole tiled job.
 
@@ -124,10 +155,12 @@ class HostCostModel:
         so weighting keeps pricing O(1) in the tile count.  Parallel
         workers scale the serial tile time by the calibrated thread-pool
         efficiency, floored at the longest single tile (critical path),
-        plus a per-worker spawn cost.
+        plus a per-worker spawn cost.  The result is scaled by the
+        candidate's online correction factor when one has been observed
+        (see :meth:`correct`).
         """
         times = [
-            (self.tile_time(t[0], t[1], d, mode, row_block),
+            (self.tile_time(t[0], t[1], d, mode, row_block, backend=backend),
              t[2] if len(t) > 2 else 1)
             for t in tiles
         ]
@@ -138,12 +171,73 @@ class HostCostModel:
             serial += self.precalc_time(
                 n_r_seg, n_q_seg, d, m, mode, precalc_strategy
             )
+        factor = self.correction(
+            mode, row_block, workers, precalc_strategy, backend
+        )
         if workers <= 1:
-            return serial
+            return serial * factor
         c = self.calibration
         concurrent = serial / (1.0 + c.parallel_efficiency * (workers - 1))
         longest = max(time for time, _ in times)
-        return max(concurrent, longest) + workers * c.worker_overhead
+        return (
+            max(concurrent, longest) + workers * c.worker_overhead
+        ) * factor
+
+    # ------------------------------------------------------------------
+    # Online per-candidate correction
+
+    @staticmethod
+    def _correction_key(
+        mode, row_block: int, workers: int, precalc_strategy: str, backend: str
+    ) -> tuple:
+        return (
+            getattr(mode, "value", str(mode)),
+            int(row_block),
+            int(workers),
+            precalc_strategy,
+            backend,
+        )
+
+    def correction(
+        self, mode, row_block: int, workers: int, precalc_strategy: str,
+        backend: str = "numeric",
+    ) -> float:
+        """The learned measured/predicted ratio for one candidate point
+        (1.0 until :meth:`correct` has observed it)."""
+        return self._corrections.get(
+            self._correction_key(mode, row_block, workers, precalc_strategy, backend),
+            1.0,
+        )
+
+    def correct(
+        self,
+        mode,
+        row_block: int,
+        workers: int,
+        precalc_strategy: str,
+        backend: str,
+        predicted: float,
+        measured: float,
+    ) -> float:
+        """Fold one measured candidate execution into the correction EMA.
+
+        ``predicted`` must be the *uncorrected-at-the-time* prediction the
+        candidate ranked with (``Candidate.predicted_seconds``); the new
+        factor is the EMA of ``measured / (predicted / old_factor)`` so
+        repeated observations converge on the true ratio instead of
+        compounding.  Returns the updated factor.
+        """
+        if predicted <= 0.0 or measured <= 0.0 or not math.isfinite(measured):
+            return self.correction(mode, row_block, workers, precalc_strategy, backend)
+        key = self._correction_key(mode, row_block, workers, precalc_strategy, backend)
+        old = self._corrections.get(key, 1.0)
+        # predicted already carries old — divide it back out before
+        # forming the raw model ratio.
+        ratio = measured * old / predicted
+        a = self.CORRECTION_ALPHA
+        new = ratio if key not in self._corrections else (1 - a) * old + a * ratio
+        self._corrections[key] = new
+        return new
 
 
 # ---------------------------------------------------------------------------

@@ -32,8 +32,12 @@ from ..core.tiling import tile_grid_shape
 from ..gpu.calibration import CalibrationProfile, default_profile
 from ..gpu.device import DeviceSpec, get_device
 from ..gpu.occupancy import OccupancyResult, best_block_size
-from ..precision.errors import dot_product_error_bound, streaming_qt_error_bound
-from ..precision.modes import PrecisionMode, policy_for
+from ..precision.errors import (
+    dot_product_error_bound,
+    streaming_qt_error_bound,
+    tc_gemm_error_bound,
+)
+from ..precision.modes import TENSOR_CORE_MODES, PrecisionMode, policy_for
 from ..reporting import format_seconds, format_table
 from .cost import HostCostModel, modeled_device_seconds, roofline_breakdown
 
@@ -61,6 +65,7 @@ class Candidate:
     precalc_strategy: str
     predicted_seconds: float
     error_bound: float
+    backend: str = "numeric"
     note: str = ""  # rejection reason; empty for viable candidates
 
     @property
@@ -143,6 +148,7 @@ class TuneDecision:
                 [
                     marker,
                     c.mode.value,
+                    c.backend,
                     c.n_tiles,
                     c.row_block,
                     c.parallel_workers,
@@ -157,6 +163,7 @@ class TuneDecision:
                 [
                     "",
                     "mode",
+                    "backend",
                     "tiles",
                     "row_block",
                     "workers",
@@ -171,8 +178,8 @@ class TuneDecision:
         )
         c = self.chosen
         lines.append(
-            f"chosen: {c.mode.value}, {c.n_tiles} tile(s), "
-            f"row_block={c.row_block}, workers={c.parallel_workers}, "
+            f"chosen: {c.mode.value}, {c.backend} backend, {c.n_tiles} "
+            f"tile(s), row_block={c.row_block}, workers={c.parallel_workers}, "
             f"precalc={c.precalc_strategy} — predicted "
             f"{format_seconds(c.predicted_seconds)}"
         )
@@ -231,6 +238,29 @@ class AutoTuner:
         """Feed one completed job's wall time back into the cost model."""
         if self.cost.estimator is not None:
             self.cost.estimator.observe(n_r_seg, n_q_seg, d, mode, elapsed)
+
+    def observe_candidate(self, candidate: Candidate, elapsed: float) -> None:
+        """Feed one *executed candidate's* measured wall time back.
+
+        Where :meth:`observe` re-anchors the global seconds-per-cell EMA
+        (shifting every prediction by the same factor), this updates the
+        per-candidate correction keyed on the candidate's own knob tuple
+        (mode, row_block, workers, precalc strategy, backend) — so a
+        point the structural model mispredicts gets *re-ranked* relative
+        to its rivals on the next tune call, not just rescaled with them.
+        Clears the decision memo so the corrected ranking takes effect
+        immediately.
+        """
+        self.cost.correct(
+            candidate.mode,
+            candidate.row_block,
+            candidate.parallel_workers,
+            candidate.precalc_strategy,
+            candidate.backend,
+            candidate.predicted_seconds,
+            elapsed,
+        )
+        self._memo.clear()
 
     def tune_spec(self, spec, target_error: float | None = None) -> TuneDecision:
         """Tune an :class:`~repro.engine.plan.JobSpec` (config-preserving
@@ -313,6 +343,12 @@ class AutoTuner:
                         note="error bound above target",
                     )
                 )
+                candidates.extend(
+                    self._tc_rescue(
+                        cand_mode, n_r_seg, n_q_seg, d, m, n_tiles,
+                        target_error, n_gpus, plans,
+                    )
+                )
                 continue
             plan = self._plan_for(
                 cand_mode, n_r_seg, n_q_seg, d, m, target_error, n_gpus
@@ -337,6 +373,12 @@ class AutoTuner:
                         note="error bound above target",
                     )
                 )
+                candidates.extend(
+                    self._tc_rescue(
+                        cand_mode, n_r_seg, n_q_seg, d, m, n_tiles,
+                        target_error, n_gpus, plans,
+                    )
+                )
                 continue
             if plan is not None and plan.accuracy_bound_tiles > self.max_accuracy_tiles:
                 candidates.append(
@@ -349,6 +391,12 @@ class AutoTuner:
                         predicted_seconds=math.inf,
                         error_bound=bound,
                         note=f"needs {plan.accuracy_bound_tiles} tiles",
+                    )
+                )
+                candidates.extend(
+                    self._tc_rescue(
+                        cand_mode, n_r_seg, n_q_seg, d, m, n_tiles,
+                        target_error, n_gpus, plans,
                     )
                 )
                 continue
@@ -393,6 +441,7 @@ class AutoTuner:
             n_streams=n_streams,
             exclusion_zone=exclusion_zone,
             row_block=chosen.row_block,
+            backend=chosen.backend,
             parallel_workers=chosen.parallel_workers,
             precalc_strategy=chosen.precalc_strategy,
         )
@@ -463,7 +512,8 @@ class AutoTuner:
         return ("exact",)
 
     def _grid(
-        self, mode, n_r_seg, n_q_seg, d, m, n_tiles, bound, target_error
+        self, mode, n_r_seg, n_q_seg, d, m, n_tiles, bound, target_error,
+        backends: "tuple[str, ...] | None" = None,
     ) -> list[Candidate]:
         """Evaluate the row_block x workers x precalc grid at one tiling."""
         # A near-square grid splits each axis into chunks of at most two
@@ -490,28 +540,110 @@ class AutoTuner:
         for strategy in self._strategies(mode, m, target_error):
             for block in blocks:
                 for w in workers:
-                    if len(out) >= self.max_candidates:
-                        return out
-                    predicted = self.cost.job_time(
-                        geometries,
-                        d,
-                        m,
-                        mode,
-                        block,
-                        w,
-                        precalc_strategy=strategy,
-                        n_r_seg=n_r_seg,
-                        n_q_seg=n_q_seg,
-                    )
-                    out.append(
-                        Candidate(
-                            mode=mode,
-                            n_tiles=n_tiles,
-                            row_block=block,
-                            parallel_workers=w,
+                    for backend in (
+                        backends
+                        if backends is not None
+                        else self._backends(mode, target_error)
+                    ):
+                        if len(out) >= self.max_candidates:
+                            return out
+                        cand_bound = bound
+                        if backend == "tensor_core":
+                            # The packed-panel path has its own (FP32-
+                            # accumulation) bound, a function of the
+                            # row-block chunking; candidates whose bound
+                            # misses the target are recorded as rejected
+                            # rather than silently dropped.
+                            cand_bound = tc_gemm_error_bound(
+                                max_rows, m, mode, row_block=block
+                            )
+                            if (
+                                target_error is not None
+                                and cand_bound > target_error
+                            ):
+                                out.append(
+                                    Candidate(
+                                        mode=mode,
+                                        n_tiles=n_tiles,
+                                        row_block=block,
+                                        parallel_workers=w,
+                                        precalc_strategy=strategy,
+                                        predicted_seconds=math.inf,
+                                        error_bound=cand_bound,
+                                        backend=backend,
+                                        note="tc error bound above target",
+                                    )
+                                )
+                                continue
+                        predicted = self.cost.job_time(
+                            geometries,
+                            d,
+                            m,
+                            mode,
+                            block,
+                            w,
                             precalc_strategy=strategy,
-                            predicted_seconds=predicted,
-                            error_bound=bound,
+                            n_r_seg=n_r_seg,
+                            n_q_seg=n_q_seg,
+                            backend=backend,
                         )
-                    )
+                        out.append(
+                            Candidate(
+                                mode=mode,
+                                n_tiles=n_tiles,
+                                row_block=block,
+                                parallel_workers=w,
+                                precalc_strategy=strategy,
+                                predicted_seconds=predicted,
+                                error_bound=cand_bound,
+                                backend=backend,
+                            )
+                        )
         return out
+
+    def _tc_rescue(
+        self, cand_mode, n_r_seg, n_q_seg, d, m, n_tiles, target_error,
+        n_gpus, plans,
+    ) -> list[Candidate]:
+        """Tensor-core-only candidates for a mode whose *vector* accuracy
+        floor just failed the target.
+
+        The vector FP16-family bound grows at ``eps16`` per streamed row,
+        so a tight target can demand absurd tilings (or be outright
+        unsatisfiable) on the vector path — while the tensor-core bound
+        grows at ``eps32`` with only a per-block ``eps16`` operand term,
+        and may hold the target at the plain *memory*-floored tiling.
+        Those candidates are evaluated here (per-candidate bound gating
+        happens in :meth:`_grid`); an empty list when the mode/device has
+        no tensor-core path.
+        """
+        if "tensor_core" not in self._backends(cand_mode, target_error):
+            return []
+        plan = self._plan_for(cand_mode, n_r_seg, n_q_seg, d, m, None, n_gpus)
+        floor = max(n_tiles or 1, plan.n_tiles if plan else 1)
+        tile_rows = (
+            plan.tile_rows if plan and floor == plan.n_tiles
+            else math.ceil(n_r_seg / max(int(math.isqrt(floor)), 1))
+        )
+        plans[cand_mode] = plan
+        return self._grid(
+            cand_mode, n_r_seg, n_q_seg, d, m, floor,
+            streaming_qt_error_bound(tile_rows, m, cand_mode),
+            target_error, backends=("tensor_core",),
+        )
+
+    def _backends(self, mode, target_error) -> tuple[str, ...]:
+        """Main-loop backends admissible for this mode/error budget.
+
+        The tensor-core path is numerics-visible (FP32 accumulation is
+        not bit-identical to the vector recurrence), so — exactly like a
+        mode change — it is only a candidate under an explicit error
+        target, and only for the modes/devices that have the path at all.
+        """
+        if (
+            target_error is not None
+            and mode in TENSOR_CORE_MODES
+            and getattr(self.device, "has_tensor_cores", False)
+        ):
+            return ("numeric", "tensor_core")
+        return ("numeric",)

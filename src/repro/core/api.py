@@ -35,6 +35,7 @@ def matrix_profile(
     parallel_workers: int | None = None,
     amortize_precalc: bool | None = None,
     precalc_strategy: str | None = None,
+    backend: str | None = None,
     auto: bool = False,
     target_error: float | None = None,
     tuner=None,
@@ -91,6 +92,15 @@ def matrix_profile(
         streaming accumulator; ``"fft"`` batches them through an FFT
         convolution (FP64/FP32 only; see
         :attr:`~repro.core.config.RunConfig.precalc_strategy`).
+    backend:
+        Main-loop execution backend: ``"numeric"`` (default, the paper's
+        vector recurrence) or ``"tensor_core"`` (the packed-panel
+        chained-GEMM path; Mixed/FP16C on tensor-core devices only —
+        ineligible jobs fall back with the reason recorded on
+        :attr:`~repro.core.result.MatrixProfileResult
+        .backend_fallback_reason`).  Changes the numerics: the panel
+        accumulates in FP32 under the
+        :func:`~repro.precision.errors.tc_gemm_error_bound`.
     auto:
         Run the roofline autotuner (:class:`~repro.core.config.RunConfig`
         ``.auto()``) to pick ``row_block``, ``parallel_workers``, tiling
@@ -139,6 +149,8 @@ def matrix_profile(
         config_kwargs["amortize_precalc"] = amortize_precalc
     if precalc_strategy is not None:
         config_kwargs["precalc_strategy"] = precalc_strategy
+    if backend is not None:
+        config_kwargs["backend"] = backend
     config = RunConfig(**config_kwargs)
     if auto or target_error is not None or tuner is not None:
         from ..autotune import AutoTuner
@@ -176,6 +188,8 @@ def matrix_profile(
             tuned["mode"] = chosen.mode
             if precalc_strategy is None:
                 tuned["precalc_strategy"] = chosen.precalc_strategy
+            if backend is None:
+                tuned["backend"] = chosen.backend
         config = config.with_(**tuned)
     fault_tolerant = (
         health is not None

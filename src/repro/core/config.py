@@ -128,6 +128,16 @@ class RunConfig:
     #: the analytic dot-product bound, and it *does* enter
     #: ``cache_key()``).
     precalc_strategy: str = "exact"
+    #: Main-loop execution backend: ``"numeric"`` (the paper's vector
+    #: recurrence) or ``"tensor_core"`` (packed-panel chained-GEMM
+    #: super-steps with FP32 accumulation — see
+    #: :mod:`repro.kernels.tc_gemm`).  The tensor-core path only exists
+    #: for the FP16-storage wide-precalc modes (Mixed, FP16C) on devices
+    #: with tensor cores; other configurations fall back to the numeric
+    #: backend with the reason recorded on the result.  The two paths are
+    #: *not* bit-identical (FP32 accumulation is the point), so unlike
+    #: ``row_block`` this knob enters ``cache_key()``.
+    backend: str = "numeric"
     #: Host threads executing independent tiles concurrently.  Results
     #: merge in tile-id order, so the output is deterministic and
     #: bit-identical to serial dispatch — like ``row_block`` this is a
@@ -161,6 +171,16 @@ class RunConfig:
             )
         if self.row_block < 1:
             raise ValueError(f"row_block must be >= 1, got {self.row_block}")
+        if self.backend not in ("numeric", "tensor_core"):
+            raise ValueError(
+                f"backend must be 'numeric' or 'tensor_core', got "
+                f"{self.backend!r}"
+            )
+        if self.backend == "tensor_core" and self.sort_strategy == "batch":
+            raise ValueError(
+                "backend='tensor_core' fuses its own sort/scan (mma_scan); "
+                "the batch sort ablation has no wide-panel path"
+            )
         if self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1, got {self.parallel_workers}"
@@ -260,6 +280,7 @@ class RunConfig:
             "sort_strategy": self.sort_strategy,
             "fast_path_1d": self.fast_path_1d,
             "row_block": self.row_block,
+            "backend": self.backend,
             "amortize_precalc": self.amortize_precalc,
             "precalc_strategy": self.precalc_strategy,
             "parallel_workers": self.parallel_workers,
@@ -290,8 +311,8 @@ class RunConfig:
         and ``parallel_workers`` are excluded: row-blocked execution,
         amortised precalculation and parallel tile dispatch are bit-exact
         and cost-identical, so cached results are shared across those
-        knobs.  ``precalc_strategy`` *is* included — the FFT seeds are
-        not bit-identical.
+        knobs.  ``precalc_strategy`` and ``backend`` *are* included — the
+        FFT seeds and the tensor-core main loop are not bit-identical.
         """
         fields = {
             k: v

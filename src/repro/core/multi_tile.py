@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine.accumulate import ProfileAccumulator, merge_tile_outputs
-from ..engine.backends import AnalyticBackend, NumericBackend
+from ..engine.backends import AnalyticBackend, TensorCoreBackend, backend_for
 from ..engine.checkpoint import RunJournal
 from ..engine.dispatch import RoundRobinPlacement, execute_plan
 from ..engine.plan import JobSpec
@@ -100,9 +100,10 @@ def compute_multi_tile(
     )
     sim = GPUSimulator(config.device, config.n_gpus, config.n_streams)
     accumulator = ProfileAccumulator(spec.d, spec.n_q_seg, spec.policy)
+    backend, fallback_reason = backend_for(config, discount_shared_h2d=True)
     report = execute_plan(
         plan,
-        NumericBackend(discount_shared_h2d=True),
+        backend,
         sim,
         accumulator=accumulator,
         placement=placement,
@@ -130,6 +131,10 @@ def compute_multi_tile(
         escalations=dict(report.escalations),
         split_tiles=dict(report.splits),
         resumed_tiles=report.tiles_restored,
+        backend=(
+            "tensor_core" if isinstance(backend, TensorCoreBackend) else "numeric"
+        ),
+        backend_fallback_reason=fallback_reason,
     )
 
 

@@ -77,6 +77,14 @@ class MatrixProfileResult:
     escalations: dict[int, PrecisionMode] = field(default_factory=dict)
     split_tiles: dict[int, tuple[int, ...]] = field(default_factory=dict)
     resumed_tiles: int = 0
+    #: Main-loop backend the job actually executed on: ``"numeric"`` or
+    #: ``"tensor_core"``.  May differ from ``RunConfig.backend`` when the
+    #: request could not be honoured — see :attr:`backend_fallback_reason`.
+    backend: str = "numeric"
+    #: Why a requested tensor-core backend fell back to the numeric one
+    #: (ineligible precision mode, device without tensor cores); ``None``
+    #: when the request was honoured or nothing special was requested.
+    backend_fallback_reason: str | None = None
 
     @property
     def n_q_seg(self) -> int:

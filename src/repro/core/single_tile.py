@@ -22,6 +22,8 @@ from ..engine.backends import (  # noqa: F401 - re-exported API
     _KERNEL_LABELS,
     TileOutput,
     NumericBackend,
+    TensorCoreBackend,
+    backend_for,
     run_tile,
     schedule_tile,
     tile_timing_from_output,
@@ -60,7 +62,8 @@ def compute_single_tile(
     spec = JobSpec.from_arrays(reference, query, m, config)
     plan = spec.plan(n_tiles=1, n_gpus=1)
     sim = GPUSimulator(config.device, n_gpus=1, n_streams=config.n_streams or 1)
-    report = execute_plan(plan, NumericBackend(), sim, keep_executions=True)
+    backend, fallback_reason = backend_for(config)
+    report = execute_plan(plan, backend, sim, keep_executions=True)
     output = report.executions[0].output
     return MatrixProfileResult(
         profile=np.ascontiguousarray(output.profile.T.astype(np.float64)),
@@ -74,4 +77,8 @@ def compute_single_tile(
         # Exactly 0.0 by construction: the lone tile carries the full
         # plane charge, so nothing was amortised away.
         precalc_saved_flops=report.executions[0].precalc_saved_flops,
+        backend=(
+            "tensor_core" if isinstance(backend, TensorCoreBackend) else "numeric"
+        ),
+        backend_fallback_reason=fallback_reason,
     )

@@ -44,8 +44,9 @@ from ..kernels.dist_calc import DistCalcKernel
 from ..kernels.precalc import PrecalcKernel, PreparedPrecalc
 from ..kernels.sort_scan import SortScanKernel
 from ..kernels.sort_scan_batch import BatchSortScanKernel
+from ..kernels.tc_gemm import TcGemmKernel
 from ..kernels.update import INDEX_DTYPE, UpdateKernel
-from ..precision.modes import PrecisionMode, PrecisionPolicy
+from ..precision.modes import TENSOR_CORE_MODES, PrecisionMode, PrecisionPolicy
 from .plan import ExecutionPlan, Tile
 
 __all__ = [
@@ -53,8 +54,10 @@ __all__ = [
     "TileExecution",
     "TileBackend",
     "NumericBackend",
+    "TensorCoreBackend",
     "AnalyticBackend",
     "WorkspacePool",
+    "backend_for",
     "run_tile",
     "schedule_tile",
     "tile_timing_from_output",
@@ -117,6 +120,7 @@ class WorkspacePool:
 _KERNEL_LABELS = {
     "PrecalcKernel": "precalculation",
     "DistCalcKernel": "dist_calc",
+    "TcGemmKernel": "dist_calc",
     "SortScanKernel": "sort_&_incl_scan",
     "BatchSortScanKernel": "sort_&_incl_scan",
     "UpdateKernel": "update_mat_prof",
@@ -148,6 +152,7 @@ def run_tile(
     row_block: int = 1,
     workspace: "WorkspacePool | None" = None,
     precalc: "PreparedPrecalc | None" = None,
+    main_loop: str = "vector",
 ) -> TileOutput:
     """Execute the kernels of one tile; pure numerics + cost accounting.
 
@@ -177,6 +182,17 @@ def run_tile(
     device uploads are unchanged either way — the tile still needs both
     series resident for the main loop, so H2D accounting and the memory
     footprint stay as they were.
+
+    ``main_loop`` selects the main-loop execution path: ``"vector"`` (the
+    paper's per-row/row-blocked recurrence) or ``"tensor_core"`` (the
+    packed-panel chained-GEMM kernel of :class:`~repro.kernels.tc_gemm.
+    TcGemmKernel`).  The tensor-core path always runs row-blocked (its
+    unit of work *is* the panel), keeps the distance panel in the FP32
+    accumulator through a fused sort/scan (``SortScanKernel(mma_scan=
+    True)``) and reduce-then-store update, and is only valid for the
+    ``TENSOR_CORE_MODES`` — callers route ineligible jobs back to
+    ``"vector"`` (see :func:`backend_for`).  It is *not* bit-identical
+    to the vector path: FP32 accumulation is the point.
     """
     d = tr_dev.shape[0]
     n_r_seg = tr_dev.shape[1] - m + 1
@@ -184,12 +200,32 @@ def run_tile(
     if n_r_seg < 1 or n_q_seg < 1:
         raise ValueError(f"m={m} leaves no segments for tile of shape "
                          f"{tr_dev.shape} x {tq_dev.shape}")
+    if main_loop not in ("vector", "tensor_core"):
+        raise ValueError(
+            f"main_loop must be 'vector' or 'tensor_core', got {main_loop!r}"
+        )
+    tensor_core = main_loop == "tensor_core"
+    if tensor_core and policy.mode not in TENSOR_CORE_MODES:
+        eligible = ", ".join(mode.value for mode in TENSOR_CORE_MODES)
+        raise ValueError(
+            f"tensor-core main loop requires one of ({eligible}), got"
+            f" {policy.mode.value}; route ineligible modes to the vector"
+            f" path (backend_for does)"
+        )
 
-    dist = DistCalcKernel(config=launch, policy=policy)
-    if sort_strategy == "batch":
-        sort_scan = BatchSortScanKernel(config=launch, policy=policy)
+    if tensor_core:
+        dist = TcGemmKernel(config=launch, policy=policy)
+        # The fused path hands the sort stage the FP32 accumulator panel;
+        # mma_scan consumes it without intermediate half roundings.  The
+        # batch-sort ablation has no wide-panel path, so the strategy
+        # knob is rejected upstream (RunConfig) for this backend.
+        sort_scan = SortScanKernel(config=launch, policy=policy, mma_scan=True)
     else:
-        sort_scan = SortScanKernel(config=launch, policy=policy)
+        dist = DistCalcKernel(config=launch, policy=policy)
+        if sort_strategy == "batch":
+            sort_scan = BatchSortScanKernel(config=launch, policy=policy)
+        else:
+            sort_scan = SortScanKernel(config=launch, policy=policy)
     update = UpdateKernel(config=launch, policy=policy)
     skip_sort = fast_path_1d and d == 1
 
@@ -205,7 +241,28 @@ def run_tile(
 
     cols_global = _cached_arange(n_q_seg) + col_offset
     block = max(1, min(row_block, n_r_seg))
-    if block == 1:
+    if tensor_core:
+        # The panel kernel's super-step *is* the blocked loop; it keeps
+        # the QT panel in its own FP32 accumulator scratch, so the leased
+        # compute-dtype QT workspace of the vector path is never needed.
+        for i0 in range(0, n_r_seg, block):
+            b = min(block, n_r_seg - i0)
+            dist_blk = dist.run_block(i0, b, None)
+            if skip_sort:
+                avg_blk = dist_blk
+            else:
+                flat = dist_blk.reshape(d, b * n_q_seg)
+                avg_blk = sort_scan.run(flat, rows=b).reshape(d, b, n_q_seg)
+            if exclusion_zone is None:
+                update.run_block(avg_blk, i0, row_offset=row_offset)
+            else:
+                rows_global = _cached_arange(n_r_seg)[i0 : i0 + b] + row_offset
+                mask = (
+                    np.abs(cols_global[None, :] - rows_global[:, None])
+                    <= exclusion_zone
+                )
+                update.run_block(avg_blk, i0, row_offset=row_offset, mask=mask)
+    elif block == 1:
         for i in range(n_r_seg):
             plane = dist.run(i)
             averaged = plane if skip_sort else sort_scan.run(plane)
@@ -327,6 +384,10 @@ class NumericBackend:
         accounting for continuity with the calibrated figures.
     """
 
+    #: Main-loop execution path handed to :func:`run_tile`; the
+    #: tensor-core subclass overrides it.
+    main_loop: str = "vector"
+
     def __init__(
         self,
         lock=None,
@@ -391,6 +452,13 @@ class NumericBackend:
                     label=f"{self._label}ws{tile.tile_id}",
                 )
                 stack.callback(self._free, workspace)
+            # Per-plan eligibility: an escalated plan may have widened the
+            # mode past the tensor-core formats (FP16 -> FP32 on a sick
+            # tile), in which case *that* execution silently takes the
+            # vector path — escalation composes without special-casing.
+            main_loop = self.main_loop
+            if policy.mode not in TENSOR_CORE_MODES:
+                main_loop = "vector"
             output = run_tile(
                 tr_alloc.array,
                 tq_alloc.array,
@@ -405,6 +473,7 @@ class NumericBackend:
                 row_block=plan.row_block,
                 workspace=self._workspace_pool(),
                 precalc=prepared,
+                main_loop=main_loop,
             )
         saved = 0.0
         if shared and self.discount_shared_h2d:
@@ -420,6 +489,62 @@ class NumericBackend:
     def _free(self, alloc) -> None:
         with self._lock:
             alloc.free()
+
+
+class TensorCoreBackend(NumericBackend):
+    """Numeric backend running the tensor-core main loop.
+
+    Identical to :class:`NumericBackend` in allocation, upload and cost
+    plumbing; only the main loop differs — :func:`run_tile` executes
+    :class:`~repro.kernels.tc_gemm.TcGemmKernel` super-steps with the
+    fused FP32 sort/scan/update epilogue instead of the vector
+    recurrence.  Tiles whose (possibly escalated) precision mode falls
+    outside ``TENSOR_CORE_MODES`` transparently run the vector path, so
+    health-check escalation up the precision ladder composes unchanged.
+
+    Use :func:`backend_for` to build one from a :class:`~repro.core.
+    config.RunConfig` — it owns the eligibility routing and the recorded
+    fallback reason.
+    """
+
+    main_loop = "tensor_core"
+
+
+def backend_for(
+    config,
+    *,
+    lock=None,
+    label: str = "",
+    discount_shared_h2d: bool = False,
+) -> "tuple[NumericBackend, str | None]":
+    """The numeric backend a :class:`~repro.core.config.RunConfig` asks
+    for, plus the fallback reason when the request cannot be honoured.
+
+    ``config.backend == "tensor_core"`` yields a
+    :class:`TensorCoreBackend` when the precision mode has a tensor-core
+    formulation (``TENSOR_CORE_MODES``: FP16 storage, wide precalc) *and*
+    the modelled device has tensor cores; otherwise — and for the default
+    ``"numeric"`` — a plain :class:`NumericBackend` with ``reason``
+    explaining the downgrade (``None`` when the request was honoured).
+    Callers surface the reason on
+    :attr:`~repro.core.result.MatrixProfileResult.backend_fallback_reason`.
+    """
+    kwargs = dict(lock=lock, label=label, discount_shared_h2d=discount_shared_h2d)
+    requested = getattr(config, "backend", "numeric")
+    if requested != "tensor_core":
+        return NumericBackend(**kwargs), None
+    mode = config.policy.mode
+    if mode not in TENSOR_CORE_MODES:
+        eligible = ", ".join(m.value for m in TENSOR_CORE_MODES)
+        return NumericBackend(**kwargs), (
+            f"mode {mode.value} has no tensor-core formulation"
+            f" (eligible: {eligible})"
+        )
+    if not getattr(config.device, "has_tensor_cores", False):
+        return NumericBackend(**kwargs), (
+            f"device {config.device.name} has no tensor cores"
+        )
+    return TensorCoreBackend(**kwargs), None
 
 
 class AnalyticBackend:

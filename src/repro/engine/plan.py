@@ -258,6 +258,10 @@ class JobSpec:
         if target_error is not None:
             changes["mode"] = chosen.mode
             changes["precalc_strategy"] = chosen.precalc_strategy
+            # The main-loop backend is numerics-visible (the tensor-core
+            # path accumulates in FP32), so like the mode it only moves
+            # under an explicit error budget.
+            changes["backend"] = getattr(chosen, "backend", "numeric")
         new_config = self.config.with_(**changes)
         if new_config.mode != self.config.mode:
             from ..precision.modes import policy_for

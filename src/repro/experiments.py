@@ -134,6 +134,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Cluster tier: multi-node weak scaling + 10%-node-storm recovery overhead",
         "bench_multinode_scaling.py", "multinode_scaling", "modelled",
     ),
+    Experiment(
+        "tensor_core", "Sec. VII",
+        "Tensor-core main loop: chained-GEMM panel vs vector path, error vs a-priori bound",
+        "bench_tensor_core.py", "tensor_core", "executed",
+    ),
 )
 
 

@@ -40,6 +40,7 @@ __all__ = [
     "L1_EFFICIENCY",
     "L2_EFFICIENCY",
     "SM_EFFICIENCY",
+    "TC_EFFICIENCY",
     "DEVICE_EFFICIENCY_SCALE",
     "CPU_CELL_TIME",
     "CPU_SORT_FACTOR",
@@ -77,6 +78,13 @@ L1_EFFICIENCY: dict[int, float] = {8: 0.58, 4: 0.30, 2: 0.165}
 #: Compute (SM) utilisation of the sort kernel ("around 70% compute (SM)")
 #: — used for the stage-serialisation term.
 SM_EFFICIENCY: float = 0.70
+
+#: Achieved fraction of the dense tensor-core peak for the batched
+#: small-GEMM update panels.  Small fragments (16x16x16) on a
+#: memory-streaming kernel cannot feed the MMA pipes at the cuBLAS-style
+#: large-GEMM rate; 60% matches published WMMA microbenchmarks for
+#: k=16-chained accumulation chains.
+TC_EFFICIENCY: float = 0.60
 
 #: Per-device multiplier on achieved memory throughput.  The V100 code path
 #: saturates its (smaller) HBM2 more fully than the A100 does HBM2e — the
@@ -188,6 +196,14 @@ class CalibrationProfile:
     #: Per-cell slowdown multiplier once the block workspace has spilled
     #: far past ``workspace_bytes``.
     spill_factor: float = 1.6
+    #: Host per-cell multiplier of the tensor-core main loop relative to
+    #: the vector path at the same mode (the packed-panel GEMM update
+    #: replaces the per-row streaming recurrence; < 1 means faster).
+    tc_cell_factor: float = 0.5
+    #: Host super-step multiplier of the tensor-core main loop (panel
+    #: packing, shear gathers and chained-GEMM dispatch per block cost
+    #: more python than the vector super-step).
+    tc_step_factor: float = 1.5
     source: str = "default"
 
     def cell_time(self, mode) -> float:

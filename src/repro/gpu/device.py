@@ -23,6 +23,7 @@ __all__ = [
     "DeviceSpec",
     "V100",
     "A100",
+    "RTX3090",
     "SKYLAKE16",
     "DEVICES",
     "get_device",
@@ -54,6 +55,12 @@ class DeviceSpec:
     kernel_launch_overhead: float  # seconds per kernel launch
     pcie_bandwidth: float  # bytes/s host<->device
     max_streams: int = 16
+    #: Dense FP16-multiply / FP32-accumulate tensor-core peak (FLOP/s).
+    #: Zero means the device has no tensor cores (pre-Volta, CPU).
+    peak_flops_tc: float = 0.0
+    #: The WMMA fragment shape (m, n, k) of one MMA instruction.  Every
+    #: shipping NVIDIA part exposes the 16x16x16 FP16 tile at warp scope.
+    mma_shape: tuple[int, int, int] = (16, 16, 16)
     extras: dict = field(default_factory=dict, compare=False)
 
     @property
@@ -61,13 +68,37 @@ class DeviceSpec:
         """Hardware thread capacity = SMs x warps/SM x threads/warp."""
         return self.n_sms * self.warps_per_sm * self.threads_per_warp
 
+    @property
+    def peak_flops_table(self) -> dict[int, float]:
+        """Itemsize (bytes) -> peak vector throughput.  The authoritative
+        mapping behind :meth:`peak_flops`; the performance model reads it
+        so an unsupported itemsize fails loudly instead of silently
+        pricing at the FP16 rate."""
+        return {
+            8: self.peak_flops_fp64,
+            4: self.peak_flops_fp32,
+            2: self.peak_flops_fp16,
+        }
+
+    @property
+    def has_tensor_cores(self) -> bool:
+        """Whether the device exposes an MMA unit (``peak_flops_tc > 0``)."""
+        return self.peak_flops_tc > 0.0
+
     def peak_flops(self, itemsize: int) -> float:
-        """Peak arithmetic throughput for the element size in bytes."""
-        if itemsize >= 8:
-            return self.peak_flops_fp64
-        if itemsize == 4:
-            return self.peak_flops_fp32
-        return self.peak_flops_fp16
+        """Peak arithmetic throughput for the element size in bytes.
+
+        Only the three IEEE sizes the precision modes use are valid;
+        anything else (e.g. a hypothetical FP8 itemsize of 1) raises
+        rather than silently pricing at the FP16 rate.
+        """
+        try:
+            return self.peak_flops_table[int(itemsize)]
+        except KeyError:
+            valid = ", ".join(str(k) for k in sorted(self.peak_flops_table))
+            raise ValueError(
+                f"unsupported itemsize {itemsize!r}; expected one of: {valid}"
+            ) from None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
@@ -94,6 +125,7 @@ V100 = DeviceSpec(
     sync_latency=0.13e-6,
     kernel_launch_overhead=4.0e-6,
     pcie_bandwidth=12e9,
+    peak_flops_tc=125e12,  # 1st-gen tensor cores, dense FP16/FP32 WMMA
 )
 
 A100 = DeviceSpec(
@@ -113,6 +145,31 @@ A100 = DeviceSpec(
     sync_latency=0.10e-6,
     kernel_launch_overhead=3.5e-6,
     pcie_bandwidth=24e9,
+    peak_flops_tc=312e12,  # 3rd-gen tensor cores, dense FP16/FP32 MMA
+)
+
+# Consumer-tier preset (GeForce RTX 3090, GA102): what a workstation user
+# without data-centre parts would run the tensor-core path on.  FP64 is
+# 1/64 rate on GA102; FP16 vector rate equals FP32 (2:1 packing is the
+# tensor-core unit's job on consumer Ampere).
+RTX3090 = DeviceSpec(
+    name="RTX3090",
+    kind="gpu",
+    n_sms=82,
+    warps_per_sm=48,
+    threads_per_warp=32,
+    peak_flops_fp64=0.556e12,
+    peak_flops_fp32=35.6e12,
+    peak_flops_fp16=35.6e12,
+    mem_bandwidth=936e9,
+    mem_capacity=24 * 1024**3,
+    l2_bandwidth=3.0e12,
+    l2_capacity=6 * 1024**2,
+    l1_bandwidth=14.0e12,
+    sync_latency=0.12e-6,
+    kernel_launch_overhead=3.8e-6,
+    pcie_bandwidth=24e9,
+    peak_flops_tc=71e12,  # dense FP16/FP32; GeForce halves FP32-accumulate
 )
 
 # The CPU baseline "device": an Intel 16-core Skylake node running the
@@ -139,7 +196,7 @@ SKYLAKE16 = DeviceSpec(
 )
 
 DEVICES: dict[str, DeviceSpec] = {
-    spec.name.lower(): spec for spec in (V100, A100, SKYLAKE16)
+    spec.name.lower(): spec for spec in (V100, A100, RTX3090, SKYLAKE16)
 }
 
 

@@ -88,6 +88,9 @@ class KernelCost:
     syncs: int = 0
     launches: int = 1
     loop_rounds: int = 0
+    #: Whether ``flops`` execute on the tensor-core (MMA) unit rather
+    #: than the vector pipes — priced against ``peak_flops_tc``.
+    tensor_core: bool = False
 
     def __add__(self, other: "KernelCost") -> "KernelCost":
         if self.name != other.name:
@@ -101,6 +104,7 @@ class KernelCost:
             syncs=self.syncs + other.syncs,
             launches=self.launches + other.launches,
             loop_rounds=self.loop_rounds + other.loop_rounds,
+            tensor_core=self.tensor_core or other.tensor_core,
         )
 
     def scaled(self, factor: float) -> "KernelCost":
@@ -114,6 +118,7 @@ class KernelCost:
             syncs=int(round(self.syncs * factor)),
             launches=int(round(self.launches * factor)),
             loop_rounds=int(round(self.loop_rounds * factor)),
+            tensor_core=self.tensor_core,
         )
 
 

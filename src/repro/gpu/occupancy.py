@@ -17,7 +17,15 @@ from dataclasses import dataclass
 from .device import DeviceSpec, get_device
 from .kernel import LaunchConfig
 
-__all__ = ["SMResources", "SM_RESOURCES", "OccupancyResult", "occupancy", "best_block_size"]
+__all__ = [
+    "SMResources",
+    "SM_RESOURCES",
+    "OccupancyResult",
+    "occupancy",
+    "best_block_size",
+    "fragment_registers",
+    "tensor_core_occupancy",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,15 @@ SM_RESOURCES: dict[str, SMResources] = {
         max_warps=64,
         registers=65536,
         shared_memory=164 * 1024,
+    ),
+    # Consumer Ampere (GA102): half the warp slots of the data-centre
+    # parts — fragment register pressure bites much sooner here.
+    "RTX3090": SMResources(
+        max_threads=1536,
+        max_blocks=16,
+        max_warps=48,
+        registers=65536,
+        shared_memory=100 * 1024,
     ),
 }
 
@@ -147,6 +164,46 @@ def launch_for_full_occupancy(
     total = resident_threads * device.n_sms
     grid = max(1, total // block)
     return LaunchConfig(grid=grid, block=block)
+
+
+def fragment_registers(
+    mma_shape: tuple[int, int, int], accumulators: int = 2
+) -> int:
+    """Registers per *thread* to hold one WMMA fragment set.
+
+    A warp-scope MMA keeps its operands in registers spread across the 32
+    lanes: the A fragment (m x k halves, 2 per 32-bit register), the B
+    fragment (k x n halves) and ``accumulators`` C/D fragments (m x n
+    float32, one register each).  ``accumulators=2`` models the chained
+    reduction pattern (carry + current) of Navarro et al.
+    """
+    m, n, k = mma_shape
+    if min(m, n, k) < 1:
+        raise ValueError(f"mma_shape entries must be >= 1, got {mma_shape}")
+    halves = m * k + k * n
+    regs_per_warp = halves / 2 + m * n * accumulators
+    return math.ceil(regs_per_warp / 32)
+
+
+def tensor_core_occupancy(
+    device: "DeviceSpec | str",
+    threads_per_block: int = 256,
+    base_registers: int = 32,
+    fragments_in_flight: int = 2,
+    mma_shape: tuple[int, int, int] | None = None,
+) -> OccupancyResult:
+    """Occupancy of the tensor-core main loop, pricing fragment residency.
+
+    The packed-panel kernel keeps ``fragments_in_flight`` fragment sets
+    live per warp (double-buffered operand staging) on top of its scalar
+    working registers, so the register limiter — not threads or blocks —
+    typically caps residency.  Uses the device's own ``mma_shape`` unless
+    overridden.
+    """
+    device = get_device(device)
+    shape = mma_shape or device.mma_shape
+    regs = base_registers + fragments_in_flight * fragment_registers(shape)
+    return occupancy(device, threads_per_block, registers_per_thread=regs)
 
 
 def _round_up(value: int, granularity: int) -> int:

@@ -99,7 +99,13 @@ def kernel_time(
     t_dram = cost.bytes_dram / eff_dram
     t_l2 = cost.bytes_l2 / (cal.L2_EFFICIENCY * device.l2_bandwidth * scale)
     t_l1 = cost.bytes_l1 / (cal.l1_efficiency(itemsize) * device.l1_bandwidth * scale)
-    t_flop = cost.flops / (cal.SM_EFFICIENCY * device.peak_flops(itemsize))
+    if cost.tensor_core and device.has_tensor_cores:
+        # MMA-unit flops: priced against the tensor-core ceiling, the
+        # 4-8x higher roofline the FP16-multiply/FP32-accumulate panels
+        # execute on (the vector pipes sit idle during the GEMM chain).
+        t_flop = cost.flops / (cal.TC_EFFICIENCY * device.peak_flops_tc)
+    else:
+        t_flop = cost.flops / (cal.SM_EFFICIENCY * device.peak_flops(itemsize))
     busy = max(t_dram, t_l2, t_l1, t_flop)
     overhead = (
         cost.syncs * device.sync_latency

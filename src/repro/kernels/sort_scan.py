@@ -91,6 +91,11 @@ _U16_REST = np.uint16(0x7FFF)
 #: ``np.sort`` along the short, strided axis.
 _NETWORK_MAX_D = 8
 
+#: Largest ``d`` the fused tensor-core path sorts with a Batcher
+#: odd-even merge network (19 comparators at d=8, versus the 28 of the
+#: transposition network); larger planes fall back to ``np.sort``.
+_BATCHER_MAX_D = 16
+
 
 @lru_cache(maxsize=64)
 def _transposition_pairs(d: int) -> tuple[tuple[int, int], ...]:
@@ -119,6 +124,59 @@ def _sort_keys_network(keys: np.ndarray) -> np.ndarray:
         keys[i] = lo
         keys[j] = hi
     return keys
+
+
+@lru_cache(maxsize=64)
+def _batcher_pairs(d: int) -> tuple[tuple[int, int], ...]:
+    """Compare-exchange pairs of Batcher's odd-even merge sorting network
+    for ``d`` inputs, in execution order.
+
+    Built for the next power of two and filtered to comparators whose
+    wires both lie below ``d`` — the dropped wires would carry +inf
+    padding, which never swaps downward, so the filtered network sorts
+    any ``d`` inputs (verified exhaustively by the zero-one principle in
+    the tests).  At ``d = 8`` this is the optimal 19-comparator network,
+    versus the 28 of the odd-even transposition network above.
+    """
+    p = 1 << (d - 1).bit_length()
+    pairs: list[tuple[int, int]] = []
+
+    def merge(lo: int, n: int, r: int) -> None:
+        step = r * 2
+        if step < n:
+            merge(lo, n, step)
+            merge(lo + r, n, step)
+            for i in range(lo + r, lo + n - r, step):
+                pairs.append((i, i + r))
+        else:
+            pairs.append((lo, lo + r))
+
+    def sort(lo: int, hi: int) -> None:
+        if hi - lo >= 1:
+            mid = lo + (hi - lo) // 2
+            sort(lo, mid)
+            sort(mid + 1, hi)
+            merge(lo, hi - lo + 1, 1)
+
+    sort(0, p - 1)
+    return tuple((i, j) for (i, j) in pairs if j < d)
+
+
+def _sort_f32_inplace(plane: np.ndarray) -> np.ndarray:
+    """Ascending in-place per-column sort of a NaN-free float32 plane —
+    the fused tensor-core path's sort, run directly on the FP32 distance
+    fragment with native float min/max (no radix-key transform needed).
+    Value-identical to ``np.sort(plane, axis=0)``."""
+    d = plane.shape[0]
+    if d > _BATCHER_MAX_D:
+        plane[...] = np.sort(plane, axis=0)
+        return plane
+    lo = np.empty_like(plane[0])
+    for i, j in _batcher_pairs(d):
+        np.minimum(plane[i], plane[j], out=lo)
+        np.maximum(plane[i], plane[j], out=plane[j])
+        plane[i] = lo
+    return plane
 
 
 def _sort_columns_exact(plane: np.ndarray) -> np.ndarray:
@@ -272,11 +330,32 @@ def fanin_inclusive_scan(plane: np.ndarray, dtype: np.dtype, count_stages: bool 
     return work
 
 
+@lru_cache(maxsize=16)
+def _scan_tri_f32(d: int) -> np.ndarray:
+    """Lower-triangular all-ones (d, d) float32 matrix — Eq. (2)'s
+    inclusive scan as a single MMA operand (``d <= 16`` fits one
+    fragment row, so the chain has length one)."""
+    tri = np.tril(np.ones((d, d), dtype=np.float32))
+    tri.setflags(write=False)
+    return tri
+
+
 @dataclass
 class SortScanKernel(Kernel):
     """Sort + inclusive-average of one distance plane (d, n_q)."""
 
     policy: PrecisionPolicy = field(kw_only=True)
+
+    #: Fused tensor-core mode: accept the float32 distance fragment from
+    #: ``TcGemmKernel``, sort it with native float min/max, and run
+    #: Eq. (2)'s fan-in scan as one lower-triangular MMA with FP32
+    #: accumulation (``d <= 16`` is a single fragment row; the chained
+    #: form of ``TcGemmKernel`` applies above that).  The inclusive
+    #: average divides in float32 — no half rounding happens here at
+    #: all; the single narrow store is the update kernel's profile
+    #: merge.  Cost accounting is unchanged (the network/stage
+    #: conventions stay, conservatively).
+    mma_scan: bool = field(default=False, kw_only=True)
 
     def run(self, plane: np.ndarray, rows: int = 1) -> np.ndarray:
         """Returns D'' — the (d, n_q) plane of inclusive averages, where row
@@ -292,6 +371,12 @@ class SortScanKernel(Kernel):
         """
         dtype = self.policy.compute
         d = plane.shape[0]
+        if (
+            self.mma_scan
+            and plane.dtype == np.float32
+            and dtype == np.float16
+        ):
+            return self._run_mma(plane, rows)
         plane_c = plane.astype(dtype, copy=False)
         if rows > 1:
             # Blocked fast path: value-exact sort, float32-domain scan
@@ -324,6 +409,28 @@ class SortScanKernel(Kernel):
                 averaged = (scanned / divisors).astype(dtype)
         self._record_cost(plane, sort_stages + scan_stages, rows)
         return averaged
+
+    def _run_mma(self, plane: np.ndarray, rows: int) -> np.ndarray:
+        """Fused tensor-core sort+scan on the FP32 distance fragment.
+
+        ``plane`` is treated as scratch (it is ``TcGemmKernel``'s reused
+        panel) and sorted in place; the scanned inclusive averages come
+        back in a reused float32 buffer of the same shape.  Saturated
+        distance planes are non-negative and NaN-free, so native float
+        min/max networks sort them exactly.
+        """
+        d = plane.shape[0]
+        sorted_plane = _sort_f32_inplace(plane)
+        out = getattr(self, "_mma_out", None)
+        if out is None or out.shape != plane.shape:
+            out = np.empty_like(plane)
+            self._mma_out = out
+        np.matmul(_scan_tri_f32(d), sorted_plane, out=out)
+        np.divide(out, _divisor_column(d, np.dtype(np.float32)), out=out)
+        sort_stages = _network_stage_count(_next_pow2(d))
+        scan_stages = max(d - 1, 0).bit_length()
+        self._record_cost(plane, sort_stages + scan_stages, rows)
+        return out
 
     def _record_cost(self, plane: np.ndarray, stages: int, rows: int = 1) -> None:
         """Cost of ``rows`` logical per-row invocations, per the

@@ -1,0 +1,393 @@
+"""Tensor-core main loop: the ``dist_calc`` recurrence as chained GEMMs.
+
+The streaming recurrence of Eq. (1),
+
+    QT[i, j] = QT[i-1, j-1] + df_r[i]*dg_q[j] + df_q[j]*dg_r[i]
+
+advances one row per step, which on hardware costs one kernel launch per
+row and keeps the FMA pipes at vector-FP16 rates.  This kernel executes a
+whole ``row_block x n_q`` panel per super-step on the (simulated)
+tensor-core unit instead, following the playbook of Curless (*Mixed
+Precision Euclidean Distance Using Tensor Cores*) and Navarro et al.
+(*Tensor Cores for Arithmetic Reductions*):
+
+1. **Rank-2 update GEMM.**  The per-row update term
+   ``u[t, j] = df_r[i0+t]*dg_q[j] + df_q[j]*dg_r[i0+t]`` over the whole
+   panel is exactly a k=2 GEMM with FP16 operands (``df``/``dg`` are
+   storage-dtype halves) and an FP32 accumulator — each product of two
+   halves is exact in float32, so the batched ``(T, 2) @ (2, n_q)``
+   matmul below *is* the WMMA result bit-for-bit.
+
+2. **Diagonal shear.**  In diagonal coordinates ``q = j - t`` the
+   recurrence decouples: ``QT[i0+t, q+t] = QT[i0-1, q-1] + sum_{s<=t}
+   U[s, q]`` with ``U[s, q] = u[s, q+s]``.  The shear is a zero-copy
+   strided view of the zero-padded update panel; the base row is
+   *independent of t*, so it folds into the accumulator's initial value.
+
+3. **Chained-MMA prefix sum.**  The column prefix over ``t`` is a matmul
+   with the lower-triangular all-ones matrix, evaluated in chained
+   ``mma_k``-row chunks whose running carry lives in the FP32 accumulator
+   fragment (Navarro's chained-reduction trick).  To enter the chain each
+   update term is first demoted to FP16 — the *per-operation operand
+   rounding* of WMMA semantics — but every addition thereafter rounds in
+   FP32.  That flips the error structure of the vector half loop: the
+   per-step ``eps16`` growth becomes a constant, and only an ``eps32``
+   growth term remains (see ``precision.errors.tc_gemm_error_bound``).
+
+4. **Corner chains.**  Diagonals entering through column 0 *inside* the
+   block (``j <= t``) restart from the precalculated ``qt_col0`` entries;
+   they form a second, ``row_block``-wide sheared panel fed through the
+   same chained prefix with ``qt_col0`` as the initial carry.
+
+5. **Fused FP32 epilogue.**  The panel's QT values end the chain in the
+   FP32 accumulator, so the correlation -> distance conversion runs in
+   float32 *before* anything is stored: on hardware the normalisation
+   multiplies and the square root execute on the accumulator fragment in
+   registers, and the distance panel flows to the sort stage through
+   shared memory without a half round-trip.  Only two narrow stores
+   remain per chain: the block-boundary QT row and (after sort/update)
+   the winning profile entry.  The distance block this kernel returns is
+   therefore float32 — ``SortScanKernel`` (``mma_scan``) and
+   ``UpdateKernel`` consume it in that form, and cost accounting keeps
+   charging storage-dtype planes (the modelled device still moves FP16;
+   register-file conversions are free on hardware).
+
+Only the FP16-storage wide-precalc modes (Mixed, FP16C) are eligible —
+see ``precision.modes.TENSOR_CORE_MODES``; the backend falls back to the
+vector path for everything else.  The result is numerically *different*
+from the vector modes (that is the point: FP32 accumulation), so the
+tensor-core path is a distinct cache-key axis, not a bit-identical
+rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from ..precision.modes import DTYPE_MAX, TENSOR_CORE_MODES
+from .dist_calc import DistCalcKernel
+from .precalc import PrecalcResult
+
+__all__ = ["TcGemmKernel"]
+
+#: Flops of one dense 16x16x16 MMA (2*m*n*k).
+_MMA_FLOPS = 2 * 16 * 16 * 16
+
+#: FP16 saturation value used by the fused epilogue (the storage format's
+#: largest finite value, kept in float32).
+_F16_LIMIT = np.float32(DTYPE_MAX[np.dtype(np.float16)])
+
+# Bit thresholds of the float32 -> float16 quantiser below: |x| < 2^-14
+# (the result is an FP16 subnormal) and |x| >= 65520 (the result
+# overflows to infinity; 65520 is the exact rounding boundary).
+_MAG_MASK = np.uint32(0x7FFFFFFF)
+_SUBNORMAL_LIM = np.uint32(0x38800000)
+_OVERFLOW_LIM = np.uint32(0x477FF000)
+#: Round-to-grid constant: adding then subtracting 0.75 rounds any
+#: |x| < 2^-14 to the FP16 subnormal grid (2^-24) with RNE, exactly.
+_GRID_C = np.float32(0.75)
+
+
+@lru_cache(maxsize=16)
+def _ltri_f32(k: int) -> np.ndarray:
+    """Lower-triangular all-ones (k, k) float32 matrix — the inclusive
+    prefix-sum operator ``S = L @ U``.  Ones and zeros are exact halves,
+    so using it as an FP16 MMA operand loses nothing."""
+    tri = np.tril(np.ones((k, k), dtype=np.float32))
+    tri.setflags(write=False)
+    return tri
+
+
+@lru_cache(maxsize=32)
+def _corner_indices(T: int, n_q: int, pad_w: int):
+    """Gather indices and mask for the corner chains of a ``T x n_q``
+    panel whose padded update panel is ``pad_w`` wide.
+
+    * ``idx_w``: ``W[s, a] = Pd[s, max(s-a, 0)]`` — the corner shear;
+      clipped indices land on the padded panel's all-zero column 0, which
+      is exactly the ``s <= a`` zero prefix the corner chain needs.
+    * ``idx_corner`` + ``mask_corner``: ``out[t, j] = P[t, t-j]`` where
+      ``1 <= j <= t`` (P is the corner chain's prefix panel).
+    """
+    s = np.arange(T, dtype=np.intp)[:, None]
+    a = np.arange(T, dtype=np.intp)[None, :]
+    idx_w = (s * pad_w + np.maximum(s - a, 0)).ravel()
+    t = np.arange(T, dtype=np.intp)[:, None]
+    cj = min(T, n_q)
+    jc = np.arange(cj, dtype=np.intp)[None, :]
+    idx_corner = (t * T + np.clip(t - jc, 0, T - 1)).ravel()
+    mask_corner = ((jc >= 1) & (jc <= t))[None, :, :]
+    out = (idx_w, idx_corner, mask_corner)
+    for arr in out:
+        arr.setflags(write=False)
+    return out
+
+
+@dataclass
+class TcGemmKernel(DistCalcKernel):
+    """Packed-panel tensor-core execution of the ``dist_calc`` main loop.
+
+    Reuses the parent's operand binding and cost-plane conventions but
+    replaces the sequential per-row recurrence of :meth:`run_block` with
+    the sheared chained-GEMM panel described in the module docstring.
+    :meth:`run_block` returns the distance block as *float32* (the fused
+    epilogue's accumulator contents); pair it with
+    ``SortScanKernel(mma_scan=True)`` and the stock ``UpdateKernel``,
+    which reduce the wide panel before the single FP16 store.
+    """
+
+    #: Chunk height of the chained prefix — the ``k`` of the device's MMA
+    #: fragment shape (16 on every shipping NVIDIA part).
+    mma_k: int = field(default=16, kw_only=True)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mma_k < 1:
+            raise ValueError(f"mma_k must be >= 1, got {self.mma_k}")
+        self.cost.tensor_core = True
+        self._tc_round = None  # quantiser scratch; usable before bind()
+
+    def bind(self, pre: PrecalcResult) -> None:
+        if self.policy.mode not in TENSOR_CORE_MODES:
+            eligible = ", ".join(m.value for m in TENSOR_CORE_MODES)
+            raise ValueError(
+                f"tensor-core main loop requires an FP16-storage wide-precalc"
+                f" mode ({eligible}), got {self.policy.mode.value}"
+            )
+        super().bind(pre)
+        self._tc_buffers: dict[tuple[str, int], np.ndarray] = {}
+        self._tc_B = None  # (d, 2, W) rank-2 update right operand
+        self._tc_round = None  # quantiser scratch, per panel shape
+
+    def _ensure_block_state(self) -> None:
+        if self._blk_ready:
+            return
+        super()._ensure_block_state()
+        self._qt_col0_w = self._qt_col0.astype(self._wide)
+        # The fused epilogue folds the 2m distance scale into the row
+        # normaliser: D^2 = 2m - QT * (2m * inv_r) * inv_q.
+        self._two_m_w = np.float32(2 * self.pre.m)
+        self._inv_r_2m = (self._inv_r_w * self._two_m_w).astype(np.float32)
+
+    def _tc_buf(self, kind: str, T: int, cols: int) -> np.ndarray:
+        """Per-(kind, block-height) float32 scratch panel.  Contents are
+        fully overwritten by each use; nothing relies on stale state."""
+        buf = self._tc_buffers.get((kind, T))
+        if buf is None:
+            d = self._inv_q.shape[0]
+            buf = np.empty((d, T, cols), dtype=np.float32)
+            self._tc_buffers[(kind, T)] = buf
+        return buf
+
+    def _tc_operands(self, T: int) -> tuple[np.ndarray, np.ndarray]:
+        """The per-block left operand ``A`` and the tile-wide right
+        operand ``B`` of the rank-2 update GEMM, with ``B`` zero-padded
+        so the batched matmul writes the sheared panel's zero border
+        directly (column 0 and the ``T`` wrap-around columns)."""
+        d, n_q = self._inv_q.shape
+        W = n_q + T
+        if self._tc_B is None or self._tc_B.shape[2] < W:
+            B = np.zeros((d, 2, W), dtype=np.float32)
+            B[:, 0, 1:n_q] = self._dg_q_w[:, 1:]
+            B[:, 1, 1:n_q] = self._df_q_w[:, 1:]
+            self._tc_B = B
+        A = self._tc_buf("A", T, 2)
+        return A, self._tc_B[:, :, :W]
+
+    def _quantise_f16(self, buf: np.ndarray) -> None:
+        """In-place float32 -> FP16-valued float32 quantisation (RNE) —
+        the operand rounding that loads ``buf`` into MMA fragments.
+
+        Equivalent to ``buf.astype(float16).astype(float32)`` except the
+        sign of a negative zero may flip (irrelevant: the values feed
+        additions only).  Normal-range values round via the classic
+        mantissa bit trick; subnormal results via an exact add/subtract
+        against 0.75, which forces RNE onto the 2^-24 grid — both fully
+        vectorised, unlike the boolean-gather fallback of
+        ``_f16fast.round_f16_inplace``, whose cost explodes as soon as a
+        single update term lands below 2^-14 (common for df*dg products).
+        Overflow/NaN/inf entries take a gathered scalar fallback, rare by
+        the same magnitude argument.
+        """
+        scratch = self._tc_round
+        if scratch is None or scratch[0].shape != buf.shape:
+            scratch = (
+                np.empty(buf.shape, dtype=np.uint32),
+                np.empty(buf.shape, dtype=np.uint32),
+                np.empty(buf.shape, dtype=np.float32),
+                np.empty(buf.shape, dtype=bool),
+            )
+            self._tc_round = scratch
+        mag, gbuf, tmp32, small = scratch
+        v = buf.view(np.uint32)
+        np.bitwise_and(v, _MAG_MASK, out=mag)
+        top = mag.max()
+        ext_mask = ext_vals = None
+        if top >= _OVERFLOW_LIM:
+            ext_mask = mag >= _OVERFLOW_LIM
+            with np.errstate(over="ignore"):
+                ext_vals = buf[ext_mask].astype(np.float16).astype(np.float32)
+        np.less(mag, _SUBNORMAL_LIM, out=small)
+        has_small = bool(small.any())
+        if has_small:
+            np.add(buf, _GRID_C, out=tmp32)
+            np.subtract(tmp32, _GRID_C, out=tmp32)
+        # RNE bit trick for the normal range, in place.
+        np.right_shift(v, np.uint32(13), out=gbuf)
+        np.bitwise_and(gbuf, np.uint32(1), out=gbuf)
+        np.add(gbuf, v, out=gbuf)
+        np.add(gbuf, np.uint32(0x0FFF), out=gbuf)
+        np.bitwise_and(gbuf, np.uint32(0xFFFFE000), out=v)
+        if has_small:
+            np.copyto(buf, tmp32, where=small)
+        if ext_mask is not None:
+            buf[ext_mask] = ext_vals
+
+    def _panel(self, i_start: int, T: int, base_f16: np.ndarray) -> np.ndarray:
+        """QT planes of rows ``i_start .. i_start+T-1`` given the previous
+        row ``base_f16`` — returned as a reused (d, T, n_q) float32 panel
+        (the FP32 accumulator contents)."""
+        d, n_q = self._inv_q.shape
+        out = self._tc_buf("out", T, n_q)
+        if n_q == 1:
+            out[:, :, 0] = self._qt_col0_w[:, i_start : i_start + T]
+            return out
+
+        # Rank-2 update GEMM: exact FP16xFP16 products accumulated in
+        # FP32, then one demotion to FP16 — the operand quantisation
+        # feeding the prefix chain's MMA fragments.  The zero-padded
+        # right operand makes the matmul emit the sheared panel's zero
+        # border for free.
+        A, B = self._tc_operands(T)
+        A[:, :, 0] = self._df_r_w[:, i_start : i_start + T]
+        A[:, :, 1] = self._dg_r_w[:, i_start : i_start + T]
+        pad = self._tc_buf("pad", T, n_q + T)
+        with np.errstate(over="ignore", invalid="ignore"):
+            np.matmul(A, B, out=pad)
+            self._quantise_f16(pad)
+
+        # Diagonal shear as a zero-copy strided view:
+        # main[k, s, q'] = pad[k, s, q'+1+s].
+        sd, sr, sc = pad.strides
+        main_v = as_strided(
+            pad[:, :, 1:], shape=(d, T, n_q - 1), strides=(sd, sr + sc, sc)
+        )
+        idx_w, idx_corner, mask_corner = _corner_indices(T, n_q, n_q + T)
+        cornerW = self._tc_buf("cornerW", T, T)
+        np.take(pad.reshape(d, -1), idx_w, axis=1, out=cornerW.reshape(d, -1))
+
+        # Chained-MMA prefix: mma_k-row chunks, FP32 carry in the
+        # accumulator fragment.  The base QT row (main diagonals) and the
+        # qt_col0 entries (corner diagonals) seed the carries.  The scan
+        # buffer carries T-1 left-padding columns so the un-shear below
+        # is a strided copy instead of a gather.
+        SB = self._tc_buf("scanS", T, (T - 1) + (n_q - 1))
+        real = SB[:, :, T - 1 :]
+        scanP = self._tc_buf("scanP", T, T)
+        tmpc = self._tc_buf("chunk", min(self.mma_k, T), n_q - 1)
+        carry_s = base_f16.astype(np.float32)[:, None, : n_q - 1]
+        carry_p = self._qt_col0_w[:, None, i_start : i_start + T]
+        mk = self.mma_k
+        with np.errstate(over="ignore", invalid="ignore"):
+            for c0 in range(0, T, mk):
+                r = min(mk, T - c0)
+                tri = _ltri_f32(r)
+                chunk = tmpc[:, :r]
+                np.matmul(tri, main_v[:, c0 : c0 + r], out=chunk)
+                np.add(chunk, carry_s, out=chunk)
+                real[:, c0 : c0 + r] = chunk
+                carry_s = real[:, c0 + r - 1 : c0 + r]
+                np.matmul(tri, cornerW[:, c0 : c0 + r], out=scanP[:, c0 : c0 + r])
+                np.add(
+                    scanP[:, c0 : c0 + r], carry_p, out=scanP[:, c0 : c0 + r]
+                )
+                carry_p = scanP[:, c0 + r - 1 : c0 + r]
+
+        # Un-shear back to row coordinates: strided copy for the main
+        # diagonals, gathered overlay for the corner chains, and the
+        # direct column-0 strip.
+        ssd, ssr, ssc = SB.strides
+        un_v = as_strided(
+            SB[:, :, T - 1 :], shape=(d, T, n_q - 1), strides=(ssd, ssr - ssc, ssc)
+        )
+        np.copyto(out[:, :, 1:], un_v)
+        cj = min(T, n_q)
+        corner_vals = np.take(scanP.reshape(d, -1), idx_corner, axis=1)
+        np.copyto(out[:, :, :cj], corner_vals.reshape(d, T, cj), where=mask_corner)
+        out[:, :, 0] = self._qt_col0_w[:, i_start : i_start + T]
+        return out
+
+    def run_block(self, i0: int, rows: int, workspace: np.ndarray | None) -> np.ndarray:
+        """Tensor-core super-step: one packed-panel launch for ``rows``
+        reference rows.  ``workspace`` (the vector path's QT block buffer)
+        is unused — the panel lives in the FP32 accumulator scratch and
+        only the block-boundary row is demoted to FP16 storage.  Returns
+        the (d, rows, n_q) *float32* distance block (see the module
+        docstring on the fused epilogue)."""
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if i0 != 0 and self.qt is None:
+            raise RuntimeError("rows must be visited in order starting at 0")
+        self._ensure_block_state()
+        d, n_q = self._inv_q.shape
+        if i0 == 0:
+            out_w = self._tc_buf("out0", rows, n_q)
+            out_w[:, 0] = self.pre.qt_row0
+            if rows > 1:
+                out_w[:, 1:] = self._panel(1, rows - 1, self.pre.qt_row0)
+        else:
+            out_w = self._panel(i0, rows, self.qt)
+        with np.errstate(over="ignore", invalid="ignore"):
+            # Block-boundary FP16 store: the only narrow QT rounding per
+            # chain.
+            self.qt = out_w[:, rows - 1].astype(self.policy.compute)
+            # Fused FP32 epilogue on the accumulator fragment:
+            # D = sqrt(2m - QT * (2m * inv_r) * inv_q), saturated.
+            np.multiply(out_w, self._inv_r_2m[:, i0 : i0 + rows, None], out=out_w)
+            np.multiply(out_w, self._inv_q_w[:, None, :], out=out_w)
+            np.subtract(self._two_m_w, out_w, out=out_w)
+            np.maximum(out_w, np.float32(0.0), out=out_w)
+            np.sqrt(out_w, out=out_w)
+            top = np.max(out_w)
+            if not np.isfinite(top) or top > _F16_LIMIT:
+                fin = np.isfinite(out_w)
+                np.invert(fin, out=fin)
+                np.copyto(out_w, _F16_LIMIT, where=fin)
+                np.minimum(out_w, _F16_LIMIT, out=out_w)
+        self._record_cost_tc(n_q, rows)
+        return out_w
+
+    def _record_cost_tc(self, n_q: int, rows: int) -> None:
+        """One super-step launch; flops in whole 16x16x16 MMA fragments.
+
+        DRAM/L2 planes keep the parent's per-row conventions (the operand
+        streams and the distance write are unchanged, still priced at the
+        FP16 storage width); what moves is the arithmetic — priced on the
+        tensor-core unit via the cost's ``tensor_core`` flag — and the
+        launch count, now one per panel instead of one per row.
+        """
+        d = self._inv_q.shape[0]
+        elems = float(d * n_q)
+        size = self.policy.storage.itemsize
+        chunks = -(-rows // self.mma_k)
+        frag_rows = -(-rows // 16)
+        mmas_update = frag_rows * (-(-n_q // 16))  # k=2 rank-2 update
+        mmas_scan = chunks * (
+            -(-max(n_q - 1, 1) // 16) + -(-rows // 16)  # main + corner chains
+        )
+        flops = float(d) * (
+            mmas_update * (2.0 * 16 * 16 * 2) + mmas_scan * float(_MMA_FLOPS)
+        )
+        step = self.config.total_threads
+        self._account(
+            bytes_dram=rows * 3.0 * elems * size,
+            bytes_l2=rows * 6.0 * elems * size,
+            flops=flops,
+            syncs=chunks,
+            launches=1,
+            loop_rounds=-(-(rows * int(elems)) // step),
+        )

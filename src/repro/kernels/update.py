@@ -94,10 +94,27 @@ class UpdateKernel(Kernel):
             raise ValueError(
                 f"block shape {block.shape} != profile shape {self.profile.shape}"
             )
-        block = block.astype(self.policy.storage, copy=False)
-        if mask is not None:
-            limit = self.policy.storage.type(DTYPE_MAX[np.dtype(self.policy.storage)])
-            block = np.where(mask[None, :, :], limit, block)
+        storage = self.policy.storage
+        wide_block = block.dtype.itemsize > storage.itemsize
+        if wide_block:
+            # Fused tensor-core path: the block is the FP32 accumulator
+            # fragment from the mma sort/scan (and that kernel's scratch,
+            # so masking in place is fine).  Reduce over the row axis
+            # *before* narrowing — on hardware the min-merge runs in
+            # registers and only the winning entry is stored — so the
+            # single FP16 rounding per column happens at the store below.
+            # Ties are decided on the wide values; columns whose wide
+            # values differ only below storage precision may therefore
+            # pick a different (equally minimal after rounding) row than
+            # the storage-domain networks.
+            if mask is not None:
+                limit = block.dtype.type(DTYPE_MAX[np.dtype(storage)])
+                np.copyto(block, limit, where=mask[None, :, :])
+        else:
+            block = block.astype(storage, copy=False)
+            if mask is not None:
+                limit = storage.type(DTYPE_MAX[np.dtype(storage)])
+                block = np.where(mask[None, :, :], limit, block)
         if block.dtype == np.float16:
             # Half comparisons are scalar convert-to-float loops; the
             # planes here are saturated inclusive averages — non-negative
@@ -105,9 +122,16 @@ class UpdateKernel(Kernel):
             # like their values and an integer argmin (first minimum,
             # same tie-break) returns identical indices, vectorised.
             best_row = np.argmin(block.view(np.uint16), axis=1)
+        elif block.dtype == np.float32:
+            # Same radix-key argument at single precision (the wide
+            # fused-path planes are saturated distances too).
+            best_row = np.argmin(block.view(np.uint32), axis=1)
         else:
             best_row = np.argmin(block, axis=1)  # (d, n_q), first min row
         best_val = np.take_along_axis(block, best_row[:, None, :], axis=1)[:, 0, :]
+        if wide_block:
+            with np.errstate(over="ignore", invalid="ignore"):
+                best_val = best_val.astype(storage)
         improved = best_val < self.profile
         np.copyto(self.profile, best_val, where=improved)
         np.copyto(

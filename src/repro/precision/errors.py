@@ -21,11 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .modes import DTYPE_MAX, PrecisionMode, policy_for
+from .modes import DTYPE_MAX, MACHINE_EPS, PrecisionMode, policy_for
 
 __all__ = [
     "dot_product_error_bound",
     "streaming_qt_error_bound",
+    "tc_gemm_error_bound",
     "tile_edge_for_target_error",
     "correlation_condition_number",
     "implied_correlation",
@@ -71,6 +72,57 @@ def streaming_qt_error_bound(
         precalc_part = 2.0 * policy.precalc_eps
     stream_part = dot_product_error_bound(2 * rows, policy.eps)
     return precalc_part + stream_part
+
+
+def tc_gemm_error_bound(
+    rows: int, m: int, mode: PrecisionMode | str, row_block: int = 32
+) -> float:
+    """Relative error bound for QT on the tensor-core main loop.
+
+    The packed-panel kernel evaluates the same recurrence as
+    :func:`streaming_qt_error_bound` but with WMMA semantics: the rank-2
+    update terms are quantised to FP16 *once* (operand rounding), then the
+    within-block prefix accumulation runs as chained MMAs with an **FP32
+    accumulator**, and only the block-boundary QT row is stored back to
+    FP16.  That changes the error structure versus both half-family
+    Section V-B bounds:
+
+    * operand quantisation perturbs each of the ``2*rows`` update terms by
+      at most ``eps16`` relative to the term's magnitude — summed exactly
+      thereafter, this contributes a *constant* ``2*eps16`` (plus one
+      ``eps16`` per block-boundary FP16 store and one for the final store),
+      not the ``gamma_{2 rows}(eps16)`` growth of the vector FP16 loop;
+    * the accumulation chain itself rounds in FP32, contributing
+      ``gamma_{2 rows}(eps32)`` — growth with tile edge survives, but at
+      the FP32 rate, ~8000x smaller per step than FP16.
+
+    The precalculation contribution is unchanged from the mode's policy
+    (FP32 seed dot products; Kahan-compensated for FP16C).  Only the
+    FP16-storage wide-precalc modes (``TENSOR_CORE_MODES``) are valid —
+    the bound is meaningless for policies the tensor-core path refuses.
+    """
+    from .modes import TENSOR_CORE_MODES
+
+    policy = policy_for(mode)
+    if policy.mode not in TENSOR_CORE_MODES:
+        eligible = ", ".join(m_.value for m_ in TENSOR_CORE_MODES)
+        raise ValueError(
+            f"tc_gemm_error_bound applies to the tensor-core modes"
+            f" ({eligible}), not {policy.mode.value}"
+        )
+    if rows < 0:
+        raise ValueError(f"rows must be non-negative, got {rows}")
+    if row_block < 1:
+        raise ValueError(f"row_block must be >= 1, got {row_block}")
+    eps16 = MACHINE_EPS[np.dtype(np.float16)]
+    eps32 = MACHINE_EPS[np.dtype(np.float32)]
+    precalc_part = dot_product_error_bound(m, policy.precalc_eps)
+    if policy.compensated:
+        precalc_part = 2.0 * policy.precalc_eps
+    n_blocks = math.ceil(rows / row_block) if rows else 0
+    operand_part = (2.0 + n_blocks + 1.0) * eps16
+    accum_part = dot_product_error_bound(2 * rows, eps32)
+    return precalc_part + operand_part + accum_part
 
 
 def tile_edge_for_target_error(

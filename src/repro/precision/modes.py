@@ -31,6 +31,7 @@ __all__ = [
     "policy_for",
     "MACHINE_EPS",
     "DTYPE_MAX",
+    "TENSOR_CORE_MODES",
 ]
 
 #: Unit roundoff (machine epsilon for round-to-nearest) per IEEE format,
@@ -170,3 +171,14 @@ POLICIES: dict[PrecisionMode, PrecisionPolicy] = {
 def policy_for(mode: "PrecisionMode | str") -> PrecisionPolicy:
     """Return the :class:`PrecisionPolicy` for ``mode`` (string accepted)."""
     return POLICIES[PrecisionMode.parse(mode)]
+
+
+#: Modes eligible for the tensor-core main loop.  WMMA fragments take
+#: FP16 operands and accumulate in FP32 — that matches the FP16-storage,
+#: wide-precalc modes exactly.  Pure FP16 is excluded (its all-half
+#: accumulation chain contradicts the FP32 accumulator the hardware
+#: provides), as are FP32/FP64 (operands would have to be truncated).
+TENSOR_CORE_MODES: tuple[PrecisionMode, ...] = (
+    PrecisionMode.MIXED,
+    PrecisionMode.FP16C,
+)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.device import A100, DEVICES, SKYLAKE16, V100, get_device
+from repro.gpu.device import A100, DEVICES, RTX3090, SKYLAKE16, V100, get_device
 
 
 class TestDeviceSpecs:
@@ -33,6 +33,29 @@ class TestDeviceSpecs:
         assert A100.peak_flops(4) == A100.peak_flops_fp32
         assert A100.peak_flops(2) == A100.peak_flops_fp16
 
+    def test_peak_flops_rejects_unsupported_itemsize(self):
+        # A hypothetical FP8 itemsize must fail loudly, not price at the
+        # FP16 rate.
+        with pytest.raises(ValueError, match="unsupported itemsize"):
+            A100.peak_flops(1)
+        with pytest.raises(ValueError, match="expected one of: 2, 4, 8"):
+            V100.peak_flops(16)
+
+    def test_peak_flops_table_is_authoritative(self):
+        for dev in DEVICES.values():
+            table = dev.peak_flops_table
+            assert set(table) == {2, 4, 8}
+            for itemsize, rate in table.items():
+                assert dev.peak_flops(itemsize) == rate
+
+    def test_tensor_core_presence(self):
+        for dev in (V100, A100, RTX3090):
+            assert dev.has_tensor_cores
+            assert dev.peak_flops_tc > dev.peak_flops_fp16
+            assert dev.mma_shape == (16, 16, 16)
+        assert not SKYLAKE16.has_tensor_cores
+        assert SKYLAKE16.peak_flops_tc == 0.0
+
     def test_cpu_is_host_resident(self):
         assert SKYLAKE16.kind == "cpu"
         assert SKYLAKE16.pcie_bandwidth == 0.0
@@ -57,4 +80,4 @@ class TestGetDevice:
             get_device("H100")
 
     def test_registry_complete(self):
-        assert set(DEVICES) == {"v100", "a100", "skylake16"}
+        assert set(DEVICES) == {"v100", "a100", "rtx3090", "skylake16"}

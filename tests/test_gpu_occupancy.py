@@ -79,4 +79,4 @@ class TestLaunchForFullOccupancy:
         assert fat.total_threads < lean.total_threads
 
     def test_tables_exist(self):
-        assert set(SM_RESOURCES) == {"V100", "A100"}
+        assert set(SM_RESOURCES) == {"V100", "A100", "RTX3090"}
