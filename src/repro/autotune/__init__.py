@@ -7,6 +7,7 @@ tuner with calibration/feedback state, and
 """
 
 from .cost import HostCostModel, modeled_device_seconds, roofline_breakdown
+from .feedback import TuningObserver
 from .planner import AutoTuner, Candidate, TuneDecision
 
 __all__ = [
@@ -14,6 +15,7 @@ __all__ = [
     "Candidate",
     "TuneDecision",
     "HostCostModel",
+    "TuningObserver",
     "roofline_breakdown",
     "modeled_device_seconds",
 ]

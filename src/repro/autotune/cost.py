@@ -30,6 +30,11 @@ from ..precision.modes import policy_for
 
 __all__ = ["HostCostModel", "roofline_breakdown", "modeled_device_seconds"]
 
+#: Per-cell host multiplier for a mirrored (upper-triangular symmetric)
+#: tile: the update kernel re-reads each plane for the row-wise reduce
+#: (one extra compare per element; see ``UpdateKernel._record_cost``).
+MIRROR_CELL_FACTOR = 1.25
+
 
 class HostCostModel:
     """Predicts host wall seconds for one candidate configuration.
@@ -69,16 +74,27 @@ class HostCostModel:
             )
         return self.calibration.cell_time(mode)
 
-    def _spill_penalty(self, row_block: int, plane_elems: int, mode) -> float:
+    def _spill_penalty(
+        self, row_block: int, plane_elems: int, mode, backend: str = "numeric"
+    ) -> float:
         """Per-cell multiplier once the block workspace outgrows cache.
 
-        ``run_tile`` keeps ~4 row-block-sized planes live per super-step;
-        past the calibrated cache budget the per-cell rate degrades
+        ``run_tile`` keeps a backend-dependent number of row-block-sized
+        planes live per super-step — ~4 on the vector path, ~3 on the
+        tensor-core path, whose FP32 pad/accumulate/scan fragments share
+        buffers (see ``repro.engine.backends.WORKSPACE_HALF_PLANES``).
+        Past the calibrated cache budget the per-cell rate degrades
         linearly up to ``spill_factor``.
         """
+        # Deferred: engine.backends transitively imports this package.
+        from ..engine.backends import WORKSPACE_HALF_PLANES
+
         c = self.calibration
         itemsize = policy_for(mode).itemsize
-        workspace = 4.0 * row_block * plane_elems * itemsize
+        planes = WORKSPACE_HALF_PLANES.get(
+            "tensor_core" if backend == "tensor_core" else "vector", 4
+        )
+        workspace = float(planes) * row_block * plane_elems * itemsize
         if workspace <= c.workspace_bytes:
             return 1.0
         frac = min((workspace - c.workspace_bytes) / (3.0 * c.workspace_bytes), 1.0)
@@ -92,6 +108,7 @@ class HostCostModel:
         mode,
         row_block: int,
         backend: str = "numeric",
+        mirror: bool = False,
     ) -> float:
         """Predicted host seconds for one tile of the main loop.
 
@@ -100,17 +117,21 @@ class HostCostModel:
         (< 1 — the fused panel replaces the per-row streaming recurrence)
         and the super-step overhead by ``tc_step_factor`` (> 1 — panel
         packing, shear views and the chained-GEMM dispatch cost more
-        python per block).
+        python per block).  ``mirror`` prices a symmetric self-join tile
+        whose panel is reduced twice (column- and row-wise) by scaling
+        the per-cell rate with :data:`MIRROR_CELL_FACTOR`.
         """
         c = self.calibration
         steps = math.ceil(rows / max(row_block, 1))
-        penalty = self._spill_penalty(row_block, cols * d, mode)
+        penalty = self._spill_penalty(row_block, cols * d, mode, backend)
         cells = float(rows) * cols * d
         step_rate = c.step_time(mode)
         cell_rate = self.cell_time(mode)
         if backend == "tensor_core":
             step_rate *= c.tc_step_factor
             cell_rate *= c.tc_cell_factor
+        if mirror:
+            cell_rate *= MIRROR_CELL_FACTOR
         return (
             c.tile_overhead
             + steps * step_rate
@@ -146,21 +167,26 @@ class HostCostModel:
         n_r_seg: int | None = None,
         n_q_seg: int | None = None,
         backend: str = "numeric",
+        symmetric: bool = False,
     ) -> float:
         """Predicted host wall seconds for a whole tiled job.
 
-        ``tiles`` is an iterable of ``(rows, cols)`` tile geometries or
-        ``(rows, cols, count)`` weighted geometries — a near-square grid
-        has at most four distinct geometries however many tiles it holds,
-        so weighting keeps pricing O(1) in the tile count.  Parallel
-        workers scale the serial tile time by the calibrated thread-pool
+        ``tiles`` is an iterable of ``(rows, cols)`` tile geometries,
+        ``(rows, cols, count)`` weighted geometries, or ``(rows, cols,
+        count, mirror)`` — a near-square grid has at most four distinct
+        geometries however many tiles it holds, so weighting keeps
+        pricing O(1) in the tile count; ``mirror`` marks the
+        upper-triangular tiles of a symmetric layout.  Parallel workers
+        scale the serial tile time by the calibrated thread-pool
         efficiency, floored at the longest single tile (critical path),
         plus a per-worker spawn cost.  The result is scaled by the
         candidate's online correction factor when one has been observed
-        (see :meth:`correct`).
+        (see :meth:`correct`); ``symmetric`` keys that correction, so
+        triangular and full-grid points learn independently.
         """
         times = [
-            (self.tile_time(t[0], t[1], d, mode, row_block, backend=backend),
+            (self.tile_time(t[0], t[1], d, mode, row_block, backend=backend,
+                            mirror=bool(t[3]) if len(t) > 3 else False),
              t[2] if len(t) > 2 else 1)
             for t in tiles
         ]
@@ -172,7 +198,7 @@ class HostCostModel:
                 n_r_seg, n_q_seg, d, m, mode, precalc_strategy
             )
         factor = self.correction(
-            mode, row_block, workers, precalc_strategy, backend
+            mode, row_block, workers, precalc_strategy, backend, symmetric
         )
         if workers <= 1:
             return serial * factor
@@ -188,7 +214,8 @@ class HostCostModel:
 
     @staticmethod
     def _correction_key(
-        mode, row_block: int, workers: int, precalc_strategy: str, backend: str
+        mode, row_block: int, workers: int, precalc_strategy: str, backend: str,
+        symmetric: bool = False,
     ) -> tuple:
         return (
             getattr(mode, "value", str(mode)),
@@ -196,16 +223,19 @@ class HostCostModel:
             int(workers),
             precalc_strategy,
             backend,
+            bool(symmetric),
         )
 
     def correction(
         self, mode, row_block: int, workers: int, precalc_strategy: str,
-        backend: str = "numeric",
+        backend: str = "numeric", symmetric: bool = False,
     ) -> float:
         """The learned measured/predicted ratio for one candidate point
         (1.0 until :meth:`correct` has observed it)."""
         return self._corrections.get(
-            self._correction_key(mode, row_block, workers, precalc_strategy, backend),
+            self._correction_key(
+                mode, row_block, workers, precalc_strategy, backend, symmetric
+            ),
             1.0,
         )
 
@@ -218,6 +248,7 @@ class HostCostModel:
         backend: str,
         predicted: float,
         measured: float,
+        symmetric: bool = False,
     ) -> float:
         """Fold one measured candidate execution into the correction EMA.
 
@@ -228,8 +259,12 @@ class HostCostModel:
         compounding.  Returns the updated factor.
         """
         if predicted <= 0.0 or measured <= 0.0 or not math.isfinite(measured):
-            return self.correction(mode, row_block, workers, precalc_strategy, backend)
-        key = self._correction_key(mode, row_block, workers, precalc_strategy, backend)
+            return self.correction(
+                mode, row_block, workers, precalc_strategy, backend, symmetric
+            )
+        key = self._correction_key(
+            mode, row_block, workers, precalc_strategy, backend, symmetric
+        )
         old = self._corrections.get(key, 1.0)
         # predicted already carries old — divide it back out before
         # forming the raw model ratio.

@@ -1,0 +1,91 @@
+"""Live execution feedback: wiring measured tile timings into the tuner.
+
+The autotuner's per-candidate correction EMA
+(:meth:`~repro.autotune.AutoTuner.observe_candidate`) only helps if
+somebody actually measures the candidate it picked.  A
+:class:`TuningObserver` is that somebody: a
+:class:`~repro.engine.dispatch.TileObserver` that rides through
+``execute_plan``'s existing observer hooks, clocks the wall time from the
+first tile start to the last tile completion, and — on :meth:`flush` —
+feeds it back as the measured cost of the chosen
+:class:`~repro.autotune.Candidate`.  ``matrix_profile(auto=True, ...)``
+attaches one automatically whenever the tuned job routes through the
+tiled engine, closing the predict → execute → correct loop without any
+caller code.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["TuningObserver"]
+
+
+class TuningObserver:
+    """Measures one tuned job's dispatch wall time for the tuner.
+
+    Parameters
+    ----------
+    tuner:
+        The :class:`~repro.autotune.AutoTuner` that produced the plan.
+    candidate:
+        The :class:`~repro.autotune.Candidate` the job is executing
+        (``TuneDecision.chosen``); its ``predicted_seconds`` is the
+        prediction the measurement is compared against.
+
+    The span is first-start to last-complete, so parallel-worker runs
+    are measured as the concurrent wall time the cost model predicted,
+    not the sum of per-tile times.  Retries and escalations extend the
+    span naturally — the candidate really did cost that long.
+    """
+
+    def __init__(self, tuner, candidate):
+        self.tuner = tuner
+        self.candidate = candidate
+        self._first_start: float | None = None
+        self._last_complete: float | None = None
+        self.tiles_completed = 0
+
+    # Structurally a :class:`~repro.engine.dispatch.TileObserver` (not by
+    # inheritance — engine.dispatch transitively imports this package).
+    def on_tile_start(self, tile, gpu_id, attempt):
+        if self._first_start is None:
+            self._first_start = perf_counter()
+
+    def on_tile_complete(self, tile, gpu_id, execution):
+        self._last_complete = perf_counter()
+        self.tiles_completed += 1
+
+    def on_tile_retry(self, tile, gpu_id, attempt, error):
+        pass
+
+    def on_deadline(self, remaining):
+        pass
+
+    def on_tile_escalate(self, tile, gpu_id, from_mode, to_mode, issues):
+        pass
+
+    def on_tile_split(self, tile, children, error):
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        """Measured dispatch span so far (0.0 before any tile finished)."""
+        if self._first_start is None or self._last_complete is None:
+            return 0.0
+        return self._last_complete - self._first_start
+
+    def flush(self) -> float:
+        """Feed the measured span into the tuner's correction EMA.
+
+        Returns the elapsed seconds reported (0.0 — and no tuner call —
+        when no tile completed, e.g. a fully journal-restored resume).
+        Resets the span so a reused observer measures the next job
+        afresh.
+        """
+        elapsed = self.elapsed
+        if elapsed > 0.0 and self.tiles_completed > 0:
+            self.tuner.observe_candidate(self.candidate, elapsed)
+        self._first_start = self._last_complete = None
+        self.tiles_completed = 0
+        return elapsed

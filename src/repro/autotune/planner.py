@@ -66,6 +66,9 @@ class Candidate:
     predicted_seconds: float
     error_bound: float
     backend: str = "numeric"
+    #: triangular self-join layout (mirrored upper tiles); numerics-
+    #: visible, so only ever True under an explicit error target.
+    symmetric_tiles: bool = False
     note: str = ""  # rejection reason; empty for viable candidates
 
     @property
@@ -149,6 +152,7 @@ class TuneDecision:
                     marker,
                     c.mode.value,
                     c.backend,
+                    "sym" if c.symmetric_tiles else "full",
                     c.n_tiles,
                     c.row_block,
                     c.parallel_workers,
@@ -164,6 +168,7 @@ class TuneDecision:
                     "",
                     "mode",
                     "backend",
+                    "grid",
                     "tiles",
                     "row_block",
                     "workers",
@@ -178,8 +183,10 @@ class TuneDecision:
         )
         c = self.chosen
         lines.append(
-            f"chosen: {c.mode.value}, {c.backend} backend, {c.n_tiles} "
-            f"tile(s), row_block={c.row_block}, workers={c.parallel_workers}, "
+            f"chosen: {c.mode.value}, {c.backend} backend, "
+            f"{'symmetric' if c.symmetric_tiles else 'full'} grid, "
+            f"{c.n_tiles} tile(s), row_block={c.row_block}, "
+            f"workers={c.parallel_workers}, "
             f"precalc={c.precalc_strategy} — predicted "
             f"{format_seconds(c.predicted_seconds)}"
         )
@@ -259,6 +266,7 @@ class AutoTuner:
             candidate.backend,
             candidate.predicted_seconds,
             elapsed,
+            symmetric=candidate.symmetric_tiles,
         )
         self._memo.clear()
 
@@ -346,7 +354,7 @@ class AutoTuner:
                 candidates.extend(
                     self._tc_rescue(
                         cand_mode, n_r_seg, n_q_seg, d, m, n_tiles,
-                        target_error, n_gpus, plans,
+                        target_error, n_gpus, plans, self_join,
                     )
                 )
                 continue
@@ -376,7 +384,7 @@ class AutoTuner:
                 candidates.extend(
                     self._tc_rescue(
                         cand_mode, n_r_seg, n_q_seg, d, m, n_tiles,
-                        target_error, n_gpus, plans,
+                        target_error, n_gpus, plans, self_join,
                     )
                 )
                 continue
@@ -396,14 +404,14 @@ class AutoTuner:
                 candidates.extend(
                     self._tc_rescue(
                         cand_mode, n_r_seg, n_q_seg, d, m, n_tiles,
-                        target_error, n_gpus, plans,
+                        target_error, n_gpus, plans, self_join,
                     )
                 )
                 continue
             candidates.extend(
                 self._grid(
                     cand_mode, n_r_seg, n_q_seg, d, m, floor, bound,
-                    target_error,
+                    target_error, self_join=self_join,
                 )
             )
 
@@ -442,6 +450,7 @@ class AutoTuner:
             exclusion_zone=exclusion_zone,
             row_block=chosen.row_block,
             backend=chosen.backend,
+            symmetric_tiles=chosen.symmetric_tiles,
             parallel_workers=chosen.parallel_workers,
             precalc_strategy=chosen.precalc_strategy,
         )
@@ -514,8 +523,10 @@ class AutoTuner:
     def _grid(
         self, mode, n_r_seg, n_q_seg, d, m, n_tiles, bound, target_error,
         backends: "tuple[str, ...] | None" = None,
+        self_join: bool = False,
     ) -> list[Candidate]:
-        """Evaluate the row_block x workers x precalc grid at one tiling."""
+        """Evaluate the row_block x workers x precalc x layout grid at
+        one tiling."""
         # A near-square grid splits each axis into chunks of at most two
         # distinct sizes, so the whole tiling collapses to <= 4 weighted
         # geometries — pricing stays O(1) however many tiles the
@@ -534,6 +545,30 @@ class AutoTuner:
             for cols, cc in _axis_chunks(n_q_seg, g_q)
         ]
         max_rows = max(rows for rows, _, _ in geometries)
+
+        # Triangular (symmetric) layout: same weighted-geometry trick
+        # over the band grid — g diagonal tiles plus g(g-1)/2 mirrored
+        # upper tiles whose panels are reduced twice.  Like a mode
+        # change it is numerics-visible (the merge order differs from
+        # the full grid's), so it competes only under an error target.
+        sym_options: tuple[bool, ...] = (False,)
+        sym_geometries = None
+        sym_rows = max_rows
+        if self_join and target_error is not None and n_tiles > 1:
+            g = min(max(tile_grid_shape(n_tiles)), n_r_seg)
+            if g > 1:
+                bands = _axis_chunks(n_r_seg, g)
+                sym_rows = max(size for size, _ in bands)
+                sym_geometries = [
+                    (size, size, count, False) for size, count in bands
+                ]
+                for i, (rows, rc) in enumerate(bands):
+                    for cols, cc in bands[i:]:
+                        pairs = rc * (rc - 1) // 2 if cols == rows else rc * cc
+                        if pairs:
+                            sym_geometries.append((rows, cols, pairs, True))
+                sym_options = (False, True)
+
         blocks = sorted({min(b, max_rows) for b in self.row_blocks})
         workers = sorted({min(w, n_tiles) for w in self.workers})
         out: list[Candidate] = []
@@ -545,65 +580,78 @@ class AutoTuner:
                         if backends is not None
                         else self._backends(mode, target_error)
                     ):
-                        if len(out) >= self.max_candidates:
-                            return out
-                        cand_bound = bound
-                        if backend == "tensor_core":
-                            # The packed-panel path has its own (FP32-
-                            # accumulation) bound, a function of the
-                            # row-block chunking; candidates whose bound
-                            # misses the target are recorded as rejected
-                            # rather than silently dropped.
-                            cand_bound = tc_gemm_error_bound(
-                                max_rows, m, mode, row_block=block
+                        for symmetric in sym_options:
+                            if len(out) >= self.max_candidates:
+                                return out
+                            rows_max = sym_rows if symmetric else max_rows
+                            # The mirrored row-wise reduce re-reads
+                            # already-computed distances, so the bands'
+                            # streaming bound (rows <= the full grid's)
+                            # covers both contributions.
+                            cand_bound = (
+                                streaming_qt_error_bound(rows_max, m, mode)
+                                if symmetric
+                                else bound
                             )
-                            if (
-                                target_error is not None
-                                and cand_bound > target_error
-                            ):
-                                out.append(
-                                    Candidate(
-                                        mode=mode,
-                                        n_tiles=n_tiles,
-                                        row_block=block,
-                                        parallel_workers=w,
-                                        precalc_strategy=strategy,
-                                        predicted_seconds=math.inf,
-                                        error_bound=cand_bound,
-                                        backend=backend,
-                                        note="tc error bound above target",
-                                    )
+                            if backend == "tensor_core":
+                                # The packed-panel path has its own (FP32-
+                                # accumulation) bound, a function of the
+                                # row-block chunking; candidates whose bound
+                                # misses the target are recorded as rejected
+                                # rather than silently dropped.
+                                cand_bound = tc_gemm_error_bound(
+                                    rows_max, m, mode, row_block=block
                                 )
-                                continue
-                        predicted = self.cost.job_time(
-                            geometries,
-                            d,
-                            m,
-                            mode,
-                            block,
-                            w,
-                            precalc_strategy=strategy,
-                            n_r_seg=n_r_seg,
-                            n_q_seg=n_q_seg,
-                            backend=backend,
-                        )
-                        out.append(
-                            Candidate(
-                                mode=mode,
-                                n_tiles=n_tiles,
-                                row_block=block,
-                                parallel_workers=w,
+                                if (
+                                    target_error is not None
+                                    and cand_bound > target_error
+                                ):
+                                    out.append(
+                                        Candidate(
+                                            mode=mode,
+                                            n_tiles=n_tiles,
+                                            row_block=block,
+                                            parallel_workers=w,
+                                            precalc_strategy=strategy,
+                                            predicted_seconds=math.inf,
+                                            error_bound=cand_bound,
+                                            backend=backend,
+                                            symmetric_tiles=symmetric,
+                                            note="tc error bound above target",
+                                        )
+                                    )
+                                    continue
+                            predicted = self.cost.job_time(
+                                sym_geometries if symmetric else geometries,
+                                d,
+                                m,
+                                mode,
+                                block,
+                                w,
                                 precalc_strategy=strategy,
-                                predicted_seconds=predicted,
-                                error_bound=cand_bound,
+                                n_r_seg=n_r_seg,
+                                n_q_seg=n_q_seg,
                                 backend=backend,
+                                symmetric=symmetric,
                             )
-                        )
+                            out.append(
+                                Candidate(
+                                    mode=mode,
+                                    n_tiles=n_tiles,
+                                    row_block=block,
+                                    parallel_workers=w,
+                                    precalc_strategy=strategy,
+                                    predicted_seconds=predicted,
+                                    error_bound=cand_bound,
+                                    backend=backend,
+                                    symmetric_tiles=symmetric,
+                                )
+                            )
         return out
 
     def _tc_rescue(
         self, cand_mode, n_r_seg, n_q_seg, d, m, n_tiles, target_error,
-        n_gpus, plans,
+        n_gpus, plans, self_join: bool = False,
     ) -> list[Candidate]:
         """Tensor-core-only candidates for a mode whose *vector* accuracy
         floor just failed the target.
@@ -629,7 +677,7 @@ class AutoTuner:
         return self._grid(
             cand_mode, n_r_seg, n_q_seg, d, m, floor,
             streaming_qt_error_bound(tile_rows, m, cand_mode),
-            target_error, backends=("tensor_core",),
+            target_error, backends=("tensor_core",), self_join=self_join,
         )
 
     def _backends(self, mode, target_error) -> tuple[str, ...]:

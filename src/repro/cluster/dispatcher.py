@@ -233,11 +233,17 @@ class ClusterDispatcher:
         spec: JobSpec,
         n_tiles: int | None = None,
         *,
+        plan=None,
         journal: RunJournal | None = None,
         anytime: bool = False,
     ) -> ClusterRunResult:
         """Execute ``spec`` over the fleet; see the module docstring.
 
+        ``plan``: an already-built :class:`ExecutionPlan` to shard as-is.
+        Resume paths must pass the journal-rebuilt plan — re-planning
+        from a tile *count* would rebuild a different grid for
+        triangular (``symmetric_tiles``) layouts, whose tile count is
+        not the requested ``n_tiles``.
         ``journal``: an open :class:`RunJournal` — completed tiles are
         skipped on entry (resume) and every merged tile is recorded.
         ``anytime=True`` returns a partial result instead of raising
@@ -248,10 +254,11 @@ class ClusterDispatcher:
         faults = self.node_faults
         numeric = not spec.is_modeled
         policy = spec.policy
-        n_tiles = (
-            n_tiles if n_tiles is not None else 4 * cluster.total_gpus
-        )
-        plan = spec.plan(n_tiles=n_tiles)
+        if plan is None:
+            n_tiles = (
+                n_tiles if n_tiles is not None else 4 * cluster.total_gpus
+            )
+            plan = spec.plan(n_tiles=n_tiles)
         retry_policy = (
             self.retry_policy
             if self.retry_policy is not None
@@ -487,7 +494,7 @@ class ClusterDispatcher:
         journal = RunJournal.create(
             path, spec, plan, extra={"cluster": self.cluster.to_dict()}
         )
-        return self.run(spec, n_tiles, journal=journal, **kwargs)
+        return self.run(spec, n_tiles, plan=plan, journal=journal, **kwargs)
 
 
 def resume_cluster(
@@ -520,4 +527,4 @@ def resume_cluster(
     dispatcher = ClusterDispatcher(
         cluster, node_faults=node_faults, **dispatcher_kwargs
     )
-    return dispatcher.run(spec, len(plan.tiles), journal=journal)
+    return dispatcher.run(spec, plan=plan, journal=journal)

@@ -36,6 +36,7 @@ def matrix_profile(
     amortize_precalc: bool | None = None,
     precalc_strategy: str | None = None,
     backend: str | None = None,
+    symmetric_tiles: bool | None = None,
     auto: bool = False,
     target_error: float | None = None,
     tuner=None,
@@ -101,6 +102,15 @@ def matrix_profile(
         .backend_fallback_reason`).  Changes the numerics: the panel
         accumulates in FP32 under the
         :func:`~repro.precision.errors.tc_gemm_error_bound`.
+    symmetric_tiles:
+        Self-joins only: build just the diagonal and upper-triangular
+        tiles and mirror each off-diagonal tile's distance panel into
+        the band its lower-triangle twin would have covered (a 64-tile
+        request executes 36 tiles, ~1.8x end-to-end).  Numerics-visible
+        like ``backend`` — reduced-precision recurrences restart at the
+        triangular grid's tile edges, so profiles are not bit-equal to
+        the full grid (they stay inside the same Section V-B bounds);
+        part of :meth:`~repro.core.config.RunConfig.cache_key`.
     auto:
         Run the roofline autotuner (:class:`~repro.core.config.RunConfig`
         ``.auto()``) to pick ``row_block``, ``parallel_workers``, tiling
@@ -151,7 +161,10 @@ def matrix_profile(
         config_kwargs["precalc_strategy"] = precalc_strategy
     if backend is not None:
         config_kwargs["backend"] = backend
+    if symmetric_tiles is not None:
+        config_kwargs["symmetric_tiles"] = symmetric_tiles
     config = RunConfig(**config_kwargs)
+    decision = None
     if auto or target_error is not None or tuner is not None:
         from ..autotune import AutoTuner
 
@@ -186,6 +199,10 @@ def matrix_profile(
             tuned["parallel_workers"] = chosen.parallel_workers
         if target_error is not None:
             tuned["mode"] = chosen.mode
+            # Numerics-visible like the mode itself, so tuner-driven
+            # only under an explicit error budget.
+            if symmetric_tiles is None:
+                tuned["symmetric_tiles"] = chosen.symmetric_tiles
             if precalc_strategy is None:
                 tuned["precalc_strategy"] = chosen.precalc_strategy
             if backend is None:
@@ -202,7 +219,16 @@ def matrix_profile(
     )
     if config.n_tiles == 1 and config.n_gpus == 1 and not fault_tolerant:
         return compute_single_tile(reference, query, m, config)
-    return compute_multi_tile(
+    feedback = None
+    if decision is not None:
+        # Close the tuner's predict -> execute -> correct loop: measure
+        # this job's dispatch wall time and feed it back as the chosen
+        # candidate's cost, so a mispriced point re-ranks next tune call.
+        from ..autotune import TuningObserver
+
+        feedback = TuningObserver(tuner, decision.chosen)
+        observers = (*observers, feedback)
+    result = compute_multi_tile(
         reference,
         query,
         m,
@@ -214,3 +240,6 @@ def matrix_profile(
         journal=journal,
         observers=observers,
     )
+    if feedback is not None:
+        feedback.flush()
+    return result

@@ -138,6 +138,16 @@ class RunConfig:
     #: *not* bit-identical (FP32 accumulation is the point), so unlike
     #: ``row_block`` this knob enters ``cache_key()``.
     backend: str = "numeric"
+    #: Exploit self-join symmetry (D(i, j) = D(j, i)): plan only diagonal
+    #: + upper-triangular tiles and consume each off-diagonal distance
+    #: panel twice — the usual column-wise reduce plus a row-wise
+    #: mirrored reduce with transposed indices.  Halves the distance work
+    #: but is *not* bit-identical to the full grid (reduced-precision
+    #: recurrences restart at tile edges, so the mirrored contribution is
+    #: computed from the transposed tile's panel), which is why it is
+    #: opt-in, rejected for AB-joins, and — unlike ``row_block`` — enters
+    #: ``cache_key()``.
+    symmetric_tiles: bool = False
     #: Host threads executing independent tiles concurrently.  Results
     #: merge in tile-id order, so the output is deterministic and
     #: bit-identical to serial dispatch — like ``row_block`` this is a
@@ -281,6 +291,7 @@ class RunConfig:
             "fast_path_1d": self.fast_path_1d,
             "row_block": self.row_block,
             "backend": self.backend,
+            "symmetric_tiles": self.symmetric_tiles,
             "amortize_precalc": self.amortize_precalc,
             "precalc_strategy": self.precalc_strategy,
             "parallel_workers": self.parallel_workers,
@@ -311,8 +322,9 @@ class RunConfig:
         and ``parallel_workers`` are excluded: row-blocked execution,
         amortised precalculation and parallel tile dispatch are bit-exact
         and cost-identical, so cached results are shared across those
-        knobs.  ``precalc_strategy`` and ``backend`` *are* included — the
-        FFT seeds and the tensor-core main loop are not bit-identical.
+        knobs.  ``precalc_strategy``, ``backend`` and ``symmetric_tiles``
+        *are* included — the FFT seeds, the tensor-core main loop and the
+        mirrored triangular grid are not bit-identical.
         """
         fields = {
             k: v

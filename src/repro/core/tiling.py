@@ -19,7 +19,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["Tile", "tile_grid_shape", "compute_tile_list", "assign_tiles"]
+__all__ = [
+    "Tile",
+    "tile_grid_shape",
+    "compute_tile_list",
+    "compute_symmetric_tile_list",
+    "assign_tiles",
+]
 
 
 @dataclass(frozen=True)
@@ -29,6 +35,12 @@ class Tile:
     ``row_*`` index reference segments, ``col_*`` query segments; both are
     half-open ranges.  ``sample_*`` give the input-series sample ranges a
     tile needs (segment range extended by m-1 samples).
+
+    ``mirror`` marks a strictly upper-triangular tile of a symmetric
+    self-join grid: its distance panel is consumed twice — the usual
+    column-wise reduce for columns ``[col_start, col_stop)`` plus a
+    row-wise reduce whose transposed-index contribution covers columns
+    ``[row_start, row_stop)`` of the global profile.
     """
 
     tile_id: int
@@ -36,6 +48,7 @@ class Tile:
     row_stop: int
     col_start: int
     col_stop: int
+    mirror: bool = False
 
     @property
     def n_rows(self) -> int:
@@ -96,6 +109,48 @@ def compute_tile_list(n_r_seg: int, n_q_seg: int, n_tiles: int) -> list[Tile]:
     for row_start, row_stop in _splits(n_r_seg, g_r):
         for col_start, col_stop in _splits(n_q_seg, g_q):
             tiles.append(Tile(tile_id, row_start, row_stop, col_start, col_stop))
+            tile_id += 1
+    return tiles
+
+
+def compute_symmetric_tile_list(n_seg: int, n_tiles: int) -> list[Tile]:
+    """Diagonal + upper-triangular tiles of a symmetric self-join grid.
+
+    The distance matrix of a self-join is symmetric (D(i, j) = D(j, i)),
+    so only the upper triangle of a ``g x g`` band grid needs computing:
+    diagonal tiles are computed as usual, and each strictly-upper tile is
+    marked ``mirror=True`` so its panel also emits the transposed
+    contribution for the lower-triangle twin it replaces.  ``g`` is the
+    larger factor of :func:`tile_grid_shape`, so per-tile edges never
+    exceed those of the full rectangular grid (the error-bound lever of
+    Fig. 7 is preserved or improved).
+
+    Tiles are emitted in (band_row, band_col) lexicographic order with
+    sequential ids.  Together with the strict-``<`` merge this preserves
+    the earliest-index tie-break: for any profile column, contributions
+    arrive in ascending reference-band order (direct tiles in band-row
+    order, then mirrored contributions in band-col order), exactly as the
+    full grid's row-major merge does.
+    """
+    if n_seg < 1:
+        raise ValueError("need at least one segment")
+    g = max(tile_grid_shape(n_tiles))
+    g = min(g, n_seg)
+    bands = _splits(n_seg, g)
+    tiles = []
+    tile_id = 0
+    for bi, (row_start, row_stop) in enumerate(bands):
+        for col_start, col_stop in bands[bi:]:
+            tiles.append(
+                Tile(
+                    tile_id,
+                    row_start,
+                    row_stop,
+                    col_start,
+                    col_stop,
+                    mirror=col_start > row_start,
+                )
+            )
             tile_id += 1
     return tiles
 

@@ -24,7 +24,7 @@ from ..gpu.kernel import KernelCost
 from ..kernels.update import INDEX_DTYPE
 from ..precision.modes import DTYPE_MAX, PrecisionPolicy
 
-__all__ = ["merge_tile_outputs", "ProfileAccumulator"]
+__all__ = ["merge_tile_outputs", "merge_mirrored", "ProfileAccumulator"]
 
 
 def merge_tile_outputs(
@@ -47,6 +47,32 @@ def merge_tile_outputs(
     improved = tile_profile < target_p
     np.copyto(target_p, tile_profile, where=improved)
     np.copyto(target_i, tile_index, where=improved)
+
+
+def merge_mirrored(
+    profile: np.ndarray,
+    index: np.ndarray,
+    tile: Tile,
+    mirror_profile: np.ndarray,
+    mirror_indices: np.ndarray,
+) -> None:
+    """Merge a symmetric tile's mirrored (row-wise) contribution.
+
+    By symmetry D(i, j) = D(j, i), the row-wise minimum of an
+    upper-triangular tile's panel is the profile contribution of global
+    columns ``[row_start, row_stop)`` — the band its lower-triangle twin
+    would have covered — with the recorded indices already global column
+    positions.  The same strict ``<`` applies: together with the
+    triangular grid's (band_row, band_col) tile order, every profile
+    column still receives its contributions in ascending reference-band
+    order, so the earliest-index tie-break matches the full grid's.
+    """
+    sl = slice(tile.row_start, tile.row_stop)
+    target_p = profile[:, sl]
+    target_i = index[:, sl]
+    improved = mirror_profile < target_p
+    np.copyto(target_p, mirror_profile, where=improved)
+    np.copyto(target_i, mirror_indices, where=improved)
 
 
 class ProfileAccumulator:
@@ -93,14 +119,23 @@ class ProfileAccumulator:
         self.precalc_saved_flops += getattr(execution, "precalc_saved_flops", 0.0)
         output = execution.output
         if output is None:
-            # Analytic tile: the merge would touch n_cols columns x d dims.
+            # Analytic tile: the merge would touch n_cols columns x d dims
+            # (plus the n_rows-column mirrored band of a symmetric tile).
             self.merge_elements += execution.tile.n_cols * self.d
+            if getattr(execution.tile, "mirror", False):
+                self.merge_elements += execution.tile.n_rows * self.d
             return
         merge_tile_outputs(
             self.profile, self.index, execution.tile,
             output.profile, output.indices,
         )
         self.merge_elements += output.profile.size
+        if getattr(output, "mirror_profile", None) is not None:
+            merge_mirrored(
+                self.profile, self.index, execution.tile,
+                output.mirror_profile, output.mirror_indices,
+            )
+            self.merge_elements += output.mirror_profile.size
         for name, cost in output.costs.items():
             self.costs[name] = (
                 cost if name not in self.costs else self.costs[name] + cost

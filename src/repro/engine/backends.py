@@ -68,14 +68,37 @@ __all__ = [
 KERNEL_ORDER = ("precalculation", "dist_calc", "sort_&_incl_scan", "update_mat_prof")
 
 
-def workspace_bytes(n_r_seg: int, n_q_seg: int, d: int, policy: PrecisionPolicy) -> int:
+#: Workspace row planes the main loop keeps live, priced in half-plane
+#: units (each plane is double-buffered in row halves by the streaming
+#: recurrence).  The vector path streams 4 — the QT and D planes, each
+#: double-buffered — while the tensor-core panel kernel holds ~3: its
+#: FP32 pad/accumulate/scan fragments cover 16-row MMA chunks rather
+#: than full row planes, so the capacity model must not charge it the
+#: vector path's footprint (it over-splits on OOM otherwise).
+WORKSPACE_HALF_PLANES = {"vector": 4, "tensor_core": 3}
+
+
+def workspace_bytes(
+    n_r_seg: int,
+    n_q_seg: int,
+    d: int,
+    policy: PrecisionPolicy,
+    main_loop: str = "vector",
+    mirror: bool = False,
+) -> int:
     """Device footprint of a tile's intermediates beyond the raw inputs:
-    the eight precalculated vectors, the QT and D row planes, and the
-    running P/I output planes (cf. ``core.planner.tile_memory_bytes``)."""
+    the eight precalculated vectors, the main loop's workspace planes
+    (backend-dependent — see :data:`WORKSPACE_HALF_PLANES`), and the
+    running P/I output planes (cf. ``core.planner.tile_memory_bytes``).
+    ``mirror`` adds the second, row-indexed P/I pair a symmetric
+    self-join tile writes."""
     s = policy.itemsize
     precalc = (4 * n_r_seg + 4 * n_q_seg) * d * s
-    planes = 2 * n_q_seg * d * s
+    half_planes = WORKSPACE_HALF_PLANES.get(main_loop, 4)
+    planes = half_planes * n_q_seg * d * s // 2
     outputs = n_q_seg * d * (s + INDEX_DTYPE.itemsize)
+    if mirror:
+        outputs += n_r_seg * d * (s + INDEX_DTYPE.itemsize)
     return int(precalc + planes + outputs)
 
 
@@ -136,6 +159,12 @@ class TileOutput:
     costs: dict[str, KernelCost] = field(default_factory=dict)
     h2d_bytes: float = 0.0
     d2h_bytes: float = 0.0
+    #: Mirrored contribution of a symmetric self-join tile (row-wise
+    #: reduce of the same distance panels, indexed by tile-local row;
+    #: indices are global *column* positions).  ``None`` unless the tile
+    #: ran with ``mirror=True``.
+    mirror_profile: np.ndarray | None = None
+    mirror_indices: np.ndarray | None = None
 
 
 def run_tile(
@@ -153,6 +182,7 @@ def run_tile(
     workspace: "WorkspacePool | None" = None,
     precalc: "PreparedPrecalc | None" = None,
     main_loop: str = "vector",
+    mirror: bool = False,
 ) -> TileOutput:
     """Execute the kernels of one tile; pure numerics + cost accounting.
 
@@ -193,6 +223,14 @@ def run_tile(
     ``TENSOR_CORE_MODES`` — callers route ineligible jobs back to
     ``"vector"`` (see :func:`backend_for`).  It is *not* bit-identical
     to the vector path: FP32 accumulation is the point.
+
+    ``mirror=True`` (symmetric self-join tiles) additionally reduces
+    every distance panel row-wise: the returned output carries a second
+    ``(d, n_r_seg)`` profile/index pair — the transposed contribution of
+    the lower-triangle twin this tile replaces (D(i, j) = D(j, i)), with
+    indices recording global *column* positions.  The exclusion mask is
+    symmetric in global coordinates, so the same lifted panel feeds both
+    reduces.
     """
     d = tr_dev.shape[0]
     n_r_seg = tr_dev.shape[1] - m + 1
@@ -237,7 +275,7 @@ def run_tile(
         pre = precalc.result
         precalc_cost = precalc.cost
     dist.bind(pre)
-    update.allocate(d, n_q_seg)
+    update.allocate(d, n_q_seg, mirror_rows=n_r_seg if mirror else None)
 
     cols_global = _cached_arange(n_q_seg) + col_offset
     block = max(1, min(row_block, n_r_seg))
@@ -254,23 +292,27 @@ def run_tile(
                 flat = dist_blk.reshape(d, b * n_q_seg)
                 avg_blk = sort_scan.run(flat, rows=b).reshape(d, b, n_q_seg)
             if exclusion_zone is None:
-                update.run_block(avg_blk, i0, row_offset=row_offset)
+                update.run_block(avg_blk, i0, row_offset=row_offset,
+                                 col_offset=col_offset)
             else:
                 rows_global = _cached_arange(n_r_seg)[i0 : i0 + b] + row_offset
                 mask = (
                     np.abs(cols_global[None, :] - rows_global[:, None])
                     <= exclusion_zone
                 )
-                update.run_block(avg_blk, i0, row_offset=row_offset, mask=mask)
+                update.run_block(avg_blk, i0, row_offset=row_offset,
+                                 mask=mask, col_offset=col_offset)
     elif block == 1:
         for i in range(n_r_seg):
             plane = dist.run(i)
             averaged = plane if skip_sort else sort_scan.run(plane)
             if exclusion_zone is None:
-                update.run(averaged, i, row_offset=row_offset)
+                update.run(averaged, i, row_offset=row_offset,
+                           col_offset=col_offset)
             else:
                 mask = (np.abs(cols_global - (i + row_offset)) <= exclusion_zone)[None, :]
-                update.masked_run(averaged, i, mask, row_offset=row_offset)
+                update.masked_run(averaged, i, mask, row_offset=row_offset,
+                                  col_offset=col_offset)
     else:
         pool = workspace if workspace is not None else WorkspacePool()
         with pool.lease((d, block, n_q_seg), policy.compute) as qt_ws:
@@ -283,7 +325,8 @@ def run_tile(
                     flat = dist_blk.reshape(d, b * n_q_seg)
                     avg_blk = sort_scan.run(flat, rows=b).reshape(d, b, n_q_seg)
                 if exclusion_zone is None:
-                    update.run_block(avg_blk, i0, row_offset=row_offset)
+                    update.run_block(avg_blk, i0, row_offset=row_offset,
+                                 col_offset=col_offset)
                 else:
                     rows_global = (
                         _cached_arange(n_r_seg)[i0 : i0 + b] + row_offset
@@ -292,11 +335,15 @@ def run_tile(
                         np.abs(cols_global[None, :] - rows_global[:, None])
                         <= exclusion_zone
                     )
-                    update.run_block(avg_blk, i0, row_offset=row_offset, mask=mask)
+                    update.run_block(avg_blk, i0, row_offset=row_offset,
+                                 mask=mask, col_offset=col_offset)
 
     itemsize = policy.itemsize
     h2d_bytes = float((tr_dev.shape[1] + tq_dev.shape[1]) * d * itemsize)
     d2h_bytes = float(n_q_seg * d * (itemsize + INDEX_DTYPE.itemsize))
+    if mirror:
+        # The mirrored P/I pair rides the same download.
+        d2h_bytes += float(n_r_seg * d * (itemsize + INDEX_DTYPE.itemsize))
     costs = {
         _KERNEL_LABELS[c.name]: replace(c, name=_KERNEL_LABELS[c.name])
         for c in (precalc_cost, dist.cost, sort_scan.cost, update.cost)
@@ -307,6 +354,8 @@ def run_tile(
         costs=costs,
         h2d_bytes=h2d_bytes,
         d2h_bytes=d2h_bytes,
+        mirror_profile=update.mirror_profile,
+        mirror_indices=update.mirror_indices,
     )
 
 
@@ -447,11 +496,6 @@ class NumericBackend:
                         label=f"{self._label}Tq{tile.tile_id}",
                     )
                     stack.callback(self._free, tq_alloc)
-                workspace = gpu.memory.reserve(
-                    workspace_bytes(tile.n_rows, tile.n_cols, spec.d, policy),
-                    label=f"{self._label}ws{tile.tile_id}",
-                )
-                stack.callback(self._free, workspace)
             # Per-plan eligibility: an escalated plan may have widened the
             # mode past the tensor-core formats (FP16 -> FP32 on a sick
             # tile), in which case *that* execution silently takes the
@@ -459,6 +503,20 @@ class NumericBackend:
             main_loop = self.main_loop
             if policy.mode not in TENSOR_CORE_MODES:
                 main_loop = "vector"
+            mirror = getattr(tile, "mirror", False)
+            with self._lock:
+                workspace = gpu.memory.reserve(
+                    workspace_bytes(
+                        tile.n_rows,
+                        tile.n_cols,
+                        spec.d,
+                        policy,
+                        main_loop=main_loop,
+                        mirror=mirror,
+                    ),
+                    label=f"{self._label}ws{tile.tile_id}",
+                )
+                stack.callback(self._free, workspace)
             output = run_tile(
                 tr_alloc.array,
                 tq_alloc.array,
@@ -474,6 +532,7 @@ class NumericBackend:
                 workspace=self._workspace_pool(),
                 precalc=prepared,
                 main_loop=main_loop,
+                mirror=mirror,
             )
         saved = 0.0
         if shared and self.discount_shared_h2d:

@@ -105,7 +105,10 @@ class RunJournal:
             "exclusion_zone": spec.exclusion_zone,
             "self_join": spec.self_join,
             "tiles": [
-                [t.tile_id, t.row_start, t.row_stop, t.col_start, t.col_stop]
+                # mirror rides as a 6th element; rebuild() tolerates the
+                # 5-element rows of journals written before it existed.
+                [t.tile_id, t.row_start, t.row_stop, t.col_start, t.col_stop,
+                 bool(getattr(t, "mirror", False))]
                 for t in plan.tiles
             ],
             "assignment": list(plan.assignment),
@@ -223,7 +226,10 @@ class RunJournal:
             query = data["query"] if "query" in data.files else None
         spec = JobSpec.from_arrays(reference, query, int(meta["m"]), config)
         spec.exclusion_zone = meta["exclusion_zone"]
-        tiles = [Tile(*row) for row in meta["tiles"]]
+        tiles = [
+            Tile(*row[:5], mirror=bool(row[5]) if len(row) > 5 else False)
+            for row in meta["tiles"]
+        ]
         plan = spec.plan(tiles=tiles, assignment=list(meta["assignment"]))
         return spec, plan
 

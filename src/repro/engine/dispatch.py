@@ -253,13 +253,36 @@ class _TileWork:
     preflighted: bool = False
 
 
-def _split_tile(tile: Tile, next_id: int) -> list[Tile]:
+def _split_tile(tile: Tile, next_id: int, symmetric: bool = False) -> list[Tile]:
     """Quarter a tile (halve along any axis with >= 2 segments).
 
     Children keep global segment coordinates, so their outputs merge into
     the accumulator exactly like planned tiles.  A 1x1 tile cannot split
     (returns ``[]``; the OOM then propagates).
+
+    ``symmetric`` (symmetric self-join plans) preserves the triangular
+    grid's invariants: children of a mirrored tile stay mirrored (their
+    row range still precedes their column range), and a *diagonal* tile
+    splits into two diagonal children plus one mirrored off-diagonal
+    child — the lower-triangle quarter is covered by that child's
+    mirrored contribution and is never materialised.
     """
+    mirrored = symmetric and getattr(tile, "mirror", False)
+    diagonal = (
+        symmetric
+        and not mirrored
+        and (tile.row_start, tile.row_stop) == (tile.col_start, tile.col_stop)
+    )
+    if diagonal:
+        if tile.n_rows < 2:
+            return []
+        mid = tile.row_start + tile.n_rows // 2
+        return [
+            Tile(next_id, tile.row_start, mid, tile.col_start, mid),
+            Tile(next_id + 1, tile.row_start, mid, mid, tile.col_stop,
+                 mirror=True),
+            Tile(next_id + 2, mid, tile.row_stop, mid, tile.col_stop),
+        ]
     row_halves = [(tile.row_start, tile.row_stop)]
     if tile.n_rows >= 2:
         mid = tile.row_start + tile.n_rows // 2
@@ -273,7 +296,7 @@ def _split_tile(tile: Tile, next_id: int) -> list[Tile]:
     children = []
     for r0, r1 in row_halves:
         for c0, c1 in col_halves:
-            children.append(Tile(next_id, r0, r1, c0, c1))
+            children.append(Tile(next_id, r0, r1, c0, c1, mirror=mirrored))
             next_id += 1
     return children
 
@@ -414,6 +437,10 @@ def execute_plan(
     report = DispatchReport(tiles_total=plan.n_tiles)
     base_mode = PrecisionMode.parse(plan.spec.config.mode)
 
+    symmetric = (
+        getattr(plan.spec.config, "symmetric_tiles", False)
+        and plan.spec.self_join
+    )
     completed_keys = journal.completed_keys() if journal is not None else frozenset()
     next_id = max((t.tile_id for t in plan.tiles), default=-1) + 1
     work: deque[_TileWork] = deque()
@@ -478,7 +505,7 @@ def execute_plan(
         except DeviceOutOfMemoryError as exc:
             if not oom_split:
                 raise
-            children = _split_tile(item.tile, next_id)
+            children = _split_tile(item.tile, next_id, symmetric=symmetric)
             if not children:
                 raise  # 1x1 tile: nothing left to split off
             next_id += len(children)
@@ -614,6 +641,10 @@ def _execute_plan_parallel(
     if ensure is not None:
         ensure()
 
+    symmetric = (
+        getattr(plan.spec.config, "symmetric_tiles", False)
+        and plan.spec.self_join
+    )
     completed_keys = journal.completed_keys() if journal is not None else frozenset()
     next_id = max((t.tile_id for t in plan.tiles), default=-1) + 1
     work: deque[_TileWork] = deque()
@@ -699,7 +730,7 @@ def _execute_plan_parallel(
                     except DeviceOutOfMemoryError as exc:
                         if not oom_split:
                             raise
-                        children = _split_tile(item.tile, next_id)
+                        children = _split_tile(item.tile, next_id, symmetric=symmetric)
                         if not children:
                             raise
                         next_id += len(children)

@@ -26,7 +26,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.config import RunConfig, default_exclusion_zone
-from ..core.tiling import Tile, assign_tiles, compute_tile_list
+from ..core.tiling import (
+    Tile,
+    assign_tiles,
+    compute_symmetric_tile_list,
+    compute_tile_list,
+)
 from ..kernels.layout import to_device_layout, validate_series
 from ..precision.modes import PrecisionPolicy
 from .precalc_cache import PrecalcPlaneCache
@@ -314,9 +319,17 @@ class JobSpec:
         """
         if auto or target_error is not None:
             self.tune(target_error=target_error, tuner=tuner)
+        if self.config.symmetric_tiles and not self.self_join:
+            raise ValueError(
+                "symmetric_tiles exploits self-join symmetry "
+                "(D(i, j) = D(j, i)); AB-joins have no mirrored twin"
+            )
         if tiles is None:
             n_tiles = n_tiles if n_tiles is not None else self.config.n_tiles
-            tiles = compute_tile_list(self.n_r_seg, self.n_q_seg, n_tiles)
+            if self.config.symmetric_tiles:
+                tiles = compute_symmetric_tile_list(self.n_r_seg, n_tiles)
+            else:
+                tiles = compute_tile_list(self.n_r_seg, self.n_q_seg, n_tiles)
         if assignment is None:
             n_gpus = n_gpus if n_gpus is not None else self.config.n_gpus
             assignment = assign_tiles(tiles, n_gpus)

@@ -139,6 +139,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Tensor-core main loop: chained-GEMM panel vs vector path, error vs a-priori bound",
         "bench_tensor_core.py", "tensor_core", "executed",
     ),
+    Experiment(
+        "symmetric_tiles", "Sec. IV",
+        "Symmetric self-join tiling: mirrored triangular grid vs full grid, both backends",
+        "bench_symmetric_tiles.py", "symmetric_tiles", "executed",
+    ),
 )
 
 

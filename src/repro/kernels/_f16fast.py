@@ -16,8 +16,10 @@ conversion with integer bit manipulation instead of the scalar loop:
   the exponent handling the mantissa wrap for free;
 * magnitudes that carry to >= 2^16 overflow to infinity, exactly like
   ``astype(float16)``;
-* zeros pass through untouched; subnormal-half magnitudes and NaNs are
-  outside the trick's domain and take the ``astype`` round trip.
+* subnormal-half magnitudes and zeros round via an exact add/subtract
+  against 0.75 that lands them on the 2^-24 subnormal grid with RNE
+  (the same vectorised quantiser as ``TcGemmKernel``); only
+  overflow-adjacent magnitudes and NaNs take the ``astype`` round trip.
 
 Both entry points are verified against ``astype(np.float16)`` — the
 checks in ``tests/test_row_blocking.py`` sample the full bit range and
@@ -41,14 +43,14 @@ _MIN_NORM16 = np.uint32(0x38800000)  # 2^-14, smallest normal half, as f32 bits
 _INF_F32 = np.uint32(0x7F800000)
 _CARRY_INF = np.uint32(0x47800000)  # 65536.0f: rounded magnitudes here and up -> inf
 _NEAR_INF = np.uint32(0x477F0000)  # conservative "might round to inf" threshold
-# The domain check works in doubled-magnitude space (``bits << 1`` drops
-# the sign): after subtracting 2*_MIN_NORM16 with uint wraparound, every
-# in-domain magnitude (normal half range up to inf) lands in
-# ``[0, _RANGE2]`` while subnormal magnitudes, zeros and NaNs wrap or
-# overshoot past it — one shift, one subtract, one compare.
-_MIN2 = np.uint32(0x38800000 << 1)
-_RANGE2 = np.uint32((0x7F800000 - 0x38800000) << 1)
-_NEAR_INF2 = np.uint32((0x477F0000 << 1) - (0x38800000 << 1))
+#: 65520.0f — the smallest magnitude whose RNE half rounding overflows to
+#: inf; from here up (and for NaNs) the gathered ``astype`` fallback runs.
+_OVERFLOW_LIM = np.uint32(0x477FF000)
+#: Adding then subtracting 0.75 forces RNE onto the half-subnormal 2^-24
+#: grid: for |x| < 2^-14 the sum lands in [0.75 - 2^-14, 0.75 + 2^-14],
+#: where the float32 mantissa ulp is exactly 2^-24, and the subtraction
+#: is exact by Sterbenz.
+_GRID_C = np.float32(0.75)
 
 
 def _rne_trick_inplace(u: np.ndarray) -> None:
@@ -91,36 +93,42 @@ def round_f16_inplace(buf: np.ndarray) -> None:
     """In-place ``buf = buf.astype(float16).astype(float32)`` for any
     float32 data.
 
-    The bit trick covers the normal half range and infinities; elements
-    outside its domain — half-subnormal magnitudes (any correlation
-    within ~6e-5 of zero lands here, so a large block almost always
-    contains a few), exact zeros and NaNs — are saved first and patched
-    with the scalar ``astype`` round trip after the trick, so a handful
-    of stragglers never forces the whole plane onto the slow path.
-
-    (Zeros are exact under the round trip, so routing them through the
-    patch keeps the domain check down to three vector passes — see
-    ``_MIN2``/``_RANGE2``.)
+    The bit trick covers the normal half range; half-subnormal
+    magnitudes and zeros (any correlation within ~6e-5 of zero lands
+    here, so a large block almost always contains a few) round via an
+    exact add/subtract against ``_GRID_C`` that forces RNE onto the
+    2^-24 subnormal grid — fully vectorised, where the old
+    boolean-gather patch degraded as soon as a single update term fell
+    below 2^-14.  The trick returns ``+0.0`` for magnitudes that round
+    to zero, so the original sign bit is OR-ed back (IEEE rounding never
+    flips a sign), keeping ``-0.0`` and negative underflow bit-exact.
+    Only overflow-adjacent magnitudes (>= 65520, which RNE sends to inf)
+    and NaNs still take the gathered scalar ``astype`` round trip, rare
+    in saturated distance data.
     """
     u = buf.view(np.uint32)
-    mag2 = u << np.uint32(1)  # doubled magnitude: sign bit shifted out
-    mag2 -= _MIN2  # wraps subnormals and zeros past _RANGE2
-    bad = mag2 > _RANGE2
-    # In mag2 space the wrapped out-of-domain entries read as huge, so
-    # the carry hint has false positives when any are present — the fix
-    # runs needlessly but never changes an in-range value.
-    mag_hint2 = int(mag2.max()) if mag2.size else 0
-    if not bad.any():
-        _rne_trick_inplace(u)
-        if mag_hint2 >= int(_NEAR_INF2):
-            _carry_fix_inplace(u, int(_NEAR_INF))
-    else:
+    mag = u & _MAG_MASK
+    top = int(mag.max()) if mag.size else 0
+    ext_mask = ext_vals = None
+    if top >= int(_OVERFLOW_LIM):
+        ext_mask = mag >= _OVERFLOW_LIM
         with np.errstate(over="ignore", invalid="ignore"):
-            patched = buf[bad].astype(np.float16).astype(np.float32)
-        _rne_trick_inplace(u)
-        if mag_hint2 >= int(_NEAR_INF2):
-            _carry_fix_inplace(u, int(_NEAR_INF))
-        buf[bad] = patched
+            ext_vals = buf[ext_mask].astype(np.float16).astype(np.float32)
+    small = mag < _MIN_NORM16
+    has_small = bool(small.any())
+    if has_small:
+        sign_small = np.where(small, u & _SIGN_MASK, np.uint32(0))
+        # errstate: a signaling NaN elsewhere in the buffer would raise
+        # "invalid" here; NaN entries are patched by the ext gather.
+        with np.errstate(invalid="ignore"):
+            grid = buf + _GRID_C
+            grid -= _GRID_C
+    _rne_trick_inplace(u)
+    if has_small:
+        np.copyto(buf, grid, where=small)
+        u |= sign_small
+    if ext_mask is not None:
+        buf[ext_mask] = ext_vals
 
 
 def f16_keys19(buf: np.ndarray) -> np.ndarray:

@@ -32,18 +32,96 @@ class UpdateKernel(Kernel):
 
     policy: PrecisionPolicy = field(kw_only=True)
 
-    def allocate(self, d: int, n_q_seg: int) -> None:
-        """Initialise the running profile to +max and indices to -1."""
+    # Mirrored outputs (symmetric self-join tiles); (re)set by allocate().
+    mirror_profile = None
+    mirror_indices = None
+
+    def allocate(
+        self, d: int, n_q_seg: int, mirror_rows: int | None = None
+    ) -> None:
+        """Initialise the running profile to +max and indices to -1.
+
+        ``mirror_rows`` (the tile's reference-row count) additionally
+        allocates the mirrored outputs of a symmetric self-join tile: a
+        second profile/index pair indexed by tile-local *row*, filled by
+        the row-wise reduce of the same distance planes (D(i, j) =
+        D(j, i), so row i's minimum over columns is the profile
+        contribution of global column ``row_offset + i``).
+        """
         dtype = self.policy.storage
         limit = dtype.type(DTYPE_MAX[np.dtype(dtype)])
         self.profile = np.full((d, n_q_seg), limit, dtype=dtype)
         self.indices = np.full((d, n_q_seg), -1, dtype=INDEX_DTYPE)
+        self.mirror_profile = self.mirror_indices = None
+        if mirror_rows is not None:
+            self.mirror_profile = np.full((d, mirror_rows), limit, dtype=dtype)
+            self.mirror_indices = np.full(
+                (d, mirror_rows), -1, dtype=INDEX_DTYPE
+            )
 
-    def run(self, plane: np.ndarray, row: int, row_offset: int = 0) -> None:
+    @staticmethod
+    def _radix_argmin(block: np.ndarray, axis: int) -> np.ndarray:
+        """First-occurrence argmin, vectorised for the half/single planes.
+
+        The planes here are saturated inclusive averages — non-negative
+        and NaN-free — so their unsigned bit patterns order exactly like
+        their values and an integer argmin (first minimum, same
+        tie-break) returns identical indices without the scalar
+        convert-to-float comparison loops of half precision.
+        """
+        if block.dtype == np.float16:
+            return np.argmin(block.view(np.uint16), axis=axis)
+        if block.dtype == np.float32:
+            return np.argmin(block.view(np.uint32), axis=axis)
+        return np.argmin(block, axis=axis)
+
+    def _merge_mirror_rows(
+        self,
+        block: np.ndarray,
+        row0: int,
+        col_offset: int,
+        wide_block: bool = False,
+    ) -> None:
+        """Row-wise reduce of a masked ``(d, rows, n_q)`` block into the
+        mirrored outputs for tile-local rows ``row0 .. row0+rows-1``.
+
+        The column axis is reduced with the same radix-key argmin
+        (first-occurrence keeps the earliest global column = earliest
+        mirrored reference index) and merged strict-``<`` against the
+        limit-initialised mirror profile, so fully-excluded rows keep
+        index -1.  Wide (FP32 accumulator) blocks reduce *before*
+        narrowing, mirroring the column path's reduce-then-store.
+        """
+        rows = block.shape[1]
+        best_col = self._radix_argmin(block, axis=2)  # (d, rows)
+        best_val = np.take_along_axis(
+            block, best_col[:, :, None], axis=2
+        )[:, :, 0]
+        if wide_block:
+            with np.errstate(over="ignore", invalid="ignore"):
+                best_val = best_val.astype(self.policy.storage)
+        target = self.mirror_profile[:, row0 : row0 + rows]
+        improved = best_val < target
+        np.copyto(target, best_val, where=improved)
+        np.copyto(
+            self.mirror_indices[:, row0 : row0 + rows],
+            best_col.astype(INDEX_DTYPE) + INDEX_DTYPE.type(col_offset),
+            where=improved,
+        )
+
+    def run(
+        self,
+        plane: np.ndarray,
+        row: int,
+        row_offset: int = 0,
+        col_offset: int = 0,
+    ) -> None:
         """Merge plane ``D''`` of (tile-local) reference row ``row``.
 
         ``row_offset`` maps the tile-local row to the global reference
-        index recorded in ``I`` (multi-tile runs pass the tile's origin).
+        index recorded in ``I`` (multi-tile runs pass the tile's origin);
+        ``col_offset`` is the tile's global column origin, used only by
+        the mirrored row-wise reduce of symmetric self-join tiles.
         """
         if plane.shape != self.profile.shape:
             raise ValueError(
@@ -53,10 +131,17 @@ class UpdateKernel(Kernel):
         improved = plane < self.profile
         np.copyto(self.profile, plane, where=improved)
         np.copyto(self.indices, INDEX_DTYPE.type(row + row_offset), where=improved)
+        if self.mirror_profile is not None:
+            self._merge_mirror_rows(plane[:, None, :], row, col_offset)
         self._record_cost(plane)
 
     def masked_run(
-        self, plane: np.ndarray, row: int, mask: np.ndarray, row_offset: int = 0
+        self,
+        plane: np.ndarray,
+        row: int,
+        mask: np.ndarray,
+        row_offset: int = 0,
+        col_offset: int = 0,
     ) -> None:
         """Merge with an exclusion mask (True = excluded column).
 
@@ -67,6 +152,11 @@ class UpdateKernel(Kernel):
         improved = (plane < self.profile) & ~mask
         np.copyto(self.profile, plane, where=improved)
         np.copyto(self.indices, INDEX_DTYPE.type(row + row_offset), where=improved)
+        if self.mirror_profile is not None:
+            storage = self.policy.storage
+            limit = storage.type(DTYPE_MAX[np.dtype(storage)])
+            lifted = np.where(np.broadcast_to(mask, plane.shape), limit, plane)
+            self._merge_mirror_rows(lifted[:, None, :], row, col_offset)
         self._record_cost(plane)
 
     def run_block(
@@ -75,6 +165,7 @@ class UpdateKernel(Kernel):
         row0: int,
         row_offset: int = 0,
         mask: np.ndarray | None = None,
+        col_offset: int = 0,
     ) -> None:
         """Merge a ``(d, rows, n_q)`` block of D'' planes for tile-local
         reference rows ``row0 .. row0+rows-1`` in one step.
@@ -115,19 +206,9 @@ class UpdateKernel(Kernel):
             if mask is not None:
                 limit = storage.type(DTYPE_MAX[np.dtype(storage)])
                 block = np.where(mask[None, :, :], limit, block)
-        if block.dtype == np.float16:
-            # Half comparisons are scalar convert-to-float loops; the
-            # planes here are saturated inclusive averages — non-negative
-            # and NaN-free — so their uint16 bit patterns order exactly
-            # like their values and an integer argmin (first minimum,
-            # same tie-break) returns identical indices, vectorised.
-            best_row = np.argmin(block.view(np.uint16), axis=1)
-        elif block.dtype == np.float32:
-            # Same radix-key argument at single precision (the wide
-            # fused-path planes are saturated distances too).
-            best_row = np.argmin(block.view(np.uint32), axis=1)
-        else:
-            best_row = np.argmin(block, axis=1)  # (d, n_q), first min row
+        # First-occurrence argmin over the row axis (radix keys for the
+        # half/single planes — see :meth:`_radix_argmin`).
+        best_row = self._radix_argmin(block, axis=1)  # (d, n_q), first min row
         best_val = np.take_along_axis(block, best_row[:, None, :], axis=1)[:, 0, :]
         if wide_block:
             with np.errstate(over="ignore", invalid="ignore"):
@@ -139,6 +220,10 @@ class UpdateKernel(Kernel):
             best_row.astype(INDEX_DTYPE) + INDEX_DTYPE.type(row0 + row_offset),
             where=improved,
         )
+        if self.mirror_profile is not None:
+            self._merge_mirror_rows(
+                block, row0, col_offset, wide_block=wide_block
+            )
         self._record_cost(block[:, 0, :], rows=rows)
 
     def _record_cost(self, plane: np.ndarray, rows: int = 1) -> None:
@@ -147,10 +232,14 @@ class UpdateKernel(Kernel):
         elems = float(plane.size)
         size = self.policy.storage.itemsize
         rounds = math.ceil(plane.size / self.config.total_threads)
+        mirror = self.mirror_profile is not None
         self._account(
+            # The mirrored row-wise reduce re-reads the plane from L2 and
+            # adds one compare per element; it stores only one winner per
+            # row, so DRAM traffic barely moves.
             bytes_dram=rows * 2.0 * elems * size,
-            bytes_l2=rows * 5.0 * elems * size,
-            flops=rows * 2.0 * elems,
+            bytes_l2=rows * (6.0 if mirror else 5.0) * elems * size,
+            flops=rows * (3.0 if mirror else 2.0) * elems,
             launches=rows,
-            loop_rounds=rows * rounds,
+            loop_rounds=rows * rounds * (2 if mirror else 1),
         )
